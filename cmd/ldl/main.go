@@ -1,0 +1,105 @@
+// Command ldl loads an LDL program and optimizes/executes queries
+// against it.
+//
+// Usage:
+//
+//	ldl -f program.ldl -q "sg(john, Y)" [-strategy kbz] [-explain] [-stats]
+//
+// Without -q, every query form embedded in the program ("goal?") runs.
+// Without -f, the program is read from stdin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"ldl"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldl: ")
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ldl", flag.ContinueOnError)
+	var (
+		file     = fs.String("f", "", "program file (default: stdin)")
+		query    = fs.String("q", "", "query goal, e.g. 'sg(john, Y)' (default: embedded query forms)")
+		strategy = fs.String("strategy", "exhaustive", "search strategy: exhaustive|dp|kbz|anneal")
+		seed     = fs.Int64("seed", 1, "seed for the stochastic strategy")
+		explain  = fs.Bool("explain", false, "print the optimized processing tree")
+		stats    = fs.Bool("stats", false, "print execution work counters")
+		flatten  = fs.Bool("flatten", false, "rescue unsafe queries by flattening (rule unfolding)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var src []byte
+	var err error
+	if *file != "" {
+		src, err = os.ReadFile(*file)
+	} else {
+		src, err = io.ReadAll(stdin)
+	}
+	if err != nil {
+		return err
+	}
+	sys, err := ldl.Load(string(src))
+	if err != nil {
+		return err
+	}
+
+	goals := sys.Queries()
+	if *query != "" {
+		goals = []string{*query}
+	}
+	if len(goals) == 0 {
+		return fmt.Errorf("no query: pass -q or embed 'goal?' forms in the program")
+	}
+
+	for _, goal := range goals {
+		opts := []ldl.Option{ldl.WithStrategy(ldl.Strategy(*strategy)), ldl.WithSeed(*seed)}
+		if *flatten {
+			opts = append(opts, ldl.WithFlattening())
+		}
+		plan, err := sys.Optimize(goal, opts...)
+		if err != nil {
+			return err
+		}
+		if *explain {
+			fmt.Fprintln(stdout, plan.Explain())
+		}
+		if !plan.Safe() {
+			return fmt.Errorf("query %s? is unsafe: %s", goal, plan.Reason())
+		}
+		rows, es, err := plan.ExecuteStats()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s?\n", goal)
+		for _, row := range rows {
+			fmt.Fprint(stdout, "  ")
+			for i, v := range row {
+				if i > 0 {
+					fmt.Fprint(stdout, ", ")
+				}
+				fmt.Fprint(stdout, v)
+			}
+			fmt.Fprintln(stdout)
+		}
+		fmt.Fprintf(stdout, "  %d answers\n", len(rows))
+		if *stats {
+			fmt.Fprintf(stdout, "  work: %d tuples derived, %d iterations, %d unifications, %d lookups\n",
+				es.TuplesDerived, es.Iterations, es.Unifications, es.Lookups)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const program = `
+e(1, 2). e(2, 3). e(3, 4).
+tc(X, Y) <- e(X, Y).
+tc(X, Y) <- e(X, Z), tc(Z, Y).
+tc(1, Y)?
+`
+
+func TestRunEmbeddedQueries(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(program), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"tc(1, Y)?", "1, 2", "1, 4", "3 answers"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunExplicitQueryFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.ldl")
+	if err := os.WriteFile(path, []byte(program), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-f", path, "-q", "tc(X, Y)", "-explain", "-stats", "-strategy", "dp"}, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"query: tc(X, Y)?", "CC tc/2", "6 answers", "work:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunUnsafeQueryFails(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-q", "p(X, Y, Z)"},
+		strings.NewReader(`p(X, Y, Z) <- X = 3, Z = X + Y.`), &out)
+	if err == nil || !strings.Contains(err.Error(), "unsafe") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunFlattenRescue(t *testing.T) {
+	src := `
+p(X, Y, Z) <- X = 3, Z = X + Y.
+q(X, Y, Z) <- p(X, Y, Z), Y = 2 ^ X.
+`
+	var out strings.Builder
+	if err := run([]string{"-q", "q(X, Y, Z)", "-flatten"}, strings.NewReader(src), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "3, 8, 11") {
+		t.Errorf("output = %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(`e(1, 2).`), &out); err == nil {
+		t.Error("no-query program accepted")
+	}
+	if err := run(nil, strings.NewReader(`p(`), &out); err == nil {
+		t.Error("bad program accepted")
+	}
+	if err := run([]string{"-f", "/nonexistent/x.ldl"}, nil, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-q", "tc(1, Y)", "-strategy", "bogus"},
+		strings.NewReader(program), &out); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	if err := run([]string{"-nosuchflag"}, strings.NewReader(program), &out); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

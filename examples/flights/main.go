@@ -1,0 +1,93 @@
+// Flights is a route-planning knowledge base: the classic deductive-
+// database demo joining recursion (reachability), evaluable predicates
+// (fare arithmetic, layover constraints) and bound query forms. It
+// shows the optimizer choosing different executions for "where can I
+// go from vienna?" (bound source — magic restriction) versus "list all
+// connections" (free — materialized fixpoint), and the safety analysis
+// rejecting a fare-accumulating recursion that could loop through
+// cyclic routes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldl"
+)
+
+const src = `
+% flight(from, to, fare_cents)
+flight(vienna, paris, 12000).   flight(paris, london, 9000).
+flight(london, nyc, 45000).     flight(nyc, chicago, 15000).
+flight(chicago, denver, 13000). flight(denver, sfo, 11000).
+flight(paris, rome, 8000).      flight(rome, vienna, 7000).
+flight(vienna, berlin, 9500).   flight(berlin, london, 10000).
+flight(nyc, sfo, 52000).
+
+% direct connections we would pay at most 100 euros for
+cheap(X, Y) <- flight(X, Y, F), F =< 10000.
+
+% reachability (pure Datalog: safe under every query form)
+reach(X, Y) <- flight(X, Y, F).
+reach(X, Y) <- flight(X, Z, F), reach(Z, Y).
+
+% one-stop trips with a total-fare constraint
+oneStop(X, Y, T) <- flight(X, Z, F1), flight(Z, Y, F2), T = F1 + F2, T < 60000.
+
+% accumulating the fare through unbounded recursion is rejected: the
+% route graph has cycles (vienna-paris-rome-vienna), so the running
+% total has no bound.
+tripCost(X, Y, F) <- flight(X, Y, F).
+tripCost(X, Y, T) <- flight(X, Z, F), tripCost(Z, Y, R), T = F + R.
+`
+
+func main() {
+	sys, err := ldl.Load(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== cheap direct connections ==")
+	rows, err := sys.Query("cheap(X, Y)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("  %s -> %s\n", r[0], r[1])
+	}
+
+	fmt.Println("\n== where can I go from vienna? (bound: magic restriction) ==")
+	plan, err := sys.Optimize("reach(vienna, Y)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(plan.Explain())
+	rows, stats, err := plan.ExecuteStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d destinations, %d tuples derived\n", len(rows), stats.TuplesDerived)
+
+	fmt.Println("\n== all connections (free: materialized fixpoint) ==")
+	planAll, err := sys.Optimize("reach(X, Y)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(planAll.Explain())
+
+	fmt.Println("\n== one-stop trips from vienna under 600 euros ==")
+	rows, err = sys.Query("oneStop(vienna, Y, T)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("  vienna -> %s for %s cents\n", r[1], r[2])
+	}
+
+	fmt.Println("\n== fare accumulation through cycles is rejected ==")
+	bad, err := sys.Optimize("tripCost(vienna, sfo, T)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  safe=%v\n  reason: %s\n", bad.Safe(), bad.Reason())
+}

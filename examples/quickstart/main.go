@@ -1,0 +1,61 @@
+// Quickstart: load a small knowledge base (the flavor of the paper's
+// Figure 2-1 rule base), optimize a query form, inspect the processing
+// tree, and execute it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldl"
+)
+
+const src = `
+% ---- fact base ----------------------------------------------------
+parent(adam, cain).  parent(adam, abel).   parent(eve, cain).
+parent(cain, enoch). parent(enoch, irad).  parent(irad, mehujael).
+parent(eve, abel).
+
+employee(cain, farming).  employee(abel, herding).
+employee(enoch, building). employee(irad, building).
+
+% ---- rule base (cf. Figure 2-1: derived predicates over base ones) -
+ancestor(X, Y) <- parent(X, Y).
+ancestor(X, Y) <- parent(X, Z), ancestor(Z, Y).
+
+% sameTrade joins a derived predicate with base relations.
+dynasty(X, Y, T) <- ancestor(X, Y), employee(Y, T).
+
+% query forms the application cares about
+ancestor(adam, Y)?
+dynasty(adam, Y, building)?
+`
+
+func main() {
+	sys, err := ldl.Load(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("relations:")
+	for _, r := range sys.Relations() {
+		fmt.Println("  ", r)
+	}
+	fmt.Println()
+
+	for _, goal := range sys.Queries() {
+		plan, err := sys.Optimize(goal)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(plan.Explain())
+		rows, stats, err := plan.ExecuteStats()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, row := range rows {
+			fmt.Printf("  -> %v\n", row)
+		}
+		fmt.Printf("  (%d tuples derived, %d fixpoint iterations)\n\n",
+			stats.TuplesDerived, stats.Iterations)
+	}
+}

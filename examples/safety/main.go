@@ -1,0 +1,80 @@
+// Safety walks through §8 of the paper: queries whose naive execution
+// would not terminate, and how the optimizer's integrated safety
+// analysis either finds a safe goal ordering or rejects the query form
+// with a diagnosis — at compile time, not by hanging at run time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ldl"
+)
+
+const src = `
+n(1). n(2). n(3).
+
+% The builtin Y > X is an infinite relation: only orderings that bind
+% both variables first are effectively computable.
+bigger(X, Y) <- Y > X, n(X), n(Y).
+
+% §8.3's example: no permutation of the goals can bind Y.
+p(X, Y, Z) <- X = 3, Z = X + Y.
+q(X, Y, Z) <- p(X, Y, Z), Y = 2 ^ X.
+
+% An integer generator: bottom-up divergence, no well-founded order.
+count(0).
+count(Y) <- count(X), Y = X + 1.
+`
+
+func check(sys *ldl.System, goal string) {
+	plan, err := sys.Optimize(goal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if plan.Safe() {
+		rows, err := plan.Execute()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("SAFE   %-18s -> %d answers (cost %.1f)\n", goal+"?", len(rows), plan.Cost())
+		return
+	}
+	fmt.Printf("UNSAFE %-18s -> %s\n", goal+"?", plan.Reason())
+}
+
+func main() {
+	sys, err := ldl.Load(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The optimizer reorders bigger/2's goals so the comparison runs
+	// after its variables are bound: safe despite the source order.
+	check(sys, "bigger(X, Y)")
+	// No ordering exists for the paper's §8.3 query...
+	check(sys, "p(X, Y, Z)")
+	// ...unless the caller supplies the missing binding.
+	check(sys, "p(X, 2, Z)")
+	// Recursion through an arithmetic generator has no well-founded
+	// order under any c-permutation.
+	check(sys, "count(X)")
+
+	// §8.3's composite query is finite but uncomputable under any goal
+	// ordering — unless the optimizer is allowed to flatten (unfold)
+	// p's equalities into the caller and reorder them there.
+	fmt.Println("\nwith flattening enabled (the paper's §8.3 second solution):")
+	plan, err := sys.Optimize("q(X, Y, Z)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  without: safe=%v\n", plan.Safe())
+	plan, err = sys.Optimize("q(X, Y, Z)", ldl.WithFlattening())
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := plan.Execute()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  with:    safe=%v answers=%v\n", plan.Safe(), rows)
+}

@@ -1,0 +1,3 @@
+module ldl
+
+go 1.22

@@ -1,0 +1,181 @@
+package adorn
+
+import (
+	"fmt"
+
+	"ldl/internal/lang"
+	"ldl/internal/term"
+)
+
+// The counting method (generalized counting, [SZ 86]) improves on magic
+// sets for linear recursions over acyclic data: instead of remembering
+// *which* binding reached each recursion level, it remembers only the
+// level number, descending back level by level while applying the
+// "post" part of each rule. On cyclic data the level counter diverges —
+// the classic restriction; the engine's iteration budget turns that
+// into an error, and the optimizer only selects counting when
+// CanCount approves the adorned program's shape.
+
+// CanCount reports whether the counting method applies to the adorned
+// program: every rule has at most one in-clique literal (linearity),
+// the "post" segment after the recursive literal shares no variable
+// with the bound head arguments, every free head variable is reachable
+// from the recursive literal's free arguments and the post segment, and
+// the recursive literal's bound arguments are produced by the "pre"
+// segment alone.
+func CanCount(a *Adorned) bool {
+	for _, ar := range a.Rules {
+		recIdx := -1
+		for i, bl := range ar.Rule.Body {
+			if _, ok := a.PredAdorn[bl.Pred]; ok {
+				if bl.Neg || recIdx >= 0 {
+					return false // negated or nonlinear
+				}
+				recIdx = i
+			}
+		}
+		if recIdx < 0 {
+			continue // exit rule: always fine
+		}
+		boundHead := map[string]bool{}
+		freeHead := map[string]bool{}
+		for i, arg := range ar.Rule.Head.Args {
+			if ar.HeadAdorn.Bound(i) {
+				term.VarSet(arg, boundHead)
+			} else {
+				term.VarSet(arg, freeHead)
+			}
+		}
+		rec := ar.Rule.Body[recIdx]
+		recAdorn := ar.BodyAdorns[recIdx]
+		postVars := map[string]bool{}
+		for _, bl := range ar.Rule.Body[recIdx+1:] {
+			bl.VarSet(postVars)
+		}
+		for v := range postVars {
+			if boundHead[v] {
+				return false // descent would need the bound context
+			}
+		}
+		// Free head vars must come from the recursive call's free args or
+		// the post segment (not from the pre segment / bound context).
+		avail := map[string]bool{}
+		for _, fa := range freeArgs(rec, recAdorn) {
+			term.VarSet(fa, avail)
+		}
+		for v := range postVars {
+			avail[v] = true
+		}
+		for v := range freeHead {
+			if !avail[v] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Counting performs the counting transform. For each adorned rule
+// H.a(h) <- pre..., R.b(r), post... it emits
+//
+//	c$R.b(J, bound(r)) <- c$H.a(I, bound(h)), pre..., J = I + 1.
+//	a$H.a(I, free(h))  <- a$R.b(J, free(r)), I = J - 1, I >= 0, post...
+//
+// for each exit rule H.a(h) <- body...:
+//
+//	a$H.a(I, free(h))  <- c$H.a(I, bound(h)), body...
+//
+// with seed c$Q.a(0, query constants) and the final collection rule
+//
+//	q$ans(full query args) <- a$Q.a(0, free args).
+func Counting(a *Adorned, query lang.Literal) (*Rewrite, error) {
+	if !CanCount(a) {
+		return nil, fmt.Errorf("adorn: counting method not applicable to adorned program for %s", a.AnswerName())
+	}
+	rw := &Rewrite{}
+	ansName := a.AnswerName()
+	arity := a.arity[a.QueryTag]
+	rw.AnswerTag = fmt.Sprintf("%sans/%d", finalPrefix, arity)
+
+	levelI := term.Var{Name: "#I"}
+	levelJ := term.Var{Name: "#J"}
+
+	seedArgs := append([]term.Term{term.Int(0)}, boundArgs(lang.Literal{Pred: query.Pred, Args: query.Args}, a.QueryAdorn)...)
+	for _, s := range seedArgs {
+		if !term.Ground(s) {
+			return nil, fmt.Errorf("adorn: counting seed argument %s is not ground", s)
+		}
+	}
+	rw.Clauses = append(rw.Clauses, lang.Rule{Head: lang.Literal{Pred: cntPrefix + ansName, Args: seedArgs}})
+
+	for _, ar := range a.Rules {
+		headName := ar.Rule.Head.Pred
+		cntHead := lang.Literal{
+			Pred: cntPrefix + headName,
+			Args: append([]term.Term{levelI}, boundArgs(lang.Literal{Args: ar.Rule.Head.Args}, ar.HeadAdorn)...),
+		}
+		ansHead := lang.Literal{
+			Pred: ansPrefix + headName,
+			Args: append([]term.Term{levelI}, freeArgs(lang.Literal{Args: ar.Rule.Head.Args}, ar.HeadAdorn)...),
+		}
+		recIdx := -1
+		for i, bl := range ar.Rule.Body {
+			if _, ok := a.PredAdorn[bl.Pred]; ok {
+				recIdx = i
+			}
+		}
+		if recIdx < 0 {
+			// Exit rule: answers appear at every reached level.
+			body := make([]lang.Literal, 0, len(ar.Rule.Body)+1)
+			body = append(body, cntHead)
+			body = append(body, ar.Rule.Body...)
+			rw.Clauses = append(rw.Clauses, lang.Rule{Head: ansHead, Body: body})
+			continue
+		}
+		rec := ar.Rule.Body[recIdx]
+		recAdorn := ar.BodyAdorns[recIdx]
+		// Count rule: climb one level through the pre segment.
+		cntBody := make([]lang.Literal, 0, recIdx+2)
+		cntBody = append(cntBody, cntHead)
+		cntBody = append(cntBody, ar.Rule.Body[:recIdx]...)
+		cntBody = append(cntBody, lang.Lit(lang.OpEq, levelJ, term.Comp{Functor: "+", Args: []term.Term{levelI, term.Int(1)}}))
+		cntRecHead := lang.Literal{
+			Pred: cntPrefix + rec.Pred,
+			Args: append([]term.Term{levelJ}, boundArgs(rec, recAdorn)...),
+		}
+		rw.Clauses = append(rw.Clauses, lang.Rule{Head: cntRecHead, Body: cntBody})
+		// Answer rule: descend one level through the post segment.
+		ansRec := lang.Literal{
+			Pred: ansPrefix + rec.Pred,
+			Args: append([]term.Term{levelJ}, freeArgs(rec, recAdorn)...),
+		}
+		ansBody := []lang.Literal{
+			ansRec,
+			lang.Lit(lang.OpEq, levelI, term.Comp{Functor: "-", Args: []term.Term{levelJ, term.Int(1)}}),
+			lang.Lit(lang.OpGe, levelI, term.Int(0)),
+		}
+		ansBody = append(ansBody, ar.Rule.Body[recIdx+1:]...)
+		rw.Clauses = append(rw.Clauses, lang.Rule{Head: ansHead, Body: ansBody})
+	}
+
+	// Final collection rule: assemble full-arity answers at level 0.
+	finalArgs := make([]term.Term, arity)
+	var ansFree []term.Term
+	fi := 0
+	for i := 0; i < arity; i++ {
+		if a.QueryAdorn.Bound(i) {
+			finalArgs[i] = query.Args[i]
+		} else {
+			v := term.Var{Name: fmt.Sprintf("#F%d", fi)}
+			fi++
+			finalArgs[i] = v
+			ansFree = append(ansFree, v)
+		}
+	}
+	finalBody := lang.Literal{Pred: ansPrefix + ansName, Args: append([]term.Term{term.Int(0)}, ansFree...)}
+	rw.Clauses = append(rw.Clauses, lang.Rule{
+		Head: lang.Literal{Pred: finalPrefix + "ans", Args: finalArgs},
+		Body: []lang.Literal{finalBody},
+	})
+	return rw, nil
+}

@@ -1,0 +1,185 @@
+package adorn
+
+import (
+	"fmt"
+
+	"ldl/internal/lang"
+	"ldl/internal/term"
+)
+
+// Global performs the whole-program adornment + magic rewrite that
+// turns an optimized processing tree into an executable program. Every
+// derived predicate marked pipelined is computed only for the bindings
+// that actually flow into it (sideways information passing realized as
+// magic predicates); materialized predicates are computed in full, with
+// no magic restriction — exactly the paper's square/triangle node
+// semantics. choose supplies the body permutation for each rule of the
+// source program (indexed by its position in prog.Rules) per head
+// adornment; nil means identity everywhere.
+func Global(prog *lang.Program, query lang.Query, pipelined func(tag string) bool, choose SIPChooser) (*Rewrite, error) {
+	if pipelined == nil {
+		pipelined = func(string) bool { return true }
+	}
+	if choose == nil {
+		choose = func(int, lang.Adornment) []int { return nil }
+	}
+	queryTag := query.Goal.Tag()
+	if !prog.IsDerived(queryTag) {
+		return nil, fmt.Errorf("adorn: query predicate %s has no rules", queryTag)
+	}
+	ruleIdx := map[string][]int{}
+	for i, r := range prog.Rules {
+		ruleIdx[r.Head.Tag()] = append(ruleIdx[r.Head.Tag()], i)
+	}
+
+	qAdorn := lang.AllFree
+	if pipelined(queryTag) {
+		qAdorn = query.Adornment()
+	}
+	rw := &Rewrite{
+		AnswerTag: fmt.Sprintf("%s/%d", lang.AdornedName(query.Goal.Pred, qAdorn, query.Goal.Arity()), query.Goal.Arity()),
+	}
+
+	// Seed the magic set from the query constants when the query
+	// predicate is pipelined with some binding.
+	if qAdorn != lang.AllFree {
+		seed := boundArgs(query.Goal, qAdorn)
+		for _, s := range seed {
+			if !term.Ground(s) {
+				return nil, fmt.Errorf("adorn: query binding %s is not ground", s)
+			}
+		}
+		rw.Clauses = append(rw.Clauses, lang.Rule{
+			Head: lang.Literal{Pred: magicPrefix + lang.AdornedName(query.Goal.Pred, qAdorn, query.Goal.Arity()), Args: seed},
+		})
+	}
+
+	type work struct {
+		tag   string
+		adorn lang.Adornment
+	}
+	marked := map[string]bool{}
+	queue := []work{{queryTag, qAdorn}}
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		arity := prog.RulesFor(w.tag)[0].Head.Arity()
+		aname := lang.AdornedName(pred(w.tag), w.adorn, arity)
+		if marked[aname] {
+			continue
+		}
+		marked[aname] = true
+		for _, ri := range ruleIdx[w.tag] {
+			r := prog.Rules[ri]
+			clauses, created, err := rewriteRule(prog, r, ri, w.adorn, pipelined, choose)
+			if err != nil {
+				return nil, err
+			}
+			rw.Clauses = append(rw.Clauses, clauses...)
+			for _, np := range created {
+				queue = append(queue, work{np.tag, np.adorn})
+			}
+		}
+	}
+	return rw, nil
+}
+
+// rewriteRule produces the adorned+guarded version of one rule replica
+// plus the magic rules feeding its pipelined derived body literals.
+func rewriteRule(prog *lang.Program, r lang.Rule, ri int, headAdorn lang.Adornment, pipelined func(string) bool, choose SIPChooser) ([]lang.Rule, []newPred, error) {
+	perm := choose(ri, headAdorn)
+	if perm == nil {
+		perm = identity(len(r.Body))
+	}
+	if err := checkPerm(perm, len(r.Body), ri); err != nil {
+		return nil, nil, err
+	}
+	bound := map[string]bool{}
+	for i, arg := range r.Head.Args {
+		if headAdorn.Bound(i) {
+			term.VarSet(arg, bound)
+		}
+	}
+	headName := lang.AdornedName(r.Head.Pred, headAdorn, r.Head.Arity())
+	var guard []lang.Literal
+	if headAdorn != lang.AllFree {
+		guard = append(guard, lang.Literal{
+			Pred: magicPrefix + headName,
+			Args: boundArgs(lang.Literal{Args: r.Head.Args}, headAdorn),
+		})
+	}
+
+	var out []lang.Rule
+	var created []newPred
+	main := lang.Rule{Head: lang.Literal{Pred: headName, Args: r.Head.Args}}
+	main.Body = append(main.Body, guard...)
+
+	for _, bi := range perm {
+		l := r.Body[bi]
+		switch {
+		case lang.IsBuiltin(l.Pred):
+			if lang.BuiltinEC(l, bound) {
+				for _, v := range lang.BuiltinBinds(l, bound) {
+					bound[v] = true
+				}
+			}
+			main.Body = append(main.Body, l)
+		case l.Neg:
+			if prog.IsDerived(l.Tag()) {
+				// Negated derived goals read the materialized version.
+				aname := lang.AdornedName(l.Pred, lang.AllFree, l.Arity())
+				created = append(created, newPred{l.Tag(), lang.AllFree})
+				main.Body = append(main.Body, lang.Literal{Pred: aname, Args: l.Args, Neg: true})
+			} else {
+				main.Body = append(main.Body, l)
+			}
+		case prog.IsDerived(l.Tag()):
+			la := lang.AllFree
+			if pipelined(l.Tag()) {
+				la = lang.AdornLiteral(l, bound)
+			}
+			aname := lang.AdornedName(l.Pred, la, l.Arity())
+			created = append(created, newPred{l.Tag(), la})
+			if la != lang.AllFree {
+				// Magic rule: bindings flowing into this occurrence.
+				mrule := lang.Rule{
+					Head: lang.Literal{Pred: magicPrefix + aname, Args: boundArgs(l, la)},
+				}
+				mrule.Body = append(mrule.Body, guard...)
+				// prefix of the main body after the guard
+				mrule.Body = append(mrule.Body, main.Body[len(guard):]...)
+				if len(mrule.Body) == 0 {
+					// No guard and empty prefix: the magic set is the
+					// grounding of the bound args, which must be constants.
+					for _, a := range mrule.Head.Args {
+						if !term.Ground(a) {
+							return nil, nil, fmt.Errorf("adorn: magic rule for %s has unbound seed %s", aname, a)
+						}
+					}
+				}
+				out = append(out, mrule)
+			}
+			main.Body = append(main.Body, lang.Literal{Pred: aname, Args: l.Args})
+			l.VarSet(bound)
+		default:
+			main.Body = append(main.Body, l)
+			l.VarSet(bound)
+		}
+	}
+	out = append(out, main)
+	return out, created, nil
+}
+
+func checkPerm(perm []int, n, ri int) error {
+	if len(perm) != n {
+		return fmt.Errorf("adorn: rule %d: permutation %v does not match body length %d", ri, perm, n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return fmt.Errorf("adorn: rule %d: invalid permutation %v", ri, perm)
+		}
+		seen[p] = true
+	}
+	return nil
+}

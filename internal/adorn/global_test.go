@@ -1,0 +1,258 @@
+package adorn
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ldl/internal/lang"
+	"ldl/internal/parser"
+	"ldl/internal/term"
+)
+
+func globalAnswers(t *testing.T, src string, goal lang.Literal, pipelined func(string) bool) ([]string, *Rewrite, int) {
+	t.Helper()
+	prog, _, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Global(prog, lang.Query{Goal: goal}, pipelined, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Facts must survive the rewrite: include them unchanged.
+	var clauses []lang.Rule
+	clauses = append(clauses, rw.Clauses...)
+	e, err := tryRunClauses(clauses, factsOnly(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ansPred := rw.AnswerTag[:strings.LastIndexByte(rw.AnswerTag, '/')]
+	got := answersOf(t, e, lang.Literal{Pred: ansPred, Args: goal.Args})
+	return got, rw, e.Counters.TuplesDerived
+}
+
+func factsOnly(t *testing.T, src string) string {
+	t.Helper()
+	res, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, c := range res.Clauses {
+		if c.IsFact() {
+			b.WriteString(c.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+const layeredSrc = `
+e(1, 2). e(2, 3). e(3, 4). e(4, 5). e(10, 11).
+p(X, Y) <- e(X, Z), q(Z, Y).
+q(X, Y) <- e(X, Y).
+q(X, Y) <- e(X, Z), e(Z, Y).
+`
+
+func TestGlobalNonRecursivePipelined(t *testing.T) {
+	goal := lang.Lit("p", term.Int(1), term.Var{Name: "Y"})
+	ref := func() []string {
+		e, err := tryRunClauses(nil, layeredSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return answersOf(t, e, goal)
+	}()
+	gotP, _, workP := globalAnswers(t, layeredSrc, goal, nil)
+	gotM, _, workM := globalAnswers(t, layeredSrc, goal, func(string) bool { return false })
+	if strings.Join(gotP, " ") != strings.Join(ref, " ") {
+		t.Errorf("pipelined answers = %v, want %v", gotP, ref)
+	}
+	if strings.Join(gotM, " ") != strings.Join(ref, " ") {
+		t.Errorf("materialized answers = %v, want %v", gotM, ref)
+	}
+	// Pipelining computes only q tuples reachable from the binding.
+	if workP >= workM {
+		t.Errorf("pipelined work %d not less than materialized %d", workP, workM)
+	}
+}
+
+func TestGlobalRecursivePipelined(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 30; i++ {
+		fmt.Fprintf(&b, "e(%d, %d).\n", i, i+1)
+	}
+	src := b.String() + "tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n"
+	goal := lang.Lit("tc", term.Int(27), term.Var{Name: "Y"})
+	refE, err := tryRunClauses(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := answersOf(t, refE, goal)
+	got, rw, work := globalAnswers(t, src, goal, nil)
+	if strings.Join(got, " ") != strings.Join(ref, " ") {
+		t.Errorf("answers = %v, want %v", got, ref)
+	}
+	if rw.AnswerTag != "tc.bf/2" {
+		t.Errorf("AnswerTag = %q", rw.AnswerTag)
+	}
+	if work >= refE.Counters.TuplesDerived/3 {
+		t.Errorf("magic work %d vs reference %d", work, refE.Counters.TuplesDerived)
+	}
+}
+
+func TestGlobalMixedMaterializeBoundary(t *testing.T) {
+	// q pipelined, r materialized: r's rules must appear unguarded with
+	// an all-free adornment.
+	src := `
+e(1, 2). e(2, 3).
+p(X, Y) <- q(X, Z), r(Z, Y).
+q(X, Y) <- e(X, Y).
+r(X, Y) <- e(X, Y).
+`
+	prog, _, err := parser.ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pip := func(tag string) bool { return tag != "r/2" }
+	rw, err := Global(prog, lang.Query{Goal: lang.Lit("p", term.Int(1), term.Var{Name: "Y"})}, pip, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawRff, sawGuardedR bool
+	for _, c := range rw.Clauses {
+		if c.Head.Pred == "r.ff" {
+			sawRff = true
+			for _, bl := range c.Body {
+				if strings.HasPrefix(bl.Pred, "m$") {
+					sawGuardedR = true
+				}
+			}
+		}
+	}
+	if !sawRff || sawGuardedR {
+		t.Errorf("materialized r: sawRff=%v guarded=%v\n%v", sawRff, sawGuardedR, rw.Clauses)
+	}
+}
+
+func TestGlobalNegatedDerived(t *testing.T) {
+	src := `
+node(1). node(2). node(3).
+e(1, 2).
+r(X) <- e(X, Y).
+p(X) <- node(X), not r(X).
+`
+	goal := lang.Lit("p", term.Var{Name: "X"})
+	refE, err := tryRunClauses(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := answersOf(t, refE, goal)
+	got, _, _ := globalAnswers(t, src, goal, nil)
+	if strings.Join(got, " ") != strings.Join(ref, " ") {
+		t.Errorf("answers = %v, want %v", got, ref)
+	}
+}
+
+func TestGlobalErrors(t *testing.T) {
+	prog, _, err := parser.ParseProgram(`p(X) <- e(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Global(prog, lang.Query{Goal: lang.Lit("zz", term.Int(1))}, nil, nil); err == nil {
+		t.Error("unknown query predicate accepted")
+	}
+	if _, err := Global(prog, lang.Query{Goal: lang.Lit("p", term.Int(1))}, nil,
+		UniformCPerm([][]int{{0, 1}})); err == nil {
+		t.Error("bad permutation accepted")
+	}
+}
+
+func TestGlobalSameGenerationMatchesClique(t *testing.T) {
+	// The whole-program rewrite on the sg program must agree with the
+	// per-clique Magic rewrite used by the optimizer's costing.
+	facts := sgTreeFacts(3)
+	goal := lang.Lit("sg", term.Atom("n_0_1"), term.Var{Name: "Y"})
+	refE, err := tryRunClauses(nil, sgProgram+facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := answersOf(t, refE, goal)
+	got, _, _ := globalAnswers(t, sgProgram+facts, goal, nil)
+	if strings.Join(got, " ") != strings.Join(ref, " ") {
+		t.Errorf("answers = %v, want %v", got, ref)
+	}
+}
+
+func TestQuickGlobalEqualsReference(t *testing.T) {
+	// Property: on random layered programs with a random binding, the
+	// global rewrite computes exactly the reference answers.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(5)
+		var b strings.Builder
+		for i := 0; i < 3*n; i++ {
+			fmt.Fprintf(&b, "e(%d, %d).\n", r.Intn(n), r.Intn(n))
+		}
+		b.WriteString("q(X, Y) <- e(X, Y).\nq(X, Y) <- e(Y, X).\n")
+		b.WriteString("p(X, Y) <- q(X, Z), q(Z, Y).\n")
+		b.WriteString("top(X, Y) <- p(X, Z), e(Z, Y).\n")
+		src := b.String()
+		goal := lang.Lit("top", term.Int(int64(r.Intn(n))), term.Var{Name: "Y"})
+		refE, err := tryRunClauses(nil, src)
+		if err != nil {
+			return false
+		}
+		want, err := refE.Answers(lang.Query{Goal: goal})
+		if err != nil {
+			return false
+		}
+		prog, _, err := parser.ParseProgram(src)
+		if err != nil {
+			return false
+		}
+		rw, err := Global(prog, lang.Query{Goal: goal}, nil, nil)
+		if err != nil {
+			return false
+		}
+		ge, err := tryRunClauses(rw.Clauses, factsOf(src))
+		if err != nil {
+			return false
+		}
+		ansPred := rw.AnswerTag[:strings.LastIndexByte(rw.AnswerTag, '/')]
+		got, err := ge.Answers(lang.Query{Goal: lang.Literal{Pred: ansPred, Args: goal.Args}})
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Key() != want[i].Key() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func factsOf(src string) string {
+	res, err := parser.Parse(src)
+	if err != nil {
+		return ""
+	}
+	var b strings.Builder
+	for _, c := range res.Clauses {
+		if c.IsFact() {
+			b.WriteString(c.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package adorn
+
+import (
+	"fmt"
+
+	"ldl/internal/lang"
+	"ldl/internal/term"
+)
+
+// Rewrite is the output of a recursive-method transform: a program
+// fragment that, evaluated together with the rest of the knowledge
+// base, computes the subquery's answers in the relation AnswerTag.
+type Rewrite struct {
+	// Clauses are the rewritten rules plus seed facts.
+	Clauses []lang.Rule
+	// AnswerTag names the predicate holding full-arity query answers.
+	AnswerTag string
+}
+
+const (
+	magicPrefix = "m$"
+	cntPrefix   = "c$"
+	ansPrefix   = "a$"
+	finalPrefix = "q$"
+)
+
+// boundArgs extracts the arguments of l at the bound positions of a.
+func boundArgs(l lang.Literal, a lang.Adornment) []term.Term {
+	var out []term.Term
+	for i, arg := range l.Args {
+		if a.Bound(i) {
+			out = append(out, arg)
+		}
+	}
+	return out
+}
+
+func freeArgs(l lang.Literal, a lang.Adornment) []term.Term {
+	var out []term.Term
+	for i, arg := range l.Args {
+		if !a.Bound(i) {
+			out = append(out, arg)
+		}
+	}
+	return out
+}
+
+// Magic performs the (supplementary-free) magic sets transform of the
+// adorned program for the given subquery literal. query's arguments at
+// the adornment's bound positions must be ground — they seed the magic
+// set.
+//
+// For every adorned rule H.a <- B1, ..., Bn (body in SIP order) it
+// emits:
+//
+//	H.a(args) <- m$H.a(bound head args), B1, ..., Bn.
+//	m$R.b(bound args of Bi) <- m$H.a(bound head args), B1, ..., B(i-1).
+//	    for every in-clique body literal Bi (adorned R.b)
+//
+// plus the seed fact m$Q.a(query constants).
+func Magic(a *Adorned, query lang.Literal) (*Rewrite, error) {
+	rw := &Rewrite{}
+	arity := a.arity[a.QueryTag]
+	ansName := a.AnswerName()
+	rw.AnswerTag = fmt.Sprintf("%s/%d", ansName, arity)
+
+	seedArgs := boundArgs(lang.Literal{Pred: query.Pred, Args: query.Args}, a.QueryAdorn)
+	for _, s := range seedArgs {
+		if !term.Ground(s) {
+			return nil, fmt.Errorf("adorn: magic seed argument %s is not ground", s)
+		}
+	}
+	rw.Clauses = append(rw.Clauses, lang.Rule{Head: lang.Literal{Pred: magicPrefix + ansName, Args: seedArgs}})
+
+	for _, ar := range a.Rules {
+		headName := ar.Rule.Head.Pred
+		magicHead := lang.Literal{Pred: magicPrefix + headName, Args: boundArgs(lang.Literal{Args: ar.Rule.Head.Args}, ar.HeadAdorn)}
+		// Modified original rule.
+		body := make([]lang.Literal, 0, len(ar.Rule.Body)+1)
+		body = append(body, magicHead)
+		body = append(body, ar.Rule.Body...)
+		rw.Clauses = append(rw.Clauses, lang.Rule{Head: ar.Rule.Head, Body: body})
+		// Magic rules for in-clique body literals.
+		for i, bl := range ar.Rule.Body {
+			if _, isAdorned := a.PredAdorn[bl.Pred]; !isAdorned || bl.Neg {
+				continue
+			}
+			ba := ar.BodyAdorns[i]
+			mhead := lang.Literal{Pred: magicPrefix + bl.Pred, Args: boundArgs(bl, ba)}
+			mbody := make([]lang.Literal, 0, i+1)
+			mbody = append(mbody, magicHead)
+			mbody = append(mbody, ar.Rule.Body[:i]...)
+			rw.Clauses = append(rw.Clauses, lang.Rule{Head: mhead, Body: mbody})
+		}
+	}
+	return rw, nil
+}

@@ -1,0 +1,146 @@
+package adorn
+
+import (
+	"fmt"
+	"sort"
+
+	"ldl/internal/lang"
+	"ldl/internal/term"
+)
+
+// Supplementary magic sets ([BR 87]-style): plain magic re-evaluates a
+// rule's prefix twice — once inside the magic rule that feeds the
+// recursive call and once in the modified original rule. The
+// supplementary variant materializes each prefix once, in "sup"
+// predicates chained through the rule body; magic rules and the
+// modified rule both read the sup relations. A fifth recursive-method
+// label demonstrating the paper's claim that the method set is
+// "restricted only by the availability of the techniques in the
+// system".
+
+const supPrefix = "s$"
+
+// SupMagic performs the supplementary magic transform of the adorned
+// program for the given subquery literal (bound arguments must be
+// ground — they seed the magic set, exactly as in Magic).
+//
+// For an adorned rule H.a <- B1, ..., Bn with in-clique literals at
+// positions p1 < p2 < ... it emits:
+//
+//	sup_0 ≡ m$H.a(bound head args)
+//	sup_k(V_k)        <- sup_{k-1}(V_{k-1}), B_{p_{k-1}+1}, ..., B_{p_k}.
+//	m$R.b(bound of B_{p_k}) <- sup_{k-1}(V_{k-1}), B_{p_{k-1}+1}, ..., B_{p_k - 1}.
+//	H.a(args)         <- sup_last(V_last), B_{p_last + 1}, ..., Bn.
+//
+// where each V_k is the set of variables bound before position p_k+1
+// that are still needed by the rest of the rule or the head.
+func SupMagic(a *Adorned, query lang.Literal) (*Rewrite, error) {
+	rw := &Rewrite{}
+	arity := a.arity[a.QueryTag]
+	ansName := a.AnswerName()
+	rw.AnswerTag = fmt.Sprintf("%s/%d", ansName, arity)
+
+	seedArgs := boundArgs(lang.Literal{Pred: query.Pred, Args: query.Args}, a.QueryAdorn)
+	for _, s := range seedArgs {
+		if !term.Ground(s) {
+			return nil, fmt.Errorf("adorn: supplementary magic seed argument %s is not ground", s)
+		}
+	}
+	rw.Clauses = append(rw.Clauses, lang.Rule{Head: lang.Literal{Pred: magicPrefix + ansName, Args: seedArgs}})
+
+	for ri, ar := range a.Rules {
+		headName := ar.Rule.Head.Pred
+		magicHead := lang.Literal{
+			Pred: magicPrefix + headName,
+			Args: boundArgs(lang.Literal{Args: ar.Rule.Head.Args}, ar.HeadAdorn),
+		}
+		supLit := magicHead // sup_0
+		var segment []lang.Literal
+		bound := map[string]bool{}
+		for _, arg := range magicHead.Args {
+			term.VarSet(arg, bound)
+		}
+		supIdx := 0
+		for bi, bl := range ar.Rule.Body {
+			if _, inClique := a.PredAdorn[bl.Pred]; !inClique || bl.Neg {
+				segment = append(segment, bl)
+				updateBound(bl, bound)
+				continue
+			}
+			// Magic rule for the recursive call reads the current sup
+			// plus the pending segment.
+			mrule := lang.Rule{
+				Head: lang.Literal{Pred: magicPrefix + bl.Pred, Args: boundArgs(bl, ar.BodyAdorns[bi])},
+			}
+			mrule.Body = append(mrule.Body, supLit)
+			mrule.Body = append(mrule.Body, segment...)
+			rw.Clauses = append(rw.Clauses, mrule)
+			// New supplementary: sup ⋈ segment ⋈ recursive literal.
+			needed := neededVars(ar, bi+1, bound)
+			supIdx++
+			newSup := lang.Literal{
+				Pred: fmt.Sprintf("%s%s$%d$%d", supPrefix, headName, ri, supIdx),
+				Args: needed,
+			}
+			srule := lang.Rule{Head: newSup}
+			srule.Body = append(srule.Body, supLit)
+			srule.Body = append(srule.Body, segment...)
+			srule.Body = append(srule.Body, bl)
+			rw.Clauses = append(rw.Clauses, srule)
+			supLit = newSup
+			segment = nil
+			updateBound(bl, bound)
+		}
+		main := lang.Rule{Head: ar.Rule.Head}
+		main.Body = append(main.Body, supLit)
+		main.Body = append(main.Body, segment...)
+		rw.Clauses = append(rw.Clauses, main)
+	}
+	return rw, nil
+}
+
+// updateBound adds the variables a successfully evaluated literal
+// instantiates.
+func updateBound(l lang.Literal, bound map[string]bool) {
+	switch {
+	case lang.IsBuiltin(l.Pred):
+		if lang.BuiltinEC(l, bound) {
+			for _, v := range lang.BuiltinBinds(l, bound) {
+				bound[v] = true
+			}
+		}
+	case l.Neg:
+	default:
+		l.VarSet(bound)
+	}
+}
+
+// neededVars returns, as sorted variable terms, the bound variables
+// (plus those of the literal at from-1, which is about to be joined)
+// still needed by body[from:] or the head.
+func neededVars(ar AdornedRule, from int, bound map[string]bool) []term.Term {
+	later := map[string]bool{}
+	ar.Rule.Head.VarSet(later)
+	for _, bl := range ar.Rule.Body[from:] {
+		bl.VarSet(later)
+	}
+	avail := map[string]bool{}
+	for v := range bound {
+		avail[v] = true
+	}
+	if from-1 >= 0 {
+		ar.Rule.Body[from-1].VarSet(avail)
+	}
+	var names []string
+	for v := range avail {
+		if later[v] {
+			names = append(names, v)
+		}
+	}
+	sort.Strings(names)
+	out := make([]term.Term, len(names))
+	for i, n := range names {
+		out[i] = term.Var{Name: n}
+	}
+	return out
+}

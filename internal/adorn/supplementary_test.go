@@ -1,0 +1,194 @@
+package adorn
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ldl/internal/lang"
+	"ldl/internal/parser"
+	"ldl/internal/term"
+)
+
+func TestSupMagicSgStructure(t *testing.T) {
+	rules := sgRules(t)
+	bf, _ := lang.ParseAdornment("bf")
+	a, err := Adorn(rules, inSg, "sg/2", bf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := SupMagic(a, lang.Lit("sg", term.Atom("john"), term.Var{Name: "Y"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.AnswerTag != "sg.bf/2" {
+		t.Errorf("AnswerTag = %q", rw.AnswerTag)
+	}
+	seed := rw.Clauses[0]
+	if !seed.IsFact() || seed.Head.Pred != "m$sg.bf" {
+		t.Errorf("seed = %s", seed)
+	}
+	var supRules, magicRules, mainRules int
+	for _, c := range rw.Clauses[1:] {
+		switch {
+		case strings.HasPrefix(c.Head.Pred, "s$"):
+			supRules++
+			// sup rules end with the recursive literal.
+			last := c.Body[len(c.Body)-1]
+			if !strings.HasPrefix(last.Pred, "sg.") {
+				t.Errorf("sup rule does not end with recursive call: %s", c)
+			}
+		case strings.HasPrefix(c.Head.Pred, "m$"):
+			magicRules++
+			// magic rules read a sup (or the head magic), never reevaluate
+			// the recursive literal.
+			for _, bl := range c.Body {
+				if strings.HasPrefix(bl.Pred, "sg.") {
+					t.Errorf("magic rule re-evaluates recursion: %s", c)
+				}
+			}
+		default:
+			mainRules++
+			// modified rules read a sup or magic literal first
+			first := c.Body[0]
+			if !strings.HasPrefix(first.Pred, "s$") && !strings.HasPrefix(first.Pred, "m$") {
+				t.Errorf("main rule does not start from sup/magic: %s", c)
+			}
+		}
+	}
+	// Two adorned replicas (bf, fb), each recursive: 2 sup + 2 magic +
+	// 2 main rules.
+	if supRules != 2 || magicRules != 2 || mainRules != 2 {
+		t.Errorf("rule mix: sup=%d magic=%d main=%d\n%v", supRules, magicRules, mainRules, rw.Clauses)
+	}
+}
+
+func TestSupMagicSeedMustBeGround(t *testing.T) {
+	rules := sgRules(t)
+	bf, _ := lang.ParseAdornment("bf")
+	a, _ := Adorn(rules, inSg, "sg/2", bf, nil)
+	if _, err := SupMagic(a, lang.Lit("sg", term.Var{Name: "X"}, term.Var{Name: "Y"})); err == nil {
+		t.Error("non-ground seed accepted")
+	}
+}
+
+func TestSupMagicSgMatchesReference(t *testing.T) {
+	facts := sgTreeFacts(3)
+	goal := lang.Lit("sg", term.Atom("n_0_0"), term.Var{Name: "Y"})
+	ref := runClauses(t, nil, sgProgram+facts)
+	want := answersOf(t, ref, goal)
+
+	prog, err := parserParse(sgProgram + facts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, _ := lang.ParseAdornment("bf")
+	a, err := Adorn(prog, func(tag string) bool { return tag == "sg/2" }, "sg/2", bf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := SupMagic(a, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := runClauses(t, rw.Clauses, facts)
+	got := answersOf(t, se, lang.Literal{Pred: "sg.bf", Args: goal.Args})
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("supmagic answers = %v, want %v", got, want)
+	}
+	// Like magic, it must restrict the computation.
+	if se.Counters.TuplesDerived >= ref.Counters.TuplesDerived {
+		t.Errorf("supmagic derived %d tuples, reference %d", se.Counters.TuplesDerived, ref.Counters.TuplesDerived)
+	}
+}
+
+func TestSupMagicTerminatesOnCyclicData(t *testing.T) {
+	facts := "e(1, 2).\ne(2, 1).\ne(2, 3).\n"
+	tcSrc := "tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n"
+	rules, err := parserParse(tcSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := lang.Lit("tc", term.Int(1), term.Var{Name: "Y"})
+	bf, _ := lang.ParseAdornment("bf")
+	a, err := Adorn(rules, func(tag string) bool { return tag == "tc/2" }, "tc/2", bf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := SupMagic(a, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := tryRunClauses(rw.Clauses, facts)
+	if err != nil {
+		t.Fatalf("cyclic supmagic failed: %v", err)
+	}
+	got := answersOf(t, e, lang.Literal{Pred: "tc.bf", Args: goal.Args})
+	if strings.Join(got, " ") != "(1, 1) (1, 2) (1, 3)" {
+		t.Errorf("answers = %v", got)
+	}
+}
+
+func TestQuickSupMagicEqualsMagic(t *testing.T) {
+	tcSrc := "tc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n"
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(6)
+		var b strings.Builder
+		for i := 0; i < 2*n; i++ {
+			fmt.Fprintf(&b, "e(%d, %d).\n", r.Intn(n), r.Intn(n))
+		}
+		rules, err := parserParse(tcSrc + b.String())
+		if err != nil {
+			return false
+		}
+		goal := lang.Lit("tc", term.Int(int64(r.Intn(n))), term.Var{Name: "Y"})
+		bf, _ := lang.ParseAdornment("bf")
+		a, err := Adorn(rules, func(tag string) bool { return tag == "tc/2" }, "tc/2", bf, nil)
+		if err != nil {
+			return false
+		}
+		mrw, err := Magic(a, goal)
+		if err != nil {
+			return false
+		}
+		srw, err := SupMagic(a, goal)
+		if err != nil {
+			return false
+		}
+		me, err := tryRunClauses(mrw.Clauses, b.String())
+		if err != nil {
+			return false
+		}
+		se, err := tryRunClauses(srw.Clauses, b.String())
+		if err != nil {
+			return false
+		}
+		q := lang.Query{Goal: lang.Literal{Pred: "tc.bf", Args: goal.Args}}
+		mt, err1 := me.Answers(q)
+		st, err2 := se.Answers(q)
+		if err1 != nil || err2 != nil || len(mt) != len(st) {
+			return false
+		}
+		for i := range mt {
+			if mt[i].Key() != st[i].Key() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// parserParse is a tiny local helper returning the rules of src.
+func parserParse(src string) ([]lang.Rule, error) {
+	prog, _, err := parser.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	return prog.Rules, nil
+}

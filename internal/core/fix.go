@@ -1,0 +1,250 @@
+package core
+
+import (
+	"math/rand"
+
+	"ldl/internal/adorn"
+	"ldl/internal/cost"
+	"ldl/internal/depgraph"
+	"ldl/internal/lang"
+	"ldl/internal/plan"
+	"ldl/internal/safety"
+)
+
+// optimizeFix is case 3 of the OPT algorithm (Figure 7-2): a subtree
+// rooted at a contracted-clique (CC) node. For each c-permutation of
+// the clique's rules the clique is adorned, the out-of-clique literals
+// are optimized for their resulting adornments, and every applicable
+// recursive method is priced; the minimum-cost combination wins. When
+// the cross product of per-rule permutations exceeds MaxCPermEnum the
+// enumeration is replaced by the simulated-annealing walk of §7.3 whose
+// neighbor relation changes one rule's permutation by one swap.
+func (o *Optimizer) optimizeFix(tag string, ad lang.Adornment, occurrence lang.Literal, clique *depgraph.Clique, root bool) *orResult {
+	rules := o.cliqueRules(clique)
+
+	type candidate struct {
+		cperm   [][]int
+		adorned *adorn.Adorned
+		costing cost.CliqueCosting
+		extra   float64 // out-of-clique subtree computation cost
+		kids    []*plan.Node
+	}
+	var best *candidate
+	bestReason := "no safe c-permutation/method combination found"
+
+	evalCPerm := func(cperm [][]int) (*candidate, string) {
+		a, err := adorn.Adorn(rules, clique.Contains, tag, ad, adorn.UniformCPerm(cperm))
+		if err != nil {
+			return nil, err.Error()
+		}
+		bottomUp := safety.CheckCliqueBottomUp(rules, clique.Contains)
+		topDown := safety.CheckCliqueTopDown(a, rules, clique.Contains)
+
+		// Optimize out-of-clique derived literals for their adornments.
+		var extra float64
+		var kids []*plan.Node
+		seen := map[memoKey]bool{}
+		for _, ar := range a.Rules {
+			for bi, bl := range ar.Rule.Body {
+				if bl.Neg || lang.IsBuiltin(bl.Pred) {
+					continue
+				}
+				if _, inC := a.PredAdorn[bl.Pred]; inC {
+					continue
+				}
+				if !o.Prog.IsDerived(bl.Tag()) {
+					continue
+				}
+				k := memoKey{tag: bl.Tag(), adorn: ar.BodyAdorns[bi]}
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				sub := o.optimizeOr(bl.Tag(), ar.BodyAdorns[bi], bl, false)
+				if sub.cost.IsInfinite() {
+					return nil, sub.reason
+				}
+				extra += float64(sub.cost)
+				kids = append(kids, sub.node.Clone())
+			}
+		}
+
+		var bestC *candidate
+		reason := ""
+		for _, meth := range cost.AllRecMethods {
+			switch meth {
+			case cost.RecNaive, cost.RecSemiNaive:
+				if !bottomUp.Safe {
+					reason = bottomUp.Reason
+					continue
+				}
+			case cost.RecMagic, cost.RecCounting, cost.RecSupMagic:
+				if !topDown.Safe {
+					reason = topDown.Reason
+					continue
+				}
+				if (meth == cost.RecCounting || meth == cost.RecSupMagic) && !root {
+					continue // these rewrites are compiled only for the query's own clique
+				}
+				if ad == lang.AllFree {
+					continue // no bindings to exploit
+				}
+			}
+			c := o.Model.Clique(a, meth, o.statsFn)
+			if !c.Safe {
+				reason = c.Reason
+				continue
+			}
+			if bestC == nil || c.Total < bestC.costing.Total {
+				bestC = &candidate{cperm: cperm, adorned: a, costing: c, extra: extra, kids: kids}
+			}
+		}
+		if bestC == nil {
+			return nil, reason
+		}
+		return bestC, ""
+	}
+
+	consider := func(cperm [][]int) {
+		c, why := evalCPerm(cperm)
+		if c == nil {
+			if why != "" {
+				bestReason = why
+			}
+			return
+		}
+		if best == nil || cost.Cost(float64(c.costing.Total)+c.extra) < cost.Cost(float64(best.costing.Total)+best.extra) {
+			best = c
+		}
+	}
+
+	// Enumerate or anneal the c-permutation space.
+	sizes := make([]int, len(rules))
+	space := 1
+	for i, r := range rules {
+		sizes[i] = len(r.Body)
+		f := factorial(len(r.Body))
+		if space > o.MaxCPermEnum/maxi(f, 1) {
+			space = o.MaxCPermEnum + 1 // overflow guard: too big
+		} else {
+			space *= f
+		}
+	}
+	if space <= o.MaxCPermEnum {
+		enumerateCPerms(sizes, func(cperm [][]int) { consider(cperm) })
+	} else {
+		o.annealCPerms(sizes, consider)
+	}
+
+	node := &plan.Node{Kind: plan.KindFix, Lit: occurrence, Adorn: ad}
+	if best == nil {
+		node.EstCost = cost.Infinite()
+		return &orResult{node: node, cost: cost.Infinite(), reason: bestReason}
+	}
+	idxs := make([]int, len(clique.Rules))
+	copy(idxs, clique.Rules)
+	node.FixInfo = &plan.Fix{
+		CliqueTags: clique.Preds,
+		Rules:      rules,
+		RuleIdx:    idxs,
+		Adorned:    best.adorned,
+		Method:     best.costing.Method,
+		CPerm:      best.cperm,
+	}
+	switch best.costing.Method {
+	case cost.RecMagic, cost.RecCounting, cost.RecSupMagic:
+		node.Mode = plan.Pipelined
+	default:
+		node.Mode = plan.Materialized
+	}
+	node.Kids = best.kids
+	total := cost.Cost(float64(best.costing.Total) + best.extra)
+	node.EstCost = total
+	node.EstCard = best.costing.OutCard
+	return &orResult{node: node, cost: total, card: best.costing.OutCard}
+}
+
+// enumerateCPerms visits the cross product of all body permutations.
+func enumerateCPerms(sizes []int, visit func([][]int)) {
+	perRule := make([][][]int, len(sizes))
+	for i, n := range sizes {
+		perRule[i] = adorn.Permutations(n)
+	}
+	cur := make([][]int, len(sizes))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(sizes) {
+			cp := make([][]int, len(cur))
+			copy(cp, cur)
+			visit(cp)
+			return
+		}
+		for _, p := range perRule[i] {
+			cur[i] = p
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// annealCPerms walks the c-permutation space: a neighbor differs in one
+// rule's permutation by exactly one transposition (§7.3's neighbor
+// relation). consider is invoked on every visited state; the caller
+// tracks the best.
+func (o *Optimizer) annealCPerms(sizes []int, consider func([][]int)) {
+	rng := rand.New(rand.NewSource(1))
+	cur := make([][]int, len(sizes))
+	for i, n := range sizes {
+		cur[i] = identityPerm(n)
+	}
+	consider(clone2(cur))
+	steps := o.AnnealCPermSteps
+	if steps <= 0 {
+		steps = 300
+	}
+	for s := 0; s < steps; s++ {
+		ri := rng.Intn(len(sizes))
+		if sizes[ri] < 2 {
+			continue
+		}
+		x, y := rng.Intn(sizes[ri]), rng.Intn(sizes[ri])
+		if x == y {
+			continue
+		}
+		cur[ri][x], cur[ri][y] = cur[ri][y], cur[ri][x]
+		consider(clone2(cur))
+		// The walk keeps moving (consider() retains the global best);
+		// occasionally jump back to identity to diversify.
+		if rng.Float64() < 0.05 {
+			for i, n := range sizes {
+				cur[i] = identityPerm(n)
+			}
+		}
+	}
+}
+
+func clone2(p [][]int) [][]int {
+	c := make([][]int, len(p))
+	for i := range p {
+		c[i] = append([]int{}, p[i]...)
+	}
+	return c
+}
+
+func factorial(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+		if f > 1<<30 {
+			return 1 << 30
+		}
+	}
+	return f
+}
+
+func maxi(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"ldl/internal/cost"
+	"ldl/internal/lang"
+	"ldl/internal/plan"
+	"ldl/internal/term"
+)
+
+func TestOptimizeMutualRecursion(t *testing.T) {
+	src := `
+zero(0).
+s(0, 1). s(1, 2). s(2, 3). s(3, 4). s(4, 5). s(5, 6).
+even(X) <- zero(X).
+even(X) <- s(Y, X), odd(Y).
+odd(X) <- s(Y, X), even(Y).
+`
+	o, _, db := setup(t, src, Exhaustive{})
+	goal := lang.Lit("even", term.Var{Name: "X"})
+	res, err := o.Optimize(lang.Query{Goal: goal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Safe {
+		t.Fatalf("unsafe: %s", res.Reason)
+	}
+	if res.Plan.Kind != plan.KindFix || len(res.Plan.FixInfo.CliqueTags) != 2 {
+		t.Fatalf("plan:\n%s", res.Plan.Render())
+	}
+	want, _ := reference(t, src, goal)
+	c, err := res.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := runCompiled(c, db, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("answers = %v, want %v", got, want)
+	}
+	// Bound query over the mutual clique too.
+	goalB := lang.Lit("even", term.Int(4))
+	resB, err := o.Optimize(lang.Query{Goal: goalB})
+	if err != nil || !resB.Safe {
+		t.Fatalf("bound: %v %v", err, resB)
+	}
+	cB, err := resB.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, _, err := runCompiled(cB, db, goalB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(gotB, " ") != "(4)" {
+		t.Errorf("even(4) = %v", gotB)
+	}
+}
+
+func TestCountingOnlyAtRoot(t *testing.T) {
+	// A recursive clique used as a subgoal of another predicate: the
+	// nested CC node must not pick counting (its rewrite needs the
+	// query's own constants).
+	src := `
+e(1, 2). e(2, 3). e(3, 4).
+tc(X, Y) <- e(X, Y).
+tc(X, Y) <- e(X, Z), tc(Z, Y).
+wrap(X, Y) <- tc(X, Y), e(Y, W).
+`
+	o, _, db := setup(t, src, Exhaustive{})
+	goal := lang.Lit("wrap", term.Int(1), term.Var{Name: "Y"})
+	res, err := o.Optimize(lang.Query{Goal: goal})
+	if err != nil || !res.Safe {
+		t.Fatalf("optimize: %v %+v", err, res)
+	}
+	var nested *plan.Node
+	res.Plan.Walk(func(n *plan.Node) {
+		if n.Kind == plan.KindFix {
+			nested = n
+		}
+	})
+	if nested == nil {
+		t.Fatalf("no CC node:\n%s", res.Plan.Render())
+	}
+	if nested.FixInfo.Method == cost.RecCounting {
+		t.Error("nested clique chose counting")
+	}
+	want, _ := reference(t, src, goal)
+	c, err := res.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := runCompiled(c, db, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestAnnealCPermFallback(t *testing.T) {
+	// A clique rule with a 6-literal body: 6! = 720 > MaxCPermEnum=10
+	// forces the annealing walk over c-permutations.
+	src := `
+a(1, 2). a(2, 3). b(2, 3). b(3, 4). c(3, 4). d(4, 5). f(5, 6).
+r(X, Y) <- a(X, Y).
+r(X, Y) <- a(X, A), b(A, B), c(B, C), d(C, D), f(D, E), r(E, Y).
+`
+	o, _, db := setup(t, src, DP{})
+	o.MaxCPermEnum = 10
+	o.AnnealCPermSteps = 60
+	goal := lang.Lit("r", term.Int(1), term.Var{Name: "Y"})
+	res, err := o.Optimize(lang.Query{Goal: goal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Safe {
+		t.Fatalf("unsafe: %s", res.Reason)
+	}
+	want, _ := reference(t, src, goal)
+	c, err := res.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := runCompiled(c, db, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestFixWithOutOfCliqueDerivedLiteral(t *testing.T) {
+	// The recursive rule calls a nonrecursive derived predicate; OPT
+	// case 3 must optimize it for its adornment.
+	src := `
+e(1, 2). e(2, 3). e(3, 4).
+hop(X, Y) <- e(X, Y).
+hop(X, Y) <- e(X, Z), e(Z, Y).
+path(X, Y) <- hop(X, Y).
+path(X, Y) <- hop(X, Z), path(Z, Y).
+`
+	o, _, db := setup(t, src, Exhaustive{})
+	goal := lang.Lit("path", term.Int(1), term.Var{Name: "Y"})
+	res, err := o.Optimize(lang.Query{Goal: goal})
+	if err != nil || !res.Safe {
+		t.Fatalf("optimize: %v %+v", err, res)
+	}
+	// The CC node should carry the hop subtree as a child.
+	if res.Plan.Kind != plan.KindFix || len(res.Plan.Kids) == 0 {
+		t.Fatalf("plan:\n%s", res.Plan.Render())
+	}
+	want, _ := reference(t, src, goal)
+	c, err := res.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := runCompiled(c, db, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestSupMagicChosenOnCyclicData(t *testing.T) {
+	// Bound recursive query over cyclic data with a two-literal prefix:
+	// counting is gated out by the acyclicity statistic and the long
+	// prefix makes supplementary magic the cheapest binding method; the
+	// compiled program must still terminate and agree with the
+	// reference.
+	src := `
+e(1, 2). e(2, 3). e(3, 1). e(3, 4).
+f(2, 2). f(3, 3). f(1, 1). f(4, 4).
+tc(X, Y) <- e(X, Y).
+tc(X, Y) <- e(X, A), f(A, Z), tc(Z, Y).
+`
+	o, _, db := setup(t, src, Exhaustive{})
+	goal := lang.Lit("tc", term.Int(1), term.Var{Name: "Y"})
+	res, err := o.Optimize(lang.Query{Goal: goal})
+	if err != nil || !res.Safe {
+		t.Fatalf("optimize: %v %+v", err, res)
+	}
+	if res.Plan.FixInfo.Method != cost.RecSupMagic {
+		t.Errorf("method = %v, want supmagic", res.Plan.FixInfo.Method)
+	}
+	want, _ := reference(t, src, goal)
+	c, err := res.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := runCompiled(c, db, goal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("answers = %v, want %v", got, want)
+	}
+}
+
+func TestEnumerateCPerms(t *testing.T) {
+	var count int
+	enumerateCPerms([]int{2, 3}, func(cp [][]int) {
+		count++
+		if len(cp) != 2 || len(cp[0]) != 2 || len(cp[1]) != 3 {
+			t.Errorf("bad cperm %v", cp)
+		}
+	})
+	if count != 2*6 {
+		t.Errorf("cperms = %d, want 12", count)
+	}
+}
+
+func TestFactorialGuard(t *testing.T) {
+	if factorial(3) != 6 || factorial(0) != 1 {
+		t.Error("factorial wrong")
+	}
+	if factorial(30) != 1<<30 {
+		t.Error("overflow guard missing")
+	}
+	if maxi(2, 3) != 3 || maxi(3, 2) != 3 {
+		t.Error("maxi wrong")
+	}
+}

@@ -1,0 +1,244 @@
+// Package core implements the paper's primary contribution: the LDL
+// query optimizer. It contains the NR-OPT algorithm for nonrecursive
+// queries (Figure 7-1), the OPT algorithm adding contracted-clique
+// nodes (Figure 7-2), binding-indexed memoization of OR-subtrees, the
+// c-permutation enumeration for recursive cliques, and the three
+// interchangeable search strategies of §7.1 — exhaustive enumeration
+// (with Selinger-style dynamic programming), the KBZ quadratic
+// algorithm, and simulated annealing — with safety analysis integrated
+// per §8.2 (unsafe executions cost +Inf and are pruned by the ordinary
+// minimization).
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"ldl/internal/adorn"
+	"ldl/internal/cost"
+	"ldl/internal/lang"
+)
+
+// Strategy orders the goals of one conjunct (one rule body). It returns
+// the chosen permutation and its costing under the full cost model.
+// Implementations must return a ConjunctResult with Safe=false (and
+// infinite Total) when no safe ordering was found.
+type Strategy interface {
+	Name() string
+	Order(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn) ([]int, cost.ConjunctResult)
+}
+
+// identityPerm returns 0..n-1.
+func identityPerm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Exhaustive enumerates every permutation of the body — the strategy
+// whose "complete nature supplies the basis for assessing the soundness
+// of the overall approach". Factorial in the body length; FallbackAt
+// bounds the length after which it delegates to DP.
+type Exhaustive struct {
+	// FallbackAt delegates to DP when the body exceeds this length
+	// (default 8).
+	FallbackAt int
+}
+
+func (Exhaustive) Name() string { return "exhaustive" }
+
+func (e Exhaustive) Order(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn) ([]int, cost.ConjunctResult) {
+	limit := e.FallbackAt
+	if limit <= 0 {
+		limit = 8
+	}
+	if len(body) > limit {
+		return DP{}.Order(m, body, bound, inCard, sf)
+	}
+	bestPerm := identityPerm(len(body))
+	best := m.Conjunct(body, bestPerm, bound, inCard, sf)
+	for _, perm := range adorn.Permutations(len(body)) {
+		r := m.Conjunct(body, perm, bound, inCard, sf)
+		if betterThan(r, best) {
+			best = r
+			bestPerm = append(bestPerm[:0], perm...)
+		}
+	}
+	return bestPerm, best
+}
+
+func betterThan(a, b cost.ConjunctResult) bool {
+	if a.Safe != b.Safe {
+		return a.Safe
+	}
+	return a.Total < b.Total
+}
+
+// DP is the dynamic-programming enumeration of [Sel 79]: O(2^n) states
+// instead of n! permutations, exact under our cost model because
+// cardinality estimates depend only on the set of goals joined so far,
+// not their order.
+type DP struct{}
+
+func (DP) Name() string { return "dp" }
+
+func (DP) Order(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn) ([]int, cost.ConjunctResult) {
+	n := len(body)
+	if n == 0 {
+		return nil, m.Conjunct(body, nil, bound, inCard, sf)
+	}
+	type entry struct {
+		perm []int
+		res  cost.ConjunctResult
+		ok   bool
+	}
+	table := make([]entry, 1<<uint(n))
+	table[0] = entry{perm: []int{}, res: cost.ConjunctResult{Safe: true}, ok: true}
+	for s := 1; s < 1<<uint(n); s++ {
+		bestSet := false
+		var best entry
+		for last := 0; last < n; last++ {
+			if s&(1<<uint(last)) == 0 {
+				continue
+			}
+			prev := table[s&^(1<<uint(last))]
+			if !prev.ok {
+				continue
+			}
+			perm := append(append([]int{}, prev.perm...), last)
+			r := m.Conjunct(body, perm, bound, inCard, sf)
+			if !bestSet || betterThan(r, best.res) {
+				best = entry{perm: perm, res: r, ok: true}
+				bestSet = true
+			}
+		}
+		table[s] = best
+	}
+	final := table[1<<uint(n)-1]
+	if !final.ok {
+		r := m.Conjunct(body, identityPerm(n), bound, inCard, sf)
+		return identityPerm(n), r
+	}
+	return final.perm, final.res
+}
+
+// Anneal is the simulated-annealing strategy of §7.1: a random walk of
+// the permutation space whose neighbor relation swaps exactly two
+// positions, with a geometric cooling schedule. Deterministic for a
+// fixed Seed.
+type Anneal struct {
+	Seed  int64
+	Steps int     // probe budget (default 400)
+	T0    float64 // initial temperature as a fraction of the initial cost (default 0.5)
+	Alpha float64 // cooling factor per step (default 0.98)
+}
+
+func (Anneal) Name() string { return "anneal" }
+
+func (a Anneal) Order(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn) ([]int, cost.ConjunctResult) {
+	n := len(body)
+	steps := a.Steps
+	if steps <= 0 {
+		steps = 400
+	}
+	alpha := a.Alpha
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.98
+	}
+	t0frac := a.T0
+	if t0frac <= 0 {
+		t0frac = 0.5
+	}
+	rng := rand.New(rand.NewSource(a.Seed))
+
+	cur := a.initialPerm(m, body, bound, inCard, sf, rng)
+	curRes := m.Conjunct(body, cur, bound, inCard, sf)
+	bestPerm := append([]int{}, cur...)
+	bestRes := curRes
+
+	temp := t0frac * float64(curRes.Total)
+	if curRes.Total.IsInfinite() || temp <= 0 {
+		temp = 1000
+	}
+	for i := 0; i < steps; i++ {
+		if n < 2 {
+			break
+		}
+		x, y := rng.Intn(n), rng.Intn(n)
+		if x == y {
+			continue
+		}
+		cand := append([]int{}, cur...)
+		cand[x], cand[y] = cand[y], cand[x]
+		r := m.Conjunct(body, cand, bound, inCard, sf)
+		accept := false
+		switch {
+		case betterThan(r, curRes):
+			accept = true
+		case r.Safe && curRes.Safe:
+			delta := float64(r.Total - curRes.Total)
+			accept = rng.Float64() < math.Exp(-delta/temp)
+		case r.Safe && !curRes.Safe:
+			accept = true
+		}
+		if accept {
+			cur, curRes = cand, r
+			if betterThan(curRes, bestRes) {
+				bestPerm = append(bestPerm[:0], cur...)
+				bestRes = curRes
+			}
+		}
+		temp *= alpha
+	}
+	return bestPerm, bestRes
+}
+
+// initialPerm seeds the walk with a greedy EC-feasible ordering:
+// repeatedly pick the unplaced goal that is evaluable now and has the
+// smallest estimated expansion.
+func (a Anneal) initialPerm(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn, rng *rand.Rand) []int {
+	n := len(body)
+	used := make([]bool, n)
+	var perm []int
+	for len(perm) < n {
+		bestIdx := -1
+		var bestCost cost.Cost
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			cand := append(append([]int{}, perm...), i)
+			r := m.Conjunct(body, cand, bound, inCard, sf)
+			if !r.Safe {
+				continue
+			}
+			if bestIdx < 0 || r.Total < bestCost {
+				bestIdx, bestCost = i, r.Total
+			}
+		}
+		if bestIdx < 0 {
+			// No EC-feasible extension: place remaining goals in order
+			// (the conjunct will cost Inf and the caller will see it).
+			for i := 0; i < n; i++ {
+				if !used[i] {
+					perm = append(perm, i)
+				}
+			}
+			return perm
+		}
+		used[bestIdx] = true
+		perm = append(perm, bestIdx)
+	}
+	_ = rng
+	return perm
+}
+
+// sortInts sorts a copy (helper for deterministic tests).
+func sortInts(xs []int) []int {
+	c := append([]int{}, xs...)
+	sort.Ints(c)
+	return c
+}

@@ -1,0 +1,380 @@
+package cost
+
+import (
+	"fmt"
+
+	"ldl/internal/adorn"
+	"ldl/internal/lang"
+	"ldl/internal/stats"
+	"ldl/internal/term"
+)
+
+// CliqueCosting prices one recursive method for one adorned clique.
+type CliqueCosting struct {
+	Method RecMethod
+	Total  Cost
+	// OutCard is the estimated number of queried-predicate tuples
+	// relevant to the subquery (after the binding restriction).
+	OutCard float64
+	// FixCard is the estimated full fixpoint cardinality.
+	FixCard float64
+	Safe    bool
+	Reason  string
+}
+
+// Clique estimates the cost of computing the adorned clique's subquery
+// with the given recursive method, per §6's requirements: monotone in
+// operand sizes and infinite when the execution cannot be carried out.
+//
+// The estimation procedure (documented here because the paper leaves
+// formulas open):
+//
+//  1. E, the exit cardinality, sums the output of the clique's
+//     non-recursive (exit) rule replicas evaluated bottom-up.
+//  2. One recursive round at clique cardinality C prices every
+//     recursive replica's body as a conjunct, with in-clique literals
+//     given stats {Card: C, Distinct_i: min(C, dom)} where dom is the
+//     largest distinct count seen in the clique's base literals (a
+//     domain-size proxy).
+//  3. The growth ratio g compares one round's output at C=E against E;
+//     the fixpoint cardinality F is the geometric sum of D =
+//     Catalog.RecursionDepth rounds, capped to keep the model finite.
+//  4. naive evaluates every round from scratch: D × round(F) + exit.
+//     seminaive touches each delta once: round(F) + exit.
+//     magic multiplies seminaive by the binding selectivity σ =
+//     Π_bound 1/min(F, dom) and by MagicOverhead.
+//     counting, where CanCount approves, is magic × CountingFactor.
+func (m *Model) Clique(a *adorn.Adorned, method RecMethod, sf StatsFn) CliqueCosting {
+	if sf == nil {
+		sf = m.BaseStats
+	}
+	out := CliqueCosting{Method: method, Safe: true}
+
+	dom := m.domainEstimate(a, sf)
+	D := m.Cat.RecursionDepth
+	if D < 1 {
+		D = 1
+	}
+
+	topDown := method == RecMagic || method == RecCounting || method == RecSupMagic
+
+	// Bottom-up methods evaluate each original rule once per round; the
+	// adorned replicas exist only for binding-driven methods. Keep one
+	// replica per source rule (the first generated, i.e. the one on the
+	// query's adornment chain) when costing bottom-up.
+	replicas := a.Rules
+	if !topDown {
+		seen := map[int]bool{}
+		var once []adorn.AdornedRule
+		for _, ar := range a.Rules {
+			if seen[ar.Orig] {
+				continue
+			}
+			seen[ar.Orig] = true
+			once = append(once, ar)
+		}
+		replicas = once
+	}
+
+	// Exit cardinality and cost.
+	var exitCard, exitCost float64
+	for _, ar := range replicas {
+		if hasRecursiveLiteral(a, ar) {
+			continue
+		}
+		cr := m.adornedRuleConjunct(a, ar, topDown, 1, sf)
+		if !cr.Safe {
+			return unsafeCosting(method, cr.Reason)
+		}
+		exitCard += cr.OutCard
+		exitCost += float64(cr.Total)
+	}
+	if exitCard < 1 {
+		exitCard = 1
+	}
+
+	round := func(C float64) (float64, float64, bool, string) {
+		var cardSum, costSum float64
+		for _, ar := range replicas {
+			if !hasRecursiveLiteral(a, ar) {
+				continue
+			}
+			cliqueSF := func(l lang.Literal) stats.RelStats {
+				if _, ok := a.PredAdorn[l.Pred]; ok {
+					return cliqueStats(C, dom, l.Arity())
+				}
+				return sf(l)
+			}
+			cr := m.adornedRuleConjunctWith(a, ar, topDown, 1, cliqueSF)
+			if !cr.Safe {
+				return 0, 0, false, cr.Reason
+			}
+			cardSum += cr.OutCard
+			costSum += float64(cr.Total)
+		}
+		return cardSum, costSum, true, ""
+	}
+
+	oneRound, _, ok, reason := round(exitCard)
+	if !ok {
+		return unsafeCosting(method, reason)
+	}
+	g := oneRound / exitCard
+	F := fixpointCard(exitCard, g, D)
+	out.FixCard = F
+
+	_, roundCostF, ok, reason := round(F)
+	if !ok {
+		return unsafeCosting(method, reason)
+	}
+
+	semiCost := roundCostF + exitCost
+	sigma := bindingSelectivity(a.QueryAdorn, queryArity(a), F, dom)
+	var total float64
+	switch method {
+	case RecNaive:
+		total = D*roundCostF + exitCost
+		out.OutCard = F * sigma
+	case RecSemiNaive:
+		total = semiCost
+		out.OutCard = F * sigma
+	case RecMagic, RecCounting, RecSupMagic:
+		// The top-down conjunct costing above already restricted every
+		// round to the bindings reachable from the query (head bound
+		// variables flowed sideways), so F and semiCost describe the
+		// magic-restricted computation; the overhead factor pays for
+		// maintaining the magic predicates themselves.
+		total = m.MagicOverhead * semiCost
+		if method == RecCounting {
+			if !adorn.CanCount(a) {
+				return unsafeCosting(method, "counting method not applicable to this adorned program")
+			}
+			if !countingDataSafe(a, replicas, sf) {
+				return unsafeCosting(method, "counting method requires acyclic data in the recursive rules' base relations")
+			}
+			total *= m.CountingFactor
+		}
+		if method == RecSupMagic {
+			// Sup predicates only pay off when rule prefixes are long
+			// enough that plain magic's double evaluation hurts; with
+			// single-literal prefixes they are pure overhead.
+			if longestRecursivePrefix(a, replicas) >= 2 {
+				total *= m.SupMagicFactor
+			} else {
+				total *= 1.1
+			}
+		}
+		out.OutCard = F
+	}
+	out.Total = Cost(total)
+	if out.OutCard < 1 {
+		out.OutCard = 1
+	}
+	return out
+}
+
+// BestCliqueMethod prices every applicable method and returns the
+// cheapest costing (ties broken by method order: the simpler wins).
+func (m *Model) BestCliqueMethod(a *adorn.Adorned, sf StatsFn) CliqueCosting {
+	best := CliqueCosting{Safe: false, Reason: "no applicable method", Total: Infinite()}
+	for _, meth := range AllRecMethods {
+		c := m.Clique(a, meth, sf)
+		if !c.Safe {
+			continue
+		}
+		if !best.Safe || c.Total < best.Total {
+			best = c
+		}
+	}
+	return best
+}
+
+// countingDataSafe checks the counting method's data-side
+// applicability condition: every base relation joined inside a
+// recursive rule must be acyclic (per the catalog), or the level
+// counter can grow without bound. Derived out-of-clique predicates
+// default to non-acyclic and conservatively disable counting.
+func countingDataSafe(a *adorn.Adorned, replicas []adorn.AdornedRule, sf StatsFn) bool {
+	for _, ar := range replicas {
+		if !hasRecursiveLiteral(a, ar) {
+			continue
+		}
+		for _, bl := range ar.Rule.Body {
+			if bl.Neg || lang.IsBuiltin(bl.Pred) {
+				continue
+			}
+			if _, inClique := a.PredAdorn[bl.Pred]; inClique {
+				continue
+			}
+			if !sf(bl).Acyclic {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// longestRecursivePrefix returns the maximum number of body literals
+// preceding the first in-clique literal across recursive replicas.
+func longestRecursivePrefix(a *adorn.Adorned, replicas []adorn.AdornedRule) int {
+	longest := 0
+	for _, ar := range replicas {
+		for i, bl := range ar.Rule.Body {
+			if _, ok := a.PredAdorn[bl.Pred]; ok {
+				if i > longest {
+					longest = i
+				}
+				break
+			}
+		}
+	}
+	return longest
+}
+
+func unsafeCosting(method RecMethod, reason string) CliqueCosting {
+	return CliqueCosting{Method: method, Total: Infinite(), Safe: false, Reason: reason}
+}
+
+func queryArity(a *adorn.Adorned) int {
+	for _, ar := range a.Rules {
+		if a.OrigOf[ar.Rule.Head.Pred] == a.QueryTag {
+			return ar.Rule.Head.Arity()
+		}
+	}
+	return 0
+}
+
+func hasRecursiveLiteral(a *adorn.Adorned, ar adorn.AdornedRule) bool {
+	for _, bl := range ar.Rule.Body {
+		if _, ok := a.PredAdorn[bl.Pred]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// adornedRuleConjunct prices an adorned rule body (already in SIP
+// order). topDown includes the head's bound variables as initial
+// bindings (the sideways information magic would provide); bottom-up
+// starts unbound.
+func (m *Model) adornedRuleConjunct(a *adorn.Adorned, ar adorn.AdornedRule, topDown bool, inCard float64, sf StatsFn) ConjunctResult {
+	return m.adornedRuleConjunctWith(a, ar, topDown, inCard, sf)
+}
+
+func (m *Model) adornedRuleConjunctWith(a *adorn.Adorned, ar adorn.AdornedRule, topDown bool, inCard float64, sf StatsFn) ConjunctResult {
+	bound := map[string]bool{}
+	if topDown {
+		for i, arg := range ar.Rule.Head.Args {
+			if ar.HeadAdorn.Bound(i) {
+				term.VarSet(arg, bound)
+			}
+		}
+	}
+	return m.Conjunct(ar.Rule.Body, nil, bound, inCard, sf)
+}
+
+// cliqueStats synthesizes statistics for an in-clique predicate at
+// assumed cardinality C.
+func cliqueStats(C, dom float64, arity int) stats.RelStats {
+	d := make([]float64, arity)
+	for i := range d {
+		d[i] = minf(C, dom)
+		if d[i] < 1 {
+			d[i] = 1
+		}
+	}
+	if C < 1 {
+		C = 1
+	}
+	return stats.RelStats{Card: C, Distinct: d}
+}
+
+// domainEstimate proxies the active domain size: the largest distinct
+// count among base (non-clique) literal columns in the clique's rules.
+func (m *Model) domainEstimate(a *adorn.Adorned, sf StatsFn) float64 {
+	dom := 1.0
+	for _, ar := range a.Rules {
+		for _, bl := range ar.Rule.Body {
+			if _, ok := a.PredAdorn[bl.Pred]; ok {
+				continue
+			}
+			if bl.Neg || lang.IsBuiltin(bl.Pred) {
+				continue
+			}
+			s := sf(bl)
+			for i := 0; i < bl.Arity(); i++ {
+				if d := s.DistinctAt(i); d > dom {
+					dom = d
+				}
+			}
+		}
+	}
+	return dom
+}
+
+func bindingSelectivity(ad lang.Adornment, arity int, F, dom float64) float64 {
+	sigma := 1.0
+	for i := 0; i < arity; i++ {
+		if ad.Bound(i) {
+			sigma *= 1 / minf(maxf(F, 1), maxf(dom, 1))
+		}
+	}
+	if sigma > 1 {
+		sigma = 1
+	}
+	return sigma
+}
+
+// fixpointCard sums the geometric growth over D rounds, capped.
+func fixpointCard(E, g, D float64) float64 {
+	const ceiling = 1e12
+	var F float64
+	switch {
+	case g <= 0:
+		F = E
+	case g > 0.999 && g < 1.001:
+		F = E * D
+	default:
+		F = E * (powf(g, D) - 1) / (g - 1)
+	}
+	if F < E {
+		F = E
+	}
+	if F > ceiling {
+		F = ceiling
+	}
+	return F
+}
+
+func powf(b, e float64) float64 {
+	r := 1.0
+	for i := 0; i < int(e); i++ {
+		r *= b
+		if r > 1e12 {
+			return 1e12
+		}
+	}
+	return r
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders a costing for Explain output.
+func (c CliqueCosting) String() string {
+	if !c.Safe {
+		return fmt.Sprintf("%s: UNSAFE (%s)", c.Method, c.Reason)
+	}
+	return fmt.Sprintf("%s: cost=%.1f out=%.1f fix=%.1f", c.Method, float64(c.Total), c.OutCard, c.FixCard)
+}

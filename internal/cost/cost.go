@@ -1,0 +1,316 @@
+// Package cost implements the optimizer's cost model (§6): per-node
+// cost and cardinality estimates that are monotonically increasing in
+// operand size, with +Inf encoding unsafe executions. The paper treats
+// the concrete formulas as a system-dependent black box; this
+// implementation uses Selinger-style selectivity estimation (1/distinct
+// for bound columns, 1/max-distinct for join columns) over a
+// CPU+IO-unit cost, and documents every formula so experiments are
+// interpretable.
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"ldl/internal/lang"
+	"ldl/internal/stats"
+	"ldl/internal/term"
+)
+
+// Cost is an abstract work unit (think: page IOs plus a CPU term).
+type Cost float64
+
+// Infinite is the cost of an unsafe execution.
+func Infinite() Cost { return Cost(math.Inf(1)) }
+
+// IsInfinite reports whether c encodes an unsafe execution.
+func (c Cost) IsInfinite() bool { return math.IsInf(float64(c), 1) }
+
+// JoinMethod labels how one body literal is merged into the tuples
+// flowing from its left siblings (the paper's EL label choices).
+type JoinMethod uint8
+
+const (
+	// MethodNone marks builtins/negation steps.
+	MethodNone JoinMethod = iota
+	// IndexNL probes an index on the literal's bound columns once per
+	// incoming tuple (the pipelined join).
+	IndexNL
+	// ScanNL scans the whole relation once per incoming tuple.
+	ScanNL
+	// HashJoin builds a hash table on the relation once and probes it
+	// per incoming tuple; needs at least one bound column.
+	HashJoin
+)
+
+func (m JoinMethod) String() string {
+	switch m {
+	case IndexNL:
+		return "index-nl"
+	case ScanNL:
+		return "scan-nl"
+	case HashJoin:
+		return "hash"
+	default:
+		return "-"
+	}
+}
+
+// RecMethod labels the fixpoint method of a contracted clique node.
+type RecMethod uint8
+
+const (
+	RecNaive RecMethod = iota
+	RecSemiNaive
+	RecMagic
+	RecCounting
+	// RecSupMagic is the supplementary-magic variant: prefixes are
+	// materialized once in sup predicates instead of being re-evaluated
+	// by both the magic rules and the modified rule.
+	RecSupMagic
+)
+
+func (m RecMethod) String() string {
+	switch m {
+	case RecNaive:
+		return "naive"
+	case RecSemiNaive:
+		return "seminaive"
+	case RecMagic:
+		return "magic"
+	case RecCounting:
+		return "counting"
+	case RecSupMagic:
+		return "supmagic"
+	}
+	return fmt.Sprintf("RecMethod(%d)", uint8(m))
+}
+
+// AllRecMethods lists every recursive method the system implements.
+var AllRecMethods = []RecMethod{RecNaive, RecSemiNaive, RecMagic, RecCounting, RecSupMagic}
+
+// Model prices executions against a catalog.
+type Model struct {
+	Cat *stats.Catalog
+
+	// TupleCPU is the cost of touching one tuple.
+	TupleCPU float64
+	// ProbeIO is the cost of one index probe.
+	ProbeIO float64
+	// ScanIO is the per-tuple cost of a sequential scan (cheaper than
+	// random probes per tuple, dearer than pure CPU).
+	ScanIO float64
+	// BuildCPU is the per-tuple cost of building a hash table.
+	BuildCPU float64
+	// MagicOverhead multiplies the work of magic-restricted evaluation
+	// to account for computing and joining the magic predicates.
+	MagicOverhead float64
+	// CountingFactor is counting's advantage over magic where it
+	// applies (it stores level numbers instead of binding sets).
+	CountingFactor float64
+	// SupMagicFactor is supplementary magic's advantage over plain
+	// magic (rule prefixes are evaluated once, not twice).
+	SupMagicFactor float64
+}
+
+// NewModel returns a model with the default constants used throughout
+// the experiments.
+func NewModel(cat *stats.Catalog) *Model {
+	return &Model{
+		Cat:            cat,
+		TupleCPU:       1,
+		ProbeIO:        4,
+		ScanIO:         0.5,
+		BuildCPU:       2,
+		MagicOverhead:  2,
+		CountingFactor: 0.6,
+		SupMagicFactor: 0.85,
+	}
+}
+
+// StatsFn supplies statistics for a literal; the optimizer passes a
+// closure that resolves derived predicates to their memoized estimates
+// and base predicates to the catalog.
+type StatsFn func(l lang.Literal) stats.RelStats
+
+// BaseStats is the StatsFn that consults only the catalog.
+func (m *Model) BaseStats(l lang.Literal) stats.RelStats { return m.Cat.Stats(l.Tag()) }
+
+// Step records the costing of one literal in a conjunct ordering.
+type Step struct {
+	Lit     lang.Literal
+	Adorn   lang.Adornment
+	Method  JoinMethod
+	OutCard float64
+	Cost    Cost
+}
+
+// ConjunctResult is the costing of a whole conjunct under one
+// permutation.
+type ConjunctResult struct {
+	Total   Cost
+	OutCard float64
+	Steps   []Step
+	// Safe is false when some goal violated EC at its position; Total
+	// is then Infinite.
+	Safe   bool
+	Reason string
+}
+
+// Conjunct prices evaluating body in the order given by perm, starting
+// from one incoming binding per initial tuple (inCard) with boundVars
+// already instantiated. For each relational step the cheapest available
+// join method is chosen locally — the paper's observation that "for a
+// given permutation, the choice of join method becomes a local
+// decision". A nil perm means identity order.
+func (m *Model) Conjunct(body []lang.Literal, perm []int, boundVars map[string]bool, inCard float64, sf StatsFn) ConjunctResult {
+	if sf == nil {
+		sf = m.BaseStats
+	}
+	bound := map[string]bool{}
+	for v := range boundVars {
+		bound[v] = true
+	}
+	if perm == nil {
+		perm = make([]int, len(body))
+		for i := range perm {
+			perm[i] = i
+		}
+	}
+	res := ConjunctResult{Safe: true, OutCard: inCard}
+	card := inCard
+	if card < 1 {
+		card = 1
+	}
+	// varDistinct tracks, for each bound variable, the distinct-value
+	// count of the column that bound it, so join selectivity can use the
+	// classic 1/max(d_left, d_right) symmetric formula.
+	varDistinct := map[string]float64{}
+	var total float64
+	for _, bi := range perm {
+		l := body[bi]
+		ad := lang.AdornLiteral(l, bound)
+		st := Step{Lit: l, Adorn: ad}
+		switch {
+		case lang.IsBuiltin(l.Pred):
+			if !lang.BuiltinEC(l, bound) {
+				res.Safe = false
+				res.Reason = fmt.Sprintf("goal %s not effectively computable at its position", l)
+				res.Total = Infinite()
+				return res
+			}
+			total += card * m.TupleCPU
+			if l.Pred == lang.OpEq && len(lang.BuiltinBinds(l, bound)) > 0 {
+				// computes a value: one output per input
+				for _, v := range lang.BuiltinBinds(l, bound) {
+					bound[v] = true
+				}
+			} else {
+				card *= lang.BuiltinSelectivity(l.Pred)
+			}
+		case l.Neg:
+			for _, v := range l.Vars(nil) {
+				if !bound[v.Name] {
+					res.Safe = false
+					res.Reason = fmt.Sprintf("negated goal %s has unbound variable %s", l, v.Name)
+					res.Total = Infinite()
+					return res
+				}
+			}
+			total += card * m.ProbeIO
+			card *= 0.5
+		default:
+			s := sf(l)
+			mu := matchesPerBinding(l, ad, s, varDistinct)
+			method, stepCost := m.bestJoin(card, s.Card, mu, ad)
+			st.Method = method
+			total += stepCost
+			card *= mu
+			l.VarSet(bound)
+			for i, arg := range l.Args {
+				if v, ok := arg.(term.Var); ok {
+					d := s.DistinctAt(i)
+					if prev, seen := varDistinct[v.Name]; !seen || d > prev {
+						varDistinct[v.Name] = d
+					}
+				}
+			}
+		}
+		if card < 0.001 {
+			card = 0.001
+		}
+		st.OutCard = card
+		st.Cost = Cost(total)
+		res.Steps = append(res.Steps, st)
+	}
+	res.Total = Cost(total)
+	res.OutCard = card
+	return res
+}
+
+// matchesPerBinding estimates how many tuples of the literal's relation
+// match one incoming binding: card restricted per bound column by the
+// symmetric join selectivity 1/max(d_binder, d_column) (falling back to
+// 1/d_column for constants and head bindings), and by repeated
+// variables within the literal.
+func matchesPerBinding(l lang.Literal, ad lang.Adornment, s stats.RelStats, varDistinct map[string]float64) float64 {
+	mu := s.Card
+	seen := map[string]int{}
+	for i, arg := range l.Args {
+		if ad.Bound(i) {
+			d := s.DistinctAt(i)
+			if v, ok := arg.(term.Var); ok {
+				if db, ok := varDistinct[v.Name]; ok && db > d {
+					d = db
+				}
+			}
+			mu *= 1 / d
+			continue
+		}
+		// A free variable repeated across free columns correlates them.
+		if v, ok := arg.(term.Var); ok {
+			if prev, dup := seen[v.Name]; dup {
+				d := s.DistinctAt(i)
+				if dp := s.DistinctAt(prev); dp > d {
+					d = dp
+				}
+				mu *= 1 / d
+			} else {
+				seen[v.Name] = i
+			}
+		}
+	}
+	if mu < 0.001 {
+		mu = 0.001
+	}
+	return mu
+}
+
+// bestJoin picks the cheapest join method available for the step (the
+// EL exchange is thereby resolved locally).
+func (m *Model) bestJoin(inCard, relCard, mu float64, ad lang.Adornment) (JoinMethod, float64) {
+	scan := inCard * (relCard*m.ScanIO + mu*m.TupleCPU)
+	best, bestCost := ScanNL, scan
+	if ad != lang.AllFree {
+		idx := inCard * (m.ProbeIO + mu*m.TupleCPU)
+		if idx < bestCost {
+			best, bestCost = IndexNL, idx
+		}
+		hash := relCard*m.BuildCPU + inCard*(m.TupleCPU+mu*m.TupleCPU)
+		if hash < bestCost {
+			best, bestCost = HashJoin, hash
+		}
+	}
+	return best, bestCost
+}
+
+// UnionCost prices merging k child results with the given cardinalities
+// (duplicate elimination touches every tuple once).
+func (m *Model) UnionCost(cards []float64) (Cost, float64) {
+	var total, out float64
+	for _, c := range cards {
+		total += c * m.TupleCPU
+		out += c
+	}
+	return Cost(total), out
+}

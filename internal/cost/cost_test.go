@@ -1,0 +1,379 @@
+package cost
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ldl/internal/adorn"
+	"ldl/internal/lang"
+	"ldl/internal/parser"
+	"ldl/internal/stats"
+)
+
+func model() *Model {
+	cat := stats.NewCatalog()
+	cat.Set("e/2", stats.RelStats{Card: 1000, Distinct: []float64{100, 100}})
+	cat.Set("big/2", stats.RelStats{Card: 100000, Distinct: []float64{1000, 1000}})
+	cat.Set("small/2", stats.RelStats{Card: 10, Distinct: []float64{10, 10}})
+	cat.Set("up/2", stats.RelStats{Card: 500, Distinct: []float64{250, 250}, Acyclic: true})
+	cat.Set("dn/2", stats.RelStats{Card: 500, Distinct: []float64{250, 250}, Acyclic: true})
+	cat.Set("flat/2", stats.RelStats{Card: 50, Distinct: []float64{50, 50}, Acyclic: true})
+	return NewModel(cat)
+}
+
+func body(t *testing.T, src string) []lang.Literal {
+	t.Helper()
+	prog, _, err := parser.ParseProgram("h(X) <- " + src + ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog.Rules[0].Body
+}
+
+func TestCostBasics(t *testing.T) {
+	if !Infinite().IsInfinite() {
+		t.Error("Infinite not infinite")
+	}
+	if Cost(5).IsInfinite() {
+		t.Error("finite cost infinite")
+	}
+	for _, m := range []JoinMethod{MethodNone, IndexNL, ScanNL, HashJoin} {
+		if m.String() == "" {
+			t.Error("empty method name")
+		}
+	}
+	for _, m := range AllRecMethods {
+		if m.String() == "" || strings.HasPrefix(m.String(), "RecMethod") {
+			t.Errorf("method name %q", m.String())
+		}
+	}
+	if RecMethod(99).String() != "RecMethod(99)" {
+		t.Error("unknown method string")
+	}
+}
+
+func TestConjunctSelectiveFirstIsCheaper(t *testing.T) {
+	m := model()
+	// small(X, Y), big(Y, Z): starting from small is far cheaper.
+	b := body(t, "small(X, Y), big(Y, Z)")
+	fwd := m.Conjunct(b, []int{0, 1}, nil, 1, nil)
+	rev := m.Conjunct(b, []int{1, 0}, nil, 1, nil)
+	if !fwd.Safe || !rev.Safe {
+		t.Fatalf("safety: %v %v", fwd, rev)
+	}
+	if fwd.Total >= rev.Total {
+		t.Errorf("small-first %.1f not cheaper than big-first %.1f", fwd.Total, rev.Total)
+	}
+	// Cardinality estimate must not depend on the order.
+	ratio := fwd.OutCard / rev.OutCard
+	if ratio < 0.99 || ratio > 1.01 {
+		t.Errorf("out cards differ: %.2f vs %.2f", fwd.OutCard, rev.OutCard)
+	}
+}
+
+func TestConjunctBoundQueryCheaper(t *testing.T) {
+	m := model()
+	b := body(t, "e(X, Y), e(Y, Z)")
+	free := m.Conjunct(b, nil, nil, 1, nil)
+	boundX := m.Conjunct(b, nil, map[string]bool{"X": true}, 1, nil)
+	if boundX.Total >= free.Total {
+		t.Errorf("bound %.1f not cheaper than free %.1f", boundX.Total, free.Total)
+	}
+	if boundX.OutCard >= free.OutCard {
+		t.Errorf("bound card %.1f not smaller than free %.1f", boundX.OutCard, free.OutCard)
+	}
+}
+
+func TestConjunctUnsafeBuiltin(t *testing.T) {
+	m := model()
+	b := body(t, "e(X, Y), Z > Y")
+	r := m.Conjunct(b, nil, nil, 1, nil)
+	if r.Safe || !r.Total.IsInfinite() {
+		t.Errorf("unsafe conjunct accepted: %+v", r)
+	}
+	// Same goals, Z pre-bound: safe.
+	r2 := m.Conjunct(b, nil, map[string]bool{"Z": true}, 1, nil)
+	if !r2.Safe {
+		t.Errorf("bound comparison rejected: %s", r2.Reason)
+	}
+	// Unbound negation is unsafe.
+	bn := body(t, "not e(X, Y)")
+	if r := m.Conjunct(bn, nil, nil, 1, nil); r.Safe {
+		t.Error("unbound negation accepted")
+	}
+	bn2 := body(t, "e(X, Y), not e(Y, X)")
+	if r := m.Conjunct(bn2, nil, nil, 1, nil); !r.Safe {
+		t.Errorf("bound negation rejected: %s", r.Reason)
+	}
+}
+
+func TestConjunctBuiltinStepsAndMethods(t *testing.T) {
+	m := model()
+	b := body(t, "e(X, Y), Y > 3, Z = Y + 1, small(Z, W)")
+	r := m.Conjunct(b, nil, nil, 1, nil)
+	if !r.Safe {
+		t.Fatalf("unsafe: %s", r.Reason)
+	}
+	if len(r.Steps) != 4 {
+		t.Fatalf("steps = %d", len(r.Steps))
+	}
+	if r.Steps[1].Method != MethodNone || r.Steps[2].Method != MethodNone {
+		t.Error("builtin steps have join methods")
+	}
+	if r.Steps[3].Method == MethodNone {
+		t.Error("relation step has no join method")
+	}
+	// Comparison reduces cardinality; '=' preserves it.
+	if !(r.Steps[1].OutCard < r.Steps[0].OutCard) {
+		t.Error("comparison did not reduce cardinality")
+	}
+	if r.Steps[2].OutCard != r.Steps[1].OutCard {
+		t.Error("= changed cardinality")
+	}
+}
+
+func TestBestJoinMethodChoice(t *testing.T) {
+	m := model()
+	// Huge incoming stream + bound column: hash beats per-tuple probes
+	// when inCard is large relative to relation size.
+	meth, _ := m.bestJoin(1e6, 1000, 1, lang.AllBound(1))
+	if meth != HashJoin {
+		t.Errorf("large stream method = %v", meth)
+	}
+	// Single incoming tuple: index probe wins.
+	meth, _ = m.bestJoin(1, 1000, 1, lang.AllBound(1))
+	if meth != IndexNL {
+		t.Errorf("single-tuple method = %v", meth)
+	}
+	// No bound columns: only scan applies.
+	meth, _ = m.bestJoin(10, 1000, 1000, lang.AllFree)
+	if meth != ScanNL {
+		t.Errorf("free method = %v", meth)
+	}
+}
+
+func TestUnionCost(t *testing.T) {
+	m := model()
+	c, card := m.UnionCost([]float64{10, 20, 30})
+	if card != 60 || c <= 0 {
+		t.Errorf("union = %v %v", c, card)
+	}
+}
+
+func sgAdorned(t *testing.T, pattern string) *adorn.Adorned {
+	t.Helper()
+	prog, _, err := parser.ParseProgram(`
+sg(X, Y) <- flat(X, Y).
+sg(X, Y) <- up(X, X1), sg(X1, Y1), dn(Y1, Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad, err := lang.ParseAdornment(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := adorn.Adorn(prog.Rules, func(tag string) bool { return tag == "sg/2" }, "sg/2", ad, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestCliqueMethodOrderingBoundQuery(t *testing.T) {
+	m := model()
+	a := sgAdorned(t, "bf")
+	var costs []CliqueCosting
+	for _, meth := range AllRecMethods {
+		c := m.Clique(a, meth, nil)
+		if !c.Safe {
+			t.Fatalf("%v unsafe: %s", meth, c.Reason)
+		}
+		costs = append(costs, c)
+	}
+	naive, semi, magic, counting := costs[0], costs[1], costs[2], costs[3]
+	if !(semi.Total < naive.Total) {
+		t.Errorf("seminaive %.1f not cheaper than naive %.1f", semi.Total, naive.Total)
+	}
+	if !(magic.Total < semi.Total) {
+		t.Errorf("magic %.1f not cheaper than seminaive %.1f for bound query", magic.Total, semi.Total)
+	}
+	if !(counting.Total < magic.Total) {
+		t.Errorf("counting %.1f not cheaper than magic %.1f", counting.Total, magic.Total)
+	}
+	best := m.BestCliqueMethod(a, nil)
+	if best.Method != RecCounting {
+		t.Errorf("best method = %v", best.Method)
+	}
+	if !strings.Contains(best.String(), "counting") {
+		t.Errorf("String = %q", best.String())
+	}
+}
+
+func TestCliqueSupMagicPrefixSensitivity(t *testing.T) {
+	m := model()
+	// sg's recursive rule has a single-literal prefix (up), so the sup
+	// relations are pure overhead: supmagic must price above magic.
+	a := sgAdorned(t, "bf")
+	magic := m.Clique(a, RecMagic, nil)
+	sup := m.Clique(a, RecSupMagic, nil)
+	if !magic.Safe || !sup.Safe {
+		t.Fatalf("safety: %v %v", magic, sup)
+	}
+	if sup.Total <= magic.Total {
+		t.Errorf("short-prefix supmagic %.1f not dearer than magic %.1f", sup.Total, magic.Total)
+	}
+	// A two-literal prefix flips the comparison.
+	prog, _, err := parser.ParseProgram(`
+p(X, Y) <- flat(X, Y).
+p(X, Y) <- up(X, A), dn(A, B), p(B, Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, _ := lang.ParseAdornment("bf")
+	a2, err := adorn.Adorn(prog.Rules, func(tag string) bool { return tag == "p/2" }, "p/2", bf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	magic2 := m.Clique(a2, RecMagic, nil)
+	sup2 := m.Clique(a2, RecSupMagic, nil)
+	if sup2.Total >= magic2.Total {
+		t.Errorf("long-prefix supmagic %.1f not cheaper than magic %.1f", sup2.Total, magic2.Total)
+	}
+}
+
+func TestCliqueFreeQueryPrefersSemiNaive(t *testing.T) {
+	m := model()
+	a := sgAdorned(t, "ff")
+	best := m.BestCliqueMethod(a, nil)
+	if best.Method != RecSemiNaive {
+		t.Errorf("best for all-free = %v (%s)", best.Method, best)
+	}
+}
+
+func TestCliqueCountingInapplicable(t *testing.T) {
+	m := model()
+	prog, _, err := parser.ParseProgram(`
+d(X, Y) <- e(X, Y).
+d(X, Y) <- d(X, Z), d(Z, Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, _ := lang.ParseAdornment("bf")
+	a, err := adorn.Adorn(prog.Rules, func(tag string) bool { return tag == "d/2" }, "d/2", bf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clique(a, RecCounting, nil)
+	if c.Safe {
+		t.Error("counting costed for nonlinear clique")
+	}
+	if !strings.Contains(c.String(), "UNSAFE") {
+		t.Errorf("String = %q", c.String())
+	}
+	best := m.BestCliqueMethod(a, nil)
+	if !best.Safe || best.Method == RecCounting {
+		t.Errorf("best = %+v", best)
+	}
+}
+
+func TestCliqueUnsafeBuiltinPropagates(t *testing.T) {
+	m := model()
+	prog, _, err := parser.ParseProgram(`n(Y) <- n(X), Y = X + 1.
+n(X) <- seed(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bottom-up EC is fine here (X bound by n before the builtin), so
+	// cost stays finite; safety (well-foundedness) is the optimizer's
+	// job. But reversing the SIP makes the builtin non-EC: infinite.
+	b, _ := lang.ParseAdornment("f")
+	a, err := adorn.Adorn(prog.Rules, func(tag string) bool { return tag == "n/1" }, "n/1", b,
+		adorn.UniformCPerm([][]int{{1, 0}, {0}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Clique(a, RecSemiNaive, nil)
+	if c.Safe || !c.Total.IsInfinite() {
+		t.Errorf("non-EC SIP accepted: %+v", c)
+	}
+}
+
+func TestQuickCostMonotoneInCard(t *testing.T) {
+	// Property: conjunct cost and out-cardinality are monotone in the
+	// incoming cardinality (§6: "monotonically increasing function on
+	// the size of the operands").
+	m := model()
+	b := body(t, "e(X, Y), e(Y, Z), Z > 0")
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c1 := float64(1 + r.Intn(1000))
+		c2 := c1 + float64(1+r.Intn(1000))
+		r1 := m.Conjunct(b, nil, map[string]bool{"X": true}, c1, nil)
+		r2 := m.Conjunct(b, nil, map[string]bool{"X": true}, c2, nil)
+		return r1.Total <= r2.Total && r1.OutCard <= r2.OutCard
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCliqueMethodShapes(t *testing.T) {
+	// Property: across random catalog states, every method costs finite
+	// and positive on the sg clique, seminaive never beats naive is
+	// false (seminaive <= naive), and magic never loses to seminaive on
+	// a fully bound query. (Global monotonicity in base cardinality is
+	// NOT required by §6 — a larger domain legitimately makes a fixed
+	// binding more selective.)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c1 := float64(10 + r.Intn(1000))
+		c2 := c1 * (1 + float64(r.Intn(5)))
+		mk := func(card float64) *Model {
+			cat := stats.NewCatalog()
+			cat.Set("up/2", stats.RelStats{Card: card, Distinct: []float64{card / 2, card / 2}})
+			cat.Set("dn/2", stats.RelStats{Card: card, Distinct: []float64{card / 2, card / 2}})
+			cat.Set("flat/2", stats.RelStats{Card: 50, Distinct: []float64{50, 50}})
+			return NewModel(cat)
+		}
+		prog, _, err := parser.ParseProgram(`
+sg(X, Y) <- flat(X, Y).
+sg(X, Y) <- up(X, X1), sg(X1, Y1), dn(Y1, Y).`)
+		if err != nil {
+			return false
+		}
+		bf, _ := lang.ParseAdornment("bf")
+		a, err := adorn.Adorn(prog.Rules, func(tag string) bool { return tag == "sg/2" }, "sg/2", bf, nil)
+		if err != nil {
+			return false
+		}
+		_ = c2
+		m1 := mk(c1)
+		naive := m1.Clique(a, RecNaive, nil)
+		semi := m1.Clique(a, RecSemiNaive, nil)
+		magic := m1.Clique(a, RecMagic, nil)
+		if !naive.Safe || !semi.Safe || !magic.Safe {
+			return false
+		}
+		if naive.Total <= 0 || naive.Total.IsInfinite() {
+			return false
+		}
+		if semi.Total > naive.Total {
+			return false
+		}
+		bb, _ := lang.ParseAdornment("bb")
+		a2, err := adorn.Adorn(prog.Rules, func(tag string) bool { return tag == "sg/2" }, "sg/2", bb, nil)
+		if err != nil {
+			return false
+		}
+		m2 := mk(c1)
+		semiBB := m2.Clique(a2, RecSemiNaive, nil)
+		magicBB := m2.Clique(a2, RecMagic, nil)
+		return magicBB.Total <= semiBB.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,428 @@
+// Package eval is the execution engine: bottom-up fixpoint evaluation
+// of Horn clause programs against a fact base, clique by clique in the
+// follows order, with naive or semi-naive iteration, builtin deferral,
+// and stratified negation. It is both the runtime that executes
+// optimized plans (after plan-directed program rewriting) and the
+// reference evaluator that correctness tests compare against.
+package eval
+
+import (
+	"errors"
+	"fmt"
+
+	"ldl/internal/depgraph"
+	"ldl/internal/lang"
+	"ldl/internal/store"
+	"ldl/internal/term"
+)
+
+// Method selects the fixpoint iteration discipline for recursive
+// cliques.
+type Method int
+
+const (
+	// Naive recomputes every rule from the full relations each round.
+	Naive Method = iota
+	// SemiNaive sources one recursive literal per rule application from
+	// the previous round's delta.
+	SemiNaive
+)
+
+func (m Method) String() string {
+	if m == Naive {
+		return "naive"
+	}
+	return "seminaive"
+}
+
+// ErrRunaway is returned when evaluation exceeds the configured tuple
+// or iteration budget — the runtime symptom of an unsafe execution.
+var ErrRunaway = errors.New("eval: derivation exceeded budget (likely unsafe execution)")
+
+// Options configures an Engine.
+type Options struct {
+	Method Method
+	// MethodFor overrides the iteration method for the clique containing
+	// the given predicate tag (plans label each CC node individually).
+	MethodFor map[string]Method
+	// MaxIterations bounds fixpoint rounds per clique (0 = 1e6).
+	MaxIterations int
+	// MaxTuples bounds total derived tuples (0 = 10M); exceeding it
+	// aborts with ErrRunaway.
+	MaxTuples int
+}
+
+func (o *Options) norm() {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 1_000_000
+	}
+	if o.MaxTuples <= 0 {
+		o.MaxTuples = 10_000_000
+	}
+}
+
+// Counters expose how much work an evaluation did; experiments use them
+// as a deterministic cost proxy.
+type Counters struct {
+	Iterations    int   // fixpoint rounds across all cliques
+	TuplesDerived int   // tuples added to derived relations
+	Unifications  int64 // head/body unification attempts
+	Lookups       int64 // relation probe operations
+	BuiltinCalls  int64
+}
+
+// Engine evaluates one program against one database.
+type Engine struct {
+	Prog     *lang.Program
+	DB       *store.Database
+	Graph    *depgraph.Graph
+	Counters Counters
+
+	opts    Options
+	derived map[string]*store.Relation
+	ran     bool
+}
+
+// New analyzes prog and prepares an engine. The database is not
+// modified; derived relations live in the engine.
+func New(prog *lang.Program, db *store.Database, opts Options) (*Engine, error) {
+	opts.norm()
+	g, err := depgraph.Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{Prog: prog, DB: db, Graph: g, opts: opts, derived: map[string]*store.Relation{}}, nil
+}
+
+// RelationFor returns the relation holding tag's tuples: the derived
+// relation if tag is derived, otherwise the base relation (nil if the
+// database has none).
+func (e *Engine) RelationFor(tag string) *store.Relation {
+	if r, ok := e.derived[tag]; ok {
+		return r
+	}
+	return e.DB.Relation(tag)
+}
+
+func (e *Engine) ensureDerived(tag string, arity int) *store.Relation {
+	if r, ok := e.derived[tag]; ok {
+		return r
+	}
+	r := store.NewRelation(tag, arity)
+	// A predicate can have both facts and rules; the derived relation
+	// starts from the base facts so they are not shadowed.
+	if base := e.DB.Relation(tag); base != nil {
+		for _, t := range base.Tuples() {
+			r.MustInsert(t)
+		}
+	}
+	e.derived[tag] = r
+	return r
+}
+
+// Run computes every derived predicate, cliques in follows order.
+func (e *Engine) Run() error {
+	if e.ran {
+		return nil
+	}
+	// Pre-create derived relations so empty predicates exist.
+	for _, r := range e.Prog.Rules {
+		e.ensureDerived(r.Head.Tag(), r.Head.Arity())
+	}
+	for _, c := range e.Graph.TopoCliques() {
+		if len(c.Rules) == 0 {
+			continue // base predicate
+		}
+		if err := e.evalClique(c); err != nil {
+			return err
+		}
+	}
+	e.ran = true
+	return nil
+}
+
+// evalClique runs the fixpoint for one clique.
+func (e *Engine) evalClique(c *depgraph.Clique) error {
+	rules := make([]lang.Rule, len(c.Rules))
+	for i, ri := range c.Rules {
+		rules[i] = e.Prog.Rules[ri]
+	}
+	method := e.opts.Method
+	for _, p := range c.Preds {
+		if m, ok := e.opts.MethodFor[p]; ok {
+			method = m
+			break
+		}
+	}
+	if !c.Recursive {
+		// Single pass suffices: dependencies are already computed.
+		for _, r := range rules {
+			if err := e.applyRule(r, -1, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Seed round: naive application of every rule from current state.
+	deltas := map[string]*store.Relation{}
+	for _, p := range c.Preds {
+		rel := e.RelationFor(p)
+		arity := 0
+		if rel != nil {
+			arity = rel.Arity
+		}
+		deltas[p] = store.NewRelation(p+"Δ", arity)
+	}
+	collect := func(tag string, t store.Tuple) {
+		deltas[tag].MustInsert(t)
+	}
+	for _, r := range rules {
+		if err := e.applyRuleCollect(r, -1, nil, collect); err != nil {
+			return err
+		}
+	}
+	for iter := 0; ; iter++ {
+		if iter >= e.opts.MaxIterations {
+			return fmt.Errorf("%w: clique %v exceeded %d iterations", ErrRunaway, c.Preds, e.opts.MaxIterations)
+		}
+		e.Counters.Iterations++
+		empty := true
+		for _, d := range deltas {
+			if d.Len() > 0 {
+				empty = false
+			}
+		}
+		if empty {
+			return nil
+		}
+		next := map[string]*store.Relation{}
+		for p, d := range deltas {
+			next[p] = store.NewRelation(p+"Δ", d.Arity)
+		}
+		collectNext := func(tag string, t store.Tuple) {
+			next[tag].MustInsert(t)
+		}
+		for _, r := range rules {
+			switch method {
+			case Naive:
+				// Recompute from full relations; novelty filtering in
+				// applyRuleCollect keeps only new tuples.
+				if err := e.applyRuleCollect(r, -1, nil, collectNext); err != nil {
+					return err
+				}
+			case SemiNaive:
+				// One variant per recursive body occurrence, sourcing
+				// that occurrence from the delta.
+				for bi, l := range r.Body {
+					if l.Neg || lang.IsBuiltin(l.Pred) || !cContains(c, l.Tag()) {
+						continue
+					}
+					if err := e.applyRuleCollect(r, bi, deltas, collectNext); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		deltas = next
+	}
+}
+
+func cContains(c *depgraph.Clique, tag string) bool { return c.Contains(tag) }
+
+// applyRule evaluates one rule and inserts results into the head's
+// derived relation.
+func (e *Engine) applyRule(r lang.Rule, deltaOcc int, deltas map[string]*store.Relation) error {
+	return e.applyRuleCollect(r, deltaOcc, deltas, nil)
+}
+
+// applyRuleCollect evaluates one rule body left-to-right; every newly
+// derived head tuple is inserted into the head relation and passed to
+// collect (if non-nil). deltaOcc, when >= 0, makes body literal
+// deltaOcc read from deltas[tag] instead of the full relation.
+func (e *Engine) applyRuleCollect(r lang.Rule, deltaOcc int, deltas map[string]*store.Relation, collect func(string, store.Tuple)) error {
+	head := e.ensureDerived(r.Head.Tag(), r.Head.Arity())
+	emit := func(s term.Subst) error {
+		args := s.ResolveAll(r.Head.Args)
+		for _, a := range args {
+			if !term.Ground(a) {
+				return fmt.Errorf("eval: rule %s produced non-ground head %s — unbound head variable (unsafe rule)", r, lang.Literal{Pred: r.Head.Pred, Args: args})
+			}
+		}
+		t := store.Tuple(args)
+		added, err := head.Insert(t)
+		if err != nil {
+			return err
+		}
+		if added {
+			e.Counters.TuplesDerived++
+			if e.Counters.TuplesDerived > e.opts.MaxTuples {
+				return fmt.Errorf("%w: more than %d tuples", ErrRunaway, e.opts.MaxTuples)
+			}
+			if collect != nil {
+				collect(r.Head.Tag(), t)
+			}
+		}
+		return nil
+	}
+	return e.joinBody(r.Body, 0, deltaOcc, deltas, term.NewSubst(), nil, emit)
+}
+
+// joinBody enumerates the substitutions satisfying body[i:], carrying
+// pending builtins/negations that were not yet effectively computable.
+func (e *Engine) joinBody(body []lang.Literal, i, deltaOcc int, deltas map[string]*store.Relation, s term.Subst, pending []lang.Literal, emit func(term.Subst) error) error {
+	// Flush any pending goal that has become evaluable.
+	for pi := 0; pi < len(pending); pi++ {
+		l := pending[pi]
+		ok, done, err := e.tryDeferred(l, s)
+		if err != nil {
+			return err
+		}
+		if !done {
+			continue
+		}
+		if !ok {
+			return nil // goal failed under s: prune this branch
+		}
+		rest := make([]lang.Literal, 0, len(pending)-1)
+		rest = append(rest, pending[:pi]...)
+		rest = append(rest, pending[pi+1:]...)
+		pending = rest
+		pi = -1 // restart: new bindings may enable others
+	}
+	if i >= len(body) {
+		if len(pending) > 0 {
+			return fmt.Errorf("eval: goals %v never became evaluable (unsafe rule ordering)", pending)
+		}
+		return emit(s)
+	}
+	l := body[i]
+	if lang.IsBuiltin(l.Pred) || l.Neg {
+		ok, done, err := e.tryDeferred(l, s)
+		if err != nil {
+			return err
+		}
+		if done {
+			if !ok {
+				return nil
+			}
+			return e.joinBody(body, i+1, deltaOcc, deltas, s, pending, emit)
+		}
+		return e.joinBody(body, i+1, deltaOcc, deltas, s, append(pending, l), emit)
+	}
+	// Positive relational literal.
+	var rel *store.Relation
+	if i == deltaOcc && deltas != nil {
+		rel = deltas[l.Tag()]
+	} else {
+		rel = e.RelationFor(l.Tag())
+	}
+	if rel == nil || rel.Len() == 0 {
+		return nil
+	}
+	resolved := s.ResolveAll(l.Args)
+	var mask uint32
+	probe := make(store.Tuple, len(resolved))
+	for ai, a := range resolved {
+		if term.Ground(a) {
+			mask |= 1 << uint(ai)
+			probe[ai] = a
+		}
+	}
+	e.Counters.Lookups++
+	for _, t := range rel.Lookup(mask, probe) {
+		e.Counters.Unifications++
+		s2 := s.Clone()
+		ok := true
+		for ai, a := range resolved {
+			if mask&(1<<uint(ai)) != 0 {
+				if !term.Equal(a, t[ai]) {
+					ok = false
+					break
+				}
+				continue
+			}
+			if s2, ok = term.Unify(a, t[ai], s2); !ok {
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if err := e.joinBody(body, i+1, deltaOcc, deltas, s2, pending, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tryDeferred attempts a builtin or negated goal. done=false means the
+// goal is not yet sufficiently instantiated and must be deferred.
+func (e *Engine) tryDeferred(l lang.Literal, s term.Subst) (ok, done bool, err error) {
+	if l.Neg {
+		resolved := s.ResolveAll(l.Args)
+		for _, a := range resolved {
+			if !term.Ground(a) {
+				return false, false, nil
+			}
+		}
+		if lang.IsBuiltin(l.Pred) {
+			return false, false, fmt.Errorf("eval: negated builtin %s", l)
+		}
+		rel := e.RelationFor(l.Tag())
+		e.Counters.Lookups++
+		if rel == nil {
+			return true, true, nil
+		}
+		return !rel.Contains(store.Tuple(resolved)), true, nil
+	}
+	// Builtin: evaluable when the EC condition holds under s.
+	bound := map[string]bool{}
+	for _, v := range l.Vars(nil) {
+		if term.Ground(s.Resolve(v)) {
+			bound[v.Name] = true
+		}
+	}
+	if !lang.BuiltinEC(l, bound) {
+		return false, false, nil
+	}
+	e.Counters.BuiltinCalls++
+	ok, err = lang.EvalBuiltin(l, s)
+	return ok, true, err
+}
+
+// Answers runs the engine (if needed) and returns the ground instances
+// of the query goal, deduplicated, in canonical order.
+func (e *Engine) Answers(q lang.Query) ([]store.Tuple, error) {
+	if err := e.Run(); err != nil {
+		return nil, err
+	}
+	rel := e.RelationFor(q.Goal.Tag())
+	if rel == nil {
+		return nil, nil
+	}
+	out := store.NewRelation("ans", q.Goal.Arity())
+	for _, t := range rel.Tuples() {
+		e.Counters.Unifications++
+		if s, ok := term.UnifyAll(q.Goal.Args, []term.Term(t), term.NewSubst()); ok {
+			_ = s
+			out.MustInsert(t)
+		}
+	}
+	return out.Sorted(), nil
+}
+
+// AnswerSubsts returns, for each matching tuple, the substitution of
+// the query's variables.
+func (e *Engine) AnswerSubsts(q lang.Query) ([]term.Subst, error) {
+	tuples, err := e.Answers(q)
+	if err != nil {
+		return nil, err
+	}
+	var out []term.Subst
+	for _, t := range tuples {
+		if s, ok := term.UnifyAll(q.Goal.Args, []term.Term(t), term.NewSubst()); ok {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}

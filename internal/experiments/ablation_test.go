@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+func TestA1DecisionFlips(t *testing.T) {
+	tab := A1MagicOverhead()
+	if tab.Metrics["decision_flips"] != 1 {
+		t.Error("recursive-method choice never flipped across the overhead sweep")
+		for _, r := range tab.Rows {
+			t.Logf("%v", r)
+		}
+	}
+}
+
+func TestA2MemoSpeedup(t *testing.T) {
+	tab := A2MemoAblation()
+	if tab.Metrics["memo_speedup_k6"] < 1.5 {
+		t.Errorf("memoization speedup at k=6 = %v, want >= 1.5x", tab.Metrics["memo_speedup_k6"])
+	}
+}
+
+func TestE11TotalSpeedup(t *testing.T) {
+	tab := E11BottomLine()
+	if tab.Metrics["total_speedup_sg"] < 1.2 {
+		t.Errorf("total speedup (incl. optimize time) = %v, want > 1.2x", tab.Metrics["total_speedup_sg"])
+		for _, r := range tab.Rows {
+			t.Logf("%v", r)
+		}
+	}
+}
+
+func TestA3MethodMixShifts(t *testing.T) {
+	tab := A3AccessPathCosts()
+	if tab.Metrics["indexnl_declines"] != 1 {
+		t.Error("index-nl usage did not decline as probes got pricier")
+		for _, r := range tab.Rows {
+			t.Logf("%v", r)
+		}
+	}
+}

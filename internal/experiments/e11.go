@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ldl"
+	"ldl/internal/workload"
+)
+
+// E11BottomLine measures the deal the paper's architecture offers the
+// user: pay a compile-time optimization cost once, win it back at
+// execution. For each workload it compares unoptimized evaluation
+// against optimize+compile+execute wall time, including the optimizer's
+// own overhead — the number that justifies a cost-based optimizer at
+// all.
+func E11BottomLine() *Table {
+	t := &Table{
+		ID:     "E11",
+		Title:  "Bottom line: total wall time (optimize + execute) vs unoptimized evaluation",
+		Paper:  "\"the user need only supply a correct query, and the system is expected to devise an efficient execution strategy for it\" (§1)",
+		Header: []string{"workload", "query", "unoptimized", "optimize", "execute", "total speedup"},
+	}
+	type w struct {
+		name string
+		src  string
+		goal string
+	}
+	spec := workload.SameGenSpec{Depth: 8, Fanout: 2}
+	cases := []w{
+		{"sg tree d8", workload.SameGen(spec), fmt.Sprintf("sg(%s, Y)", workload.SameGenLeaf(spec, 1))},
+		{"tc chain 150", workload.TCChain(150), "tc(140, Y)"},
+	}
+	for _, c := range cases {
+		sys, err := ldl.Load(c.src)
+		if err != nil {
+			panic(err)
+		}
+		start := time.Now()
+		if _, _, err := sys.EvaluateUnoptimized(c.goal); err != nil {
+			panic(err)
+		}
+		unopt := time.Since(start)
+
+		start = time.Now()
+		p, err := sys.Optimize(c.goal)
+		if err != nil {
+			panic(err)
+		}
+		optT := time.Since(start)
+		start = time.Now()
+		if _, err := p.Execute(); err != nil {
+			panic(err)
+		}
+		execT := time.Since(start)
+
+		speed := float64(unopt) / float64(optT+execT)
+		t.Rows = append(t.Rows, []string{
+			c.name, c.goal + "?",
+			unopt.Round(time.Microsecond).String(),
+			optT.Round(time.Microsecond).String(),
+			execT.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1fx", speed),
+		})
+		if c.name == "sg tree d8" {
+			t.metric("total_speedup_sg", speed)
+		}
+	}
+	t.Notes = append(t.Notes, "optimization cost is amortized further when the compiled query form is reused")
+	return t
+}

@@ -1,0 +1,155 @@
+// Package experiments implements the reproduction harness: one runner
+// per experiment in DESIGN.md's per-experiment index (E1–E10), each
+// regenerating a table the paper reports or implies, with the paper's
+// claim recorded next to the measured outcome. cmd/ldlbench prints the
+// tables; the root bench suite wraps the runners and reports their
+// headline metrics.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one regenerated result table.
+type Table struct {
+	ID    string
+	Title string
+	// Paper states the claim being reproduced, quoted or paraphrased.
+	Paper  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	// Metrics are headline numbers for benchmark reporting.
+	Metrics map[string]float64
+}
+
+func (t *Table) metric(name string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = map[string]float64{}
+	}
+	t.Metrics[name] = v
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "paper: %s\n\n", t.Paper)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// All runs every experiment with its default configuration.
+func All() []*Table {
+	return []*Table{
+		E1KBZQuality(60, 1),
+		E2AnnealQuality(40, 1),
+		E3StrategyScaling(),
+		E4QuerySpecific(),
+		E5RecursiveMethods(),
+		E6Adornments(),
+		E7Safety(),
+		E8MatPipe(),
+		E9PushSelect(),
+		E10Memoization(),
+		E11BottomLine(),
+		A1MagicOverhead(),
+		A2MemoAblation(),
+		A3AccessPathCosts(),
+	}
+}
+
+// IndexEntry names one experiment without running it.
+type IndexEntry struct {
+	ID, Title string
+}
+
+// Index lists every experiment id and title (static — nothing runs).
+func Index() []IndexEntry {
+	return []IndexEntry{
+		{"E1", "KBZ quadratic strategy vs exhaustive search (random queries & catalogs)"},
+		{"E2", "Simulated annealing quality vs probe budget"},
+		{"E3", "Optimize-time scaling by strategy"},
+		{"E4", "Query-form-specific compilation"},
+		{"E5", "Recursive methods on same-generation and transitive closure"},
+		{"E6", "c-permutations of the sg clique: adorned programs and costs"},
+		{"E7", "Safety: compile-time verdicts per query form"},
+		{"E8", "Materialize vs pipeline as binding selectivity varies"},
+		{"E9", "Pushing the query constant through layered nonrecursive rules"},
+		{"E10", "Binding-indexed memoization of OR-subtree optimizations"},
+		{"E11", "Bottom line: optimize+execute wall time vs unoptimized"},
+		{"A1", "Ablation: recursive-method choice vs the magic bookkeeping constant"},
+		{"A2", "Ablation: optimizer with and without binding-indexed memoization"},
+		{"A3", "Ablation: join-method mix vs index probe cost"},
+	}
+}
+
+// ByID returns the experiment runner for an id like "1" or "E1".
+func ByID(id string) (func() *Table, bool) {
+	id = strings.TrimPrefix(strings.ToUpper(id), "E")
+	switch id {
+	case "1":
+		return func() *Table { return E1KBZQuality(100, 1) }, true
+	case "2":
+		return func() *Table { return E2AnnealQuality(60, 1) }, true
+	case "3":
+		return E3StrategyScaling, true
+	case "4":
+		return E4QuerySpecific, true
+	case "5":
+		return E5RecursiveMethods, true
+	case "6":
+		return E6Adornments, true
+	case "7":
+		return E7Safety, true
+	case "8":
+		return E8MatPipe, true
+	case "9":
+		return E9PushSelect, true
+	case "10":
+		return E10Memoization, true
+	case "11":
+		return E11BottomLine, true
+	case "A1":
+		return A1MagicOverhead, true
+	case "A2":
+		return A2MemoAblation, true
+	case "A3":
+		return A3AccessPathCosts, true
+	}
+	return nil, false
+}

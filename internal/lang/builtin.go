@@ -1,0 +1,238 @@
+package lang
+
+import (
+	"fmt"
+
+	"ldl/internal/term"
+)
+
+// Builtin (evaluable) predicates. The paper treats these as infinite
+// relations — e.g. all pairs with x>y — which is why their execution
+// must wait for enough arguments to be instantiated (the EC, effective
+// computability, condition of §8.1).
+
+// Comparison predicate names. "=" doubles as unification and as
+// arithmetic evaluation when a side is an arithmetic expression.
+const (
+	OpEq = "="
+	OpNe = "\\="
+	OpLt = "<"
+	OpLe = "=<"
+	OpGt = ">"
+	OpGe = ">="
+)
+
+var builtinPreds = map[string]bool{
+	OpEq: true, OpNe: true, OpLt: true, OpLe: true, OpGt: true, OpGe: true,
+}
+
+// IsBuiltin reports whether pred names an evaluable predicate.
+func IsBuiltin(pred string) bool { return builtinPreds[pred] }
+
+// arithOps are the evaluable function symbols inside expressions.
+var arithOps = map[string]int{
+	"+": 2, "-": 2, "*": 2, "/": 2, "mod": 2, "^": 2, "neg": 1,
+}
+
+// IsArithExpr reports whether t is headed by an arithmetic operator.
+func IsArithExpr(t term.Term) bool {
+	c, ok := t.(term.Comp)
+	if !ok {
+		return false
+	}
+	n, ok := arithOps[c.Functor]
+	return ok && len(c.Args) == n
+}
+
+// EvalArith evaluates a ground arithmetic expression to an integer.
+// Non-arithmetic leaves must be Int constants.
+func EvalArith(t term.Term) (term.Int, error) {
+	switch x := t.(type) {
+	case term.Int:
+		return x, nil
+	case term.Var:
+		return 0, fmt.Errorf("lang: unbound variable %s in arithmetic expression", x.Name)
+	case term.Comp:
+		n, ok := arithOps[x.Functor]
+		if !ok || len(x.Args) != n {
+			return 0, fmt.Errorf("lang: %s/%d is not an arithmetic operator", x.Functor, len(x.Args))
+		}
+		a, err := EvalArith(x.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		if n == 1 { // neg
+			return -a, nil
+		}
+		b, err := EvalArith(x.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		switch x.Functor {
+		case "+":
+			return a + b, nil
+		case "-":
+			return a - b, nil
+		case "*":
+			return a * b, nil
+		case "/":
+			if b == 0 {
+				return 0, fmt.Errorf("lang: division by zero")
+			}
+			return a / b, nil
+		case "mod":
+			if b == 0 {
+				return 0, fmt.Errorf("lang: mod by zero")
+			}
+			return a % b, nil
+		case "^":
+			if b < 0 {
+				return 0, fmt.Errorf("lang: negative exponent %d", b)
+			}
+			r := term.Int(1)
+			for i := term.Int(0); i < b; i++ {
+				r *= a
+			}
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("lang: cannot evaluate %s arithmetically", t)
+}
+
+// sideBound reports whether every variable of t is in bound.
+func sideBound(t term.Term, bound map[string]bool) bool {
+	return argBound(t, bound)
+}
+
+// BuiltinEC is the compile-time effective-computability test of §8.1:
+// given the set of variable names instantiated before the builtin goal
+// runs, is the goal guaranteed to have a finite (at most one) answer?
+//
+//   - Comparisons other than equality require all variables bound.
+//   - Equality "x = expression" is EC as soon as all the variables of
+//     the expression side are instantiated and the other side is either
+//     a single variable or also fully bound; an arithmetic-expression
+//     side must always be fully bound.
+func BuiltinEC(l Literal, bound map[string]bool) bool {
+	if !IsBuiltin(l.Pred) || len(l.Args) != 2 {
+		return false
+	}
+	lhs, rhs := l.Args[0], l.Args[1]
+	if l.Pred != OpEq {
+		return sideBound(lhs, bound) && sideBound(rhs, bound)
+	}
+	lb, rb := sideBound(lhs, bound), sideBound(rhs, bound)
+	if IsArithExpr(lhs) && !lb {
+		return false
+	}
+	if IsArithExpr(rhs) && !rb {
+		return false
+	}
+	// Unification with one fully bound side grounds the other side.
+	return lb || rb
+}
+
+// BuiltinBinds returns the variable names newly instantiated by a
+// successful execution of the builtin under the given prior bindings.
+// Only "=" binds; comparisons are pure tests.
+func BuiltinBinds(l Literal, bound map[string]bool) []string {
+	if l.Pred != OpEq {
+		return nil
+	}
+	var out []string
+	set := map[string]bool{}
+	l.VarSet(set)
+	for v := range set {
+		if !bound[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// EvalBuiltin executes a builtin goal under substitution s, extending s
+// with any new bindings (for "="). It returns whether the goal
+// succeeds. An unbound variable where a value is required is an error —
+// the runtime counterpart of an EC violation that the optimizer should
+// have prevented.
+func EvalBuiltin(l Literal, s term.Subst) (bool, error) {
+	if len(l.Args) != 2 {
+		return false, fmt.Errorf("lang: builtin %s needs 2 arguments", l.Pred)
+	}
+	lhs := s.Resolve(l.Args[0])
+	rhs := s.Resolve(l.Args[1])
+	if l.Pred == OpEq {
+		lv, err := normalizeEqSide(lhs)
+		if err != nil {
+			return false, err
+		}
+		rv, err := normalizeEqSide(rhs)
+		if err != nil {
+			return false, err
+		}
+		_, ok := term.Unify(lv, rv, s)
+		return ok, nil
+	}
+	// Comparisons: \= compares arbitrary ground terms; the order
+	// predicates compare integers (after arithmetic evaluation).
+	if l.Pred == OpNe {
+		if !term.Ground(lhs) || !term.Ground(rhs) {
+			return false, fmt.Errorf("lang: %s on non-ground terms", l)
+		}
+		le, err := normalizeEqSide(lhs)
+		if err != nil {
+			return false, err
+		}
+		re, err := normalizeEqSide(rhs)
+		if err != nil {
+			return false, err
+		}
+		return !term.Equal(le, re), nil
+	}
+	a, err := EvalArith(lhs)
+	if err != nil {
+		return false, err
+	}
+	b, err := EvalArith(rhs)
+	if err != nil {
+		return false, err
+	}
+	switch l.Pred {
+	case OpLt:
+		return a < b, nil
+	case OpLe:
+		return a <= b, nil
+	case OpGt:
+		return a > b, nil
+	case OpGe:
+		return a >= b, nil
+	}
+	return false, fmt.Errorf("lang: unknown builtin %q", l.Pred)
+}
+
+// normalizeEqSide evaluates arithmetic expressions; plain terms pass
+// through so "=" can unify complex terms structurally.
+func normalizeEqSide(t term.Term) (term.Term, error) {
+	if IsArithExpr(t) {
+		v, err := EvalArith(t)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	return t, nil
+}
+
+// BuiltinSelectivity is the default fraction of candidate bindings a
+// comparison test passes, used by the cost model. Equality used as a
+// test is the most selective.
+func BuiltinSelectivity(pred string) float64 {
+	switch pred {
+	case OpEq:
+		return 0.1
+	case OpNe:
+		return 0.9
+	default:
+		return 1.0 / 3.0
+	}
+}

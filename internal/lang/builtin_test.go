@@ -1,0 +1,211 @@
+package lang
+
+import (
+	"testing"
+
+	"ldl/internal/term"
+)
+
+func i(n int64) term.Term { return term.Int(n) }
+
+func bin(op string, a, b term.Term) term.Term {
+	return term.Comp{Functor: op, Args: []term.Term{a, b}}
+}
+
+func TestIsBuiltin(t *testing.T) {
+	for _, p := range []string{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+		if !IsBuiltin(p) {
+			t.Errorf("%q not builtin", p)
+		}
+	}
+	if IsBuiltin("sg") || IsBuiltin("+") {
+		t.Error("non-builtin classified builtin")
+	}
+}
+
+func TestEvalArith(t *testing.T) {
+	cases := []struct {
+		t    term.Term
+		want int64
+		err  bool
+	}{
+		{i(5), 5, false},
+		{bin("+", i(2), i(3)), 5, false},
+		{bin("-", i(2), i(3)), -1, false},
+		{bin("*", i(4), i(3)), 12, false},
+		{bin("/", i(7), i(2)), 3, false},
+		{bin("/", i(7), i(0)), 0, true},
+		{bin("mod", i(7), i(4)), 3, false},
+		{bin("mod", i(7), i(0)), 0, true},
+		{bin("^", i(2), i(10)), 1024, false},
+		{bin("^", i(2), i(-1)), 0, true},
+		{term.Comp{Functor: "neg", Args: []term.Term{i(4)}}, -4, false},
+		{bin("+", i(1), bin("*", i(2), i(3))), 7, false},
+		{term.Var{Name: "X"}, 0, true},
+		{term.Atom("a"), 0, true},
+		{term.Comp{Functor: "f", Args: []term.Term{i(1)}}, 0, true},
+		{term.Str("s"), 0, true},
+	}
+	for _, c := range cases {
+		got, err := EvalArith(c.t)
+		if c.err {
+			if err == nil {
+				t.Errorf("EvalArith(%v): want error, got %d", c.t, got)
+			}
+			continue
+		}
+		if err != nil || int64(got) != c.want {
+			t.Errorf("EvalArith(%v) = %d, %v; want %d", c.t, got, err, c.want)
+		}
+	}
+}
+
+func TestIsArithExpr(t *testing.T) {
+	if !IsArithExpr(bin("+", i(1), i(2))) {
+		t.Error("+/2 not arith")
+	}
+	if IsArithExpr(term.Comp{Functor: "+", Args: []term.Term{i(1)}}) {
+		t.Error("+/1 arith")
+	}
+	if IsArithExpr(i(2)) || IsArithExpr(term.Comp{Functor: "f", Args: []term.Term{i(1)}}) {
+		t.Error("non-arith classified arith")
+	}
+}
+
+func TestBuiltinEC(t *testing.T) {
+	x, y := term.Var{Name: "X"}, term.Var{Name: "Y"}
+	bX := map[string]bool{"X": true}
+	bXY := map[string]bool{"X": true, "Y": true}
+	cases := []struct {
+		l     Literal
+		bound map[string]bool
+		want  bool
+	}{
+		// comparisons need all vars bound
+		{Lit(OpLt, x, y), bX, false},
+		{Lit(OpLt, x, y), bXY, true},
+		{Lit(OpLt, x, i(3)), bX, true},
+		{Lit(OpLt, x, i(3)), nil, false},
+		{Lit(OpNe, x, y), bX, false},
+		{Lit(OpNe, x, y), bXY, true},
+		// = : one fully bound side suffices
+		{Lit(OpEq, x, i(3)), nil, true},
+		{Lit(OpEq, x, y), bX, true},
+		{Lit(OpEq, x, y), nil, false},
+		{Lit(OpEq, x, bin("+", y, i(1))), bX, false}, // X bound, Y free: arith side must be fully bound
+		{Lit(OpEq, x, bin("+", y, i(1))), map[string]bool{"Y": true}, true},
+		{Lit(OpEq, bin("^", i(2), x), y), map[string]bool{"Y": true}, false}, // 2^X = Y, X free
+		{Lit(OpEq, bin("^", i(2), x), y), bX, true},
+		// complex (non-arith) term sides
+		{Lit(OpEq, x, term.Comp{Functor: "f", Args: []term.Term{y}}), bX, true},
+		{Lit(OpEq, term.Comp{Functor: "f", Args: []term.Term{x}}, y), nil, false},
+		// non-builtins and wrong arity are never EC-approved here
+		{Lit("p", x), bXY, false},
+		{Literal{Pred: OpEq, Args: []term.Term{x}}, bXY, false},
+	}
+	for _, c := range cases {
+		if got := BuiltinEC(c.l, c.bound); got != c.want {
+			t.Errorf("BuiltinEC(%s, %v) = %v, want %v", c.l, c.bound, got, c.want)
+		}
+	}
+}
+
+// The X bound but Y free arithmetic case: X = Y+1 with X bound means the
+// arith side Y+1 is unbound, so it must NOT be EC.
+func TestBuiltinECArithSideFree(t *testing.T) {
+	x, y := term.Var{Name: "X"}, term.Var{Name: "Y"}
+	l := Lit(OpEq, x, bin("+", y, i(1)))
+	if BuiltinEC(l, map[string]bool{"X": true}) {
+		t.Error("X = Y+1 with only X bound accepted as EC; inverting arithmetic is not supported")
+	}
+}
+
+func TestBuiltinBinds(t *testing.T) {
+	x, y := term.Var{Name: "X"}, term.Var{Name: "Y"}
+	got := BuiltinBinds(Lit(OpEq, x, bin("+", y, i(1))), map[string]bool{"Y": true})
+	if len(got) != 1 || got[0] != "X" {
+		t.Errorf("BuiltinBinds = %v", got)
+	}
+	if got := BuiltinBinds(Lit(OpLt, x, y), nil); got != nil {
+		t.Errorf("comparison binds %v", got)
+	}
+}
+
+func TestEvalBuiltin(t *testing.T) {
+	x := term.Var{Name: "X"}
+	s := term.NewSubst()
+	// X = 2 + 3
+	ok, err := EvalBuiltin(Lit(OpEq, x, bin("+", i(2), i(3))), s)
+	if err != nil || !ok {
+		t.Fatalf("X=2+3: %v %v", ok, err)
+	}
+	if got := s.Resolve(x); !term.Equal(got, i(5)) {
+		t.Errorf("X = %v", got)
+	}
+	// 5 < 6, 5 < 5
+	if ok, err := EvalBuiltin(Lit(OpLt, x, i(6)), s); err != nil || !ok {
+		t.Errorf("5<6: %v %v", ok, err)
+	}
+	if ok, err := EvalBuiltin(Lit(OpLt, x, i(5)), s); err != nil || ok {
+		t.Errorf("5<5: %v %v", ok, err)
+	}
+	if ok, err := EvalBuiltin(Lit(OpLe, x, i(5)), s); err != nil || !ok {
+		t.Errorf("5=<5: %v %v", ok, err)
+	}
+	if ok, err := EvalBuiltin(Lit(OpGt, x, i(4)), s); err != nil || !ok {
+		t.Errorf("5>4: %v %v", ok, err)
+	}
+	if ok, err := EvalBuiltin(Lit(OpGe, x, i(5)), s); err != nil || !ok {
+		t.Errorf("5>=5: %v %v", ok, err)
+	}
+	// structural equality on complex terms
+	s2 := term.NewSubst()
+	f := term.Comp{Functor: "f", Args: []term.Term{term.Var{Name: "A"}, i(2)}}
+	g := term.Comp{Functor: "f", Args: []term.Term{i(1), i(2)}}
+	if ok, err := EvalBuiltin(Lit(OpEq, f, g), s2); err != nil || !ok {
+		t.Fatalf("f unify: %v %v", ok, err)
+	}
+	if got := s2.Resolve(term.Var{Name: "A"}); !term.Equal(got, i(1)) {
+		t.Errorf("A = %v", got)
+	}
+	// \= on ground terms, including arithmetic normalization
+	s3 := term.NewSubst()
+	if ok, err := EvalBuiltin(Lit(OpNe, i(3), bin("+", i(1), i(2))), s3); err != nil || ok {
+		t.Errorf("3 \\= 1+2: %v %v", ok, err)
+	}
+	if ok, err := EvalBuiltin(Lit(OpNe, term.Atom("a"), term.Atom("b")), s3); err != nil || !ok {
+		t.Errorf("a \\= b: %v %v", ok, err)
+	}
+	if _, err := EvalBuiltin(Lit(OpNe, x, term.Var{Name: "Q"}), term.NewSubst()); err == nil {
+		t.Error("\\= on unbound accepted")
+	}
+	// runtime errors
+	if _, err := EvalBuiltin(Lit(OpLt, term.Var{Name: "Q"}, i(1)), term.NewSubst()); err == nil {
+		t.Error("unbound comparison accepted")
+	}
+	if _, err := EvalBuiltin(Lit(OpEq, x, bin("/", i(1), i(0))), term.NewSubst()); err == nil {
+		t.Error("division by zero accepted")
+	}
+	if _, err := EvalBuiltin(Lit(OpEq, bin("/", i(1), i(0)), x), term.NewSubst()); err == nil {
+		t.Error("division by zero on lhs accepted")
+	}
+	if _, err := EvalBuiltin(Literal{Pred: OpEq, Args: []term.Term{x}}, term.NewSubst()); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := EvalBuiltin(Lit("??", i(1), i(2)), term.NewSubst()); err == nil {
+		t.Error("unknown builtin accepted")
+	}
+	// comparisons evaluate arithmetic on both sides
+	if ok, err := EvalBuiltin(Lit(OpLt, bin("*", i(2), i(3)), bin("^", i(2), i(3))), term.NewSubst()); err != nil || !ok {
+		t.Errorf("6 < 8: %v %v", ok, err)
+	}
+}
+
+func TestBuiltinSelectivity(t *testing.T) {
+	if BuiltinSelectivity(OpEq) >= BuiltinSelectivity(OpLt) {
+		t.Error("equality should be more selective than inequality")
+	}
+	if BuiltinSelectivity(OpNe) <= BuiltinSelectivity(OpLt) {
+		t.Error("disequality should be less selective than ordering")
+	}
+}

@@ -1,0 +1,51 @@
+package lang
+
+import (
+	"fmt"
+
+	"ldl/internal/term"
+)
+
+// Normalize rewrites predicates that have both facts and rules: the
+// facts move to a fresh base predicate "<pred>$base" and a bridging
+// rule "<pred>(V...) <- <pred>$base(V...)" is added. Downstream
+// rewrites (adorned replication, magic, counting) replicate *rules*
+// per binding pattern; without this normalization the facts of such a
+// predicate would be stranded under the original name and silently
+// missing from the rewritten program. Programs without mixed
+// predicates are returned unchanged.
+func Normalize(p *Program) (*Program, error) {
+	mixed := map[string]bool{}
+	for _, f := range p.Facts {
+		if p.IsDerived(f.Head.Tag()) {
+			mixed[f.Head.Tag()] = true
+		}
+	}
+	if len(mixed) == 0 {
+		return p, nil
+	}
+	var clauses []Rule
+	clauses = append(clauses, p.Rules...)
+	bridged := map[string]bool{}
+	for _, f := range p.Facts {
+		tag := f.Head.Tag()
+		if !mixed[tag] {
+			clauses = append(clauses, f)
+			continue
+		}
+		base := f.Head.Pred + "$base"
+		clauses = append(clauses, Rule{Head: Literal{Pred: base, Args: f.Head.Args}})
+		if !bridged[tag] {
+			bridged[tag] = true
+			vars := make([]term.Term, f.Head.Arity())
+			for i := range vars {
+				vars[i] = term.Var{Name: fmt.Sprintf("$V%d", i)}
+			}
+			clauses = append(clauses, Rule{
+				Head: Literal{Pred: f.Head.Pred, Args: vars},
+				Body: []Literal{{Pred: base, Args: vars}},
+			})
+		}
+	}
+	return NewProgram(clauses)
+}

@@ -1,0 +1,96 @@
+package lang
+
+import (
+	"testing"
+
+	"ldl/internal/term"
+)
+
+func TestNormalizeMixedPredicate(t *testing.T) {
+	clauses := []Rule{
+		{Head: Lit("reach", term.Int(1))},
+		{Head: Lit("reach", v("Y")), Body: []Literal{Lit("reach", v("X")), Lit("e", v("X"), v("Y"))}},
+		{Head: Lit("e", term.Int(1), term.Int(2))},
+	}
+	p, err := NewProgram(clauses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := Normalize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// reach's fact moved to reach$base; a bridge rule added.
+	if len(np.RulesFor("reach$base/1")) != 0 {
+		t.Error("reach$base has rules")
+	}
+	foundBase := false
+	for _, f := range np.Facts {
+		if f.Head.Pred == "reach$base" {
+			foundBase = true
+		}
+		if f.Head.Pred == "reach" {
+			t.Error("reach fact survived normalization")
+		}
+	}
+	if !foundBase {
+		t.Error("no reach$base fact")
+	}
+	bridges := 0
+	for _, r := range np.RulesFor("reach/1") {
+		if len(r.Body) == 1 && r.Body[0].Pred == "reach$base" {
+			bridges++
+		}
+	}
+	if bridges != 1 {
+		t.Errorf("bridge rules = %d", bridges)
+	}
+	// e/2 is untouched.
+	if np.IsDerived("e/2") {
+		t.Error("pure base predicate got rules")
+	}
+}
+
+func TestNormalizeNoMixedIsIdentity(t *testing.T) {
+	p, err := NewProgram([]Rule{
+		{Head: Lit("e", term.Int(1), term.Int(2))},
+		{Head: Lit("p", v("X")), Body: []Literal{Lit("e", v("X"), v("Y"))}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := Normalize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if np != p {
+		t.Error("unmixed program was rewritten")
+	}
+}
+
+func TestNormalizeMultipleFactsOneBridge(t *testing.T) {
+	p, err := NewProgram([]Rule{
+		{Head: Lit("n", term.Int(1))},
+		{Head: Lit("n", term.Int(2))},
+		{Head: Lit("n", v("Y")), Body: []Literal{Lit("s", v("X"), v("Y")), Lit("n", v("X"))}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := Normalize(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(np.RulesFor("n/1")); got != 2 { // original + one bridge
+		t.Errorf("n rules = %d", got)
+	}
+	base := 0
+	for _, f := range np.Facts {
+		if f.Head.Pred == "n$base" {
+			base++
+		}
+	}
+	if base != 2 {
+		t.Errorf("n$base facts = %d", base)
+	}
+}

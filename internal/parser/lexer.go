@@ -1,0 +1,187 @@
+// Package parser turns LDL surface syntax into lang.Rule values. The
+// syntax follows the paper's examples:
+//
+//	sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).
+//	up(a, b).
+//	p(X, Y, Z) <- X = 3, Z = X + Y.
+//	sg(john, Y)?
+//
+// Variables start with an upper-case letter or '_'; atoms with a
+// lower-case letter; lists use [a, b | T]; '%' starts a line comment.
+// Stratified negation is written "not p(X)".
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokAtom
+	tokVar
+	tokInt
+	tokStr
+	tokPunct // ( ) [ ] , | . ?
+	tokOp    // <- = \= < =< > >= + - * / ^ mod
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (lx *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("parser: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) advance() byte {
+	b := lx.src[lx.pos]
+	lx.pos++
+	if b == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return b
+}
+
+func (lx *lexer) skipSpace() {
+	for lx.pos < len(lx.src) {
+		b := lx.peekByte()
+		if b == '%' {
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		if b == ' ' || b == '\t' || b == '\r' || b == '\n' {
+			lx.advance()
+			continue
+		}
+		break
+	}
+}
+
+func isIdentStart(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b))
+}
+
+func isIdentPart(b byte) bool {
+	return b == '_' || unicode.IsLetter(rune(b)) || unicode.IsDigit(rune(b))
+}
+
+// next scans the next token.
+func (lx *lexer) next() (token, error) {
+	lx.skipSpace()
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	b := lx.peekByte()
+	switch {
+	case b >= '0' && b <= '9':
+		start := lx.pos
+		for lx.pos < len(lx.src) && lx.peekByte() >= '0' && lx.peekByte() <= '9' {
+			lx.advance()
+		}
+		return token{kind: tokInt, text: lx.src[start:lx.pos], line: line, col: col}, nil
+	case b == '"':
+		lx.advance()
+		var sb strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return token{}, lx.errorf(line, col, "unterminated string")
+			}
+			c := lx.advance()
+			if c == '"' {
+				return token{kind: tokStr, text: sb.String(), line: line, col: col}, nil
+			}
+			if c == '\\' {
+				if lx.pos >= len(lx.src) {
+					return token{}, lx.errorf(line, col, "unterminated escape")
+				}
+				e := lx.advance()
+				switch e {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '\\', '"':
+					sb.WriteByte(e)
+				default:
+					return token{}, lx.errorf(lx.line, lx.col, "bad escape \\%c", e)
+				}
+				continue
+			}
+			sb.WriteByte(c)
+		}
+	case isIdentStart(b):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		if text == "mod" {
+			return token{kind: tokOp, text: text, line: line, col: col}, nil
+		}
+		first := rune(text[0])
+		if first == '_' || unicode.IsUpper(first) {
+			return token{kind: tokVar, text: text, line: line, col: col}, nil
+		}
+		return token{kind: tokAtom, text: text, line: line, col: col}, nil
+	}
+	// Punctuation and operators.
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch two {
+	case "<-", "=<", ">=", "\\=", ":-":
+		lx.advance()
+		lx.advance()
+		if two == ":-" { // accept Prolog-style arrow as a synonym
+			two = "<-"
+		}
+		return token{kind: tokOp, text: two, line: line, col: col}, nil
+	}
+	lx.advance()
+	switch b {
+	case '(', ')', '[', ']', ',', '|', '.', '?':
+		return token{kind: tokPunct, text: string(b), line: line, col: col}, nil
+	case '=', '<', '>', '+', '-', '*', '/', '^':
+		return token{kind: tokOp, text: string(b), line: line, col: col}, nil
+	case '~':
+		return token{kind: tokOp, text: "~", line: line, col: col}, nil
+	}
+	return token{}, lx.errorf(line, col, "unexpected character %q", b)
+}

@@ -1,0 +1,462 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"ldl/internal/lang"
+	"ldl/internal/term"
+)
+
+// Result is the outcome of parsing a source file: the program clauses
+// (rules and facts) and any query forms ("goal?" lines).
+type Result struct {
+	Clauses []lang.Rule
+	Queries []lang.Query
+}
+
+// Parse parses LDL source text.
+func Parse(src string) (*Result, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for p.tok.kind != tokEOF {
+		if err := p.clause(res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// ParseProgram parses source text and builds a validated Program plus
+// the queries it contains.
+func ParseProgram(src string) (*lang.Program, []lang.Query, error) {
+	res, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := lang.NewProgram(res.Clauses)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, res.Queries, nil
+}
+
+// MustParseProgram is ParseProgram for tests and examples with known-
+// good sources; it panics on error.
+func MustParseProgram(src string) (*lang.Program, []lang.Query) {
+	prog, qs, err := ParseProgram(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog, qs
+}
+
+// ParseLiteral parses a single literal, e.g. "sg(john, Y)".
+func ParseLiteral(src string) (lang.Literal, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return lang.Literal{}, err
+	}
+	l, err := p.literal()
+	if err != nil {
+		return lang.Literal{}, err
+	}
+	if p.tok.kind != tokEOF {
+		return lang.Literal{}, p.errf("unexpected %s after literal", p.tok)
+	}
+	return l, nil
+}
+
+// ParseTerm parses a single term, e.g. "f(a, [1,2|T])".
+func ParseTerm(src string) (term.Term, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	t, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %s after term", p.tok)
+	}
+	return t, nil
+}
+
+type parser struct {
+	lx  *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("parser: %d:%d: %s", p.tok.line, p.tok.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != tokPunct || p.tok.text != s {
+		return p.errf("expected %q, found %s", s, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) isPunct(s string) bool { return p.tok.kind == tokPunct && p.tok.text == s }
+func (p *parser) isOp(s string) bool    { return p.tok.kind == tokOp && p.tok.text == s }
+
+// clause ::= literal [ "<-" literal { "," literal } ] "." | literal "?"
+func (p *parser) clause(res *Result) error {
+	head, err := p.literal()
+	if err != nil {
+		return err
+	}
+	if p.isPunct("?") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		res.Queries = append(res.Queries, lang.Query{Goal: head})
+		return nil
+	}
+	rule := lang.Rule{Head: head}
+	if head.Neg {
+		return p.errf("negated literal cannot head a clause")
+	}
+	if p.isOp("<-") {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		for {
+			l, err := p.literal()
+			if err != nil {
+				return err
+			}
+			rule.Body = append(rule.Body, l)
+			if p.isPunct(",") {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectPunct("."); err != nil {
+		return err
+	}
+	res.Clauses = append(res.Clauses, rule)
+	return nil
+}
+
+// literal ::= ["not"|"~"] ( atom [ "(" expr {"," expr} ")" ] | expr relop expr )
+func (p *parser) literal() (lang.Literal, error) {
+	neg := false
+	if (p.tok.kind == tokAtom && p.tok.text == "not") || p.isOp("~") {
+		neg = true
+		if err := p.advance(); err != nil {
+			return lang.Literal{}, err
+		}
+	}
+	// An atom followed by '(' is a predicate application; but it might
+	// also be the left side of a comparison (e.g. a = X). Parse an
+	// expression first, then look for a relational operator.
+	lhs, predLit, err := p.literalHead()
+	if err != nil {
+		return lang.Literal{}, err
+	}
+	if predLit != nil {
+		predLit.Neg = neg
+		// Allow a comparison whose left side happens to parse as a
+		// 0-ary predicate (a bare atom): handled inside literalHead.
+		return *predLit, nil
+	}
+	// Must be a comparison literal.
+	op := ""
+	if p.tok.kind == tokOp {
+		switch p.tok.text {
+		case lang.OpEq, lang.OpNe, lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe:
+			op = p.tok.text
+		}
+	}
+	if op == "" {
+		return lang.Literal{}, p.errf("expected comparison operator, found %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return lang.Literal{}, err
+	}
+	rhs, err := p.expr()
+	if err != nil {
+		return lang.Literal{}, err
+	}
+	return lang.Literal{Pred: op, Args: []term.Term{lhs, rhs}, Neg: neg}, nil
+}
+
+// literalHead parses either a predicate application (returned as a
+// literal) or the left-hand expression of a comparison.
+func (p *parser) literalHead() (term.Term, *lang.Literal, error) {
+	if p.tok.kind == tokAtom {
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, nil, err
+		}
+		if p.isPunct("(") {
+			if err := p.advance(); err != nil {
+				return nil, nil, err
+			}
+			var args []term.Term
+			for {
+				a, err := p.expr()
+				if err != nil {
+					return nil, nil, err
+				}
+				args = append(args, a)
+				if p.isPunct(",") {
+					if err := p.advance(); err != nil {
+						return nil, nil, err
+					}
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, nil, err
+			}
+			// If a comparison operator follows, this was a compound term
+			// on the left of a comparison, e.g. f(X) = Y.
+			if p.tok.kind == tokOp && isRelOp(p.tok.text) {
+				return term.Comp{Functor: name, Args: args}, nil, nil
+			}
+			l := lang.Literal{Pred: name, Args: args}
+			return nil, &l, nil
+		}
+		// Bare atom: propositional literal unless a comparison follows.
+		if p.tok.kind == tokOp && isRelOp(p.tok.text) {
+			return term.Atom(name), nil, nil
+		}
+		l := lang.Literal{Pred: name}
+		return nil, &l, nil
+	}
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, nil, err
+	}
+	return lhs, nil, nil
+}
+
+func isRelOp(s string) bool {
+	switch s {
+	case lang.OpEq, lang.OpNe, lang.OpLt, lang.OpLe, lang.OpGt, lang.OpGe:
+		return true
+	}
+	return false
+}
+
+// Expression grammar with standard precedence:
+//
+//	expr   ::= mul { ("+"|"-") mul }
+//	mul    ::= pow { ("*"|"/"|"mod") pow }
+//	pow    ::= unary [ "^" pow ]           (right associative)
+//	unary  ::= "-" unary | primary
+//	primary::= int | string | var | atom [ "(" expr {,expr} ")" ] |
+//	           "[" list "]" | "(" expr ")"
+func (p *parser) expr() (term.Term, error) {
+	t, err := p.mul()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("+") || p.isOp("-") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.mul()
+		if err != nil {
+			return nil, err
+		}
+		t = term.Comp{Functor: op, Args: []term.Term{t, r}}
+	}
+	return t, nil
+}
+
+func (p *parser) mul() (term.Term, error) {
+	t, err := p.pow()
+	if err != nil {
+		return nil, err
+	}
+	for p.isOp("*") || p.isOp("/") || p.isOp("mod") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.pow()
+		if err != nil {
+			return nil, err
+		}
+		t = term.Comp{Functor: op, Args: []term.Term{t, r}}
+	}
+	return t, nil
+}
+
+func (p *parser) pow() (term.Term, error) {
+	t, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	if p.isOp("^") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.pow()
+		if err != nil {
+			return nil, err
+		}
+		return term.Comp{Functor: "^", Args: []term.Term{t, r}}, nil
+	}
+	return t, nil
+}
+
+func (p *parser) unary() (term.Term, error) {
+	if p.isOp("-") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if i, ok := t.(term.Int); ok {
+			return term.Int(-i), nil
+		}
+		return term.Comp{Functor: "neg", Args: []term.Term{t}}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (term.Term, error) {
+	switch p.tok.kind {
+	case tokInt:
+		v, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return term.Int(v), nil
+	case tokStr:
+		s := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return term.Str(s), nil
+	case tokVar:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return term.Var{Name: name}, nil
+	case tokAtom:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !p.isPunct("(") {
+			return term.Atom(name), nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var args []term.Term
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.isPunct(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return term.Comp{Functor: name, Args: args}, nil
+	case tokPunct:
+		switch p.tok.text {
+		case "[":
+			return p.list()
+		case "(":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			t, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return t, nil
+		}
+	}
+	return nil, p.errf("expected a term, found %s", p.tok)
+}
+
+// list ::= "[" "]" | "[" expr {"," expr} [ "|" expr ] "]"
+func (p *parser) list() (term.Term, error) {
+	if err := p.advance(); err != nil { // consume '['
+		return nil, err
+	}
+	if p.isPunct("]") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return term.EmptyList, nil
+	}
+	var elems []term.Term
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	tail := term.Term(term.EmptyList)
+	if p.isPunct("|") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		tail = t
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return nil, err
+	}
+	for i := len(elems) - 1; i >= 0; i-- {
+		tail = term.Cons(elems[i], tail)
+	}
+	return tail, nil
+}

@@ -1,0 +1,267 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"ldl/internal/lang"
+	"ldl/internal/term"
+)
+
+func TestParseFigure21StyleRuleBase(t *testing.T) {
+	src := `
+% Figure 2-1 style rule base
+p1(X, Y) <- b1(X, Z), p2(Z, Y).
+p2(X, Y) <- b2(X, W), p2(W, Y).  % recursive R21
+p2(X, Y) <- b3(X, Y).
+b1(a, b).
+b2(b, c).
+b3(c, d).
+p1(a, Y)?
+`
+	res, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clauses) != 6 {
+		t.Fatalf("clauses = %d", len(res.Clauses))
+	}
+	if len(res.Queries) != 1 {
+		t.Fatalf("queries = %d", len(res.Queries))
+	}
+	r := res.Clauses[1]
+	if r.Head.Tag() != "p2/2" || len(r.Body) != 2 || r.Body[1].Pred != "p2" {
+		t.Errorf("recursive rule parsed wrong: %s", r)
+	}
+	q := res.Queries[0]
+	if q.Goal.Pred != "p1" || !term.Equal(q.Goal.Args[0], term.Atom("a")) {
+		t.Errorf("query = %s", q)
+	}
+	if q.Adornment().Pattern(2) != "bf" {
+		t.Errorf("query adornment = %q", q.Adornment().Pattern(2))
+	}
+}
+
+func TestParseSameGeneration(t *testing.T) {
+	src := `sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y).`
+	res, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "sg(X, Y) <- up(X, X1), sg(Y1, X1), dn(Y1, Y)."
+	if got := res.Clauses[0].String(); got != want {
+		t.Errorf("round trip: %q, want %q", got, want)
+	}
+}
+
+func TestParseBuiltinsAndArith(t *testing.T) {
+	src := `p(X, Y, Z) <- X = 3, Z = X + Y.
+q(X, Y) <- p(X, Y, Z), Y = 2 ^ X.
+r(X) <- s(X), X >= 10, X \= 13.
+t(X) <- u(X, Y), Y =< X - 1.`
+	res, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Clauses[0]
+	if p.Body[0].Pred != lang.OpEq || !term.Equal(p.Body[0].Args[1], term.Int(3)) {
+		t.Errorf("X = 3 parsed as %s", p.Body[0])
+	}
+	z := p.Body[1]
+	add, ok := z.Args[1].(term.Comp)
+	if !ok || add.Functor != "+" {
+		t.Fatalf("Z = X + Y parsed as %s", z)
+	}
+	pow := res.Clauses[1].Body[1].Args[1].(term.Comp)
+	if pow.Functor != "^" {
+		t.Errorf("2^X parsed as %v", pow)
+	}
+	r := res.Clauses[2]
+	if r.Body[1].Pred != lang.OpGe || r.Body[2].Pred != lang.OpNe {
+		t.Errorf("comparisons parsed as %s", r)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	tt, err := ParseTerm("1 + 2 * 3 ^ 2 - 4 / 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lang.EvalArith(tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1+2*9-2 {
+		t.Errorf("precedence: got %d, want %d", got, 1+2*9-2)
+	}
+	// right-assoc power: 2^3^2 = 2^9 = 512
+	tt2, _ := ParseTerm("2 ^ 3 ^ 2")
+	if got, _ := lang.EvalArith(tt2); got != 512 {
+		t.Errorf("2^3^2 = %d, want 512", got)
+	}
+	// parens override
+	tt3, _ := ParseTerm("(1 + 2) * 3")
+	if got, _ := lang.EvalArith(tt3); got != 9 {
+		t.Errorf("(1+2)*3 = %d", got)
+	}
+	// unary minus
+	tt4, _ := ParseTerm("-3 + 1")
+	if got, _ := lang.EvalArith(tt4); got != -2 {
+		t.Errorf("-3+1 = %d", got)
+	}
+	tt5, _ := ParseTerm("- (1 + 2)")
+	if got, _ := lang.EvalArith(tt5); got != -3 {
+		t.Errorf("-(1+2) = %d", got)
+	}
+}
+
+func TestParseListsAndComplexTerms(t *testing.T) {
+	tt, err := ParseTerm("[1, 2, 3]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems, ok := term.ListSlice(tt)
+	if !ok || len(elems) != 3 {
+		t.Fatalf("list parse: %v %v", elems, ok)
+	}
+	tt2, err := ParseTerm("[H | T]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tt2.(term.Comp)
+	if c.Functor != "." || c.Args[0].(term.Var).Name != "H" {
+		t.Errorf("[H|T] = %v", tt2)
+	}
+	tt3, err := ParseTerm("part(wheel, [spoke, rim], 10)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt3.(term.Comp).Functor != "part" || len(tt3.(term.Comp).Args) != 3 {
+		t.Errorf("compound = %v", tt3)
+	}
+	if tt4, err := ParseTerm("[]"); err != nil || !term.Equal(tt4, term.EmptyList) {
+		t.Errorf("[] = %v, %v", tt4, err)
+	}
+	src := `assembly(bike, [part(wheel, 2), part(frame, 1)]).`
+	res, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clauses[0].IsFact() {
+		t.Error("assembly not a fact")
+	}
+}
+
+func TestParseStringsAndNegation(t *testing.T) {
+	src := `lbl(1, "hello\nworld").
+safe(X) <- node(X), not bad(X).
+also(X) <- node(X), ~ bad(X).`
+	res, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !term.Equal(res.Clauses[0].Head.Args[1], term.Str("hello\nworld")) {
+		t.Errorf("string = %v", res.Clauses[0].Head.Args[1])
+	}
+	if !res.Clauses[1].Body[1].Neg || !res.Clauses[2].Body[1].Neg {
+		t.Error("negation not parsed")
+	}
+}
+
+func TestParseCompoundComparisons(t *testing.T) {
+	// compound term on the left of a comparison
+	src := `p(X, Y) <- f(X) = Y.
+q <- a = a.`
+	res, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.Clauses[0].Body[0]
+	if l.Pred != lang.OpEq || l.Args[0].(term.Comp).Functor != "f" {
+		t.Errorf("f(X) = Y parsed as %s", l)
+	}
+	l2 := res.Clauses[1].Body[0]
+	if l2.Pred != lang.OpEq || !term.Equal(l2.Args[0], term.Atom("a")) {
+		t.Errorf("a = a parsed as %s", l2)
+	}
+}
+
+func TestParsePrologArrowSynonym(t *testing.T) {
+	res, err := Parse(`p(X) :- q(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clauses) != 1 || len(res.Clauses[0].Body) != 1 {
+		t.Errorf("clauses = %v", res.Clauses)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`p(X Y).`,           // missing comma
+		`p(X,).`,            // trailing comma -> bad term
+		`p(X)`,              // missing period
+		`p(X) <- .`,         // empty body literal
+		`p(X) <- q(X,.`,     // unterminated args
+		`"unterminated`,     // bad string
+		`p(X) <- X & Y.`,    // bad char
+		`[1, 2.`,            // list at clause level is not a literal
+		`p([1, 2).`,         // unterminated list
+		`not q(X) <- r(X).`, // negated head
+		`p(X) <- q(X) r(X).`,
+		`lbl("bad\q").`,            // bad escape
+		`p(99999999999999999999).`, // integer overflow
+		`X = .`,
+		`p(X) <- [1] .`, // list where literal expected -> comparison op missing
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted bad source %q", src)
+		}
+	}
+}
+
+func TestParseProgramAndMust(t *testing.T) {
+	prog, qs, err := ParseProgram(`e(1,2). tc(X,Y) <- e(X,Y). tc(X,Y) <- e(X,Z), tc(Z,Y). tc(1,Y)?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 2 || len(prog.Facts) != 1 || len(qs) != 1 {
+		t.Errorf("prog = %d rules %d facts %d queries", len(prog.Rules), len(prog.Facts), len(qs))
+	}
+	if _, _, err := ParseProgram(`p(X).`); err == nil {
+		t.Error("non-ground fact accepted by ParseProgram")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseProgram did not panic on bad input")
+		}
+	}()
+	MustParseProgram(`p(`)
+}
+
+func TestParseLiteral(t *testing.T) {
+	l, err := ParseLiteral("sg(john, Y)")
+	if err != nil || l.Pred != "sg" {
+		t.Fatalf("ParseLiteral: %v %v", l, err)
+	}
+	if _, err := ParseLiteral("sg(john, Y) extra"); err == nil {
+		t.Error("trailing tokens accepted")
+	}
+	if _, err := ParseLiteral("X < Y"); err != nil {
+		t.Errorf("comparison literal: %v", err)
+	}
+	if _, err := ParseTerm("f(a) junk"); err == nil {
+		t.Error("ParseTerm trailing tokens accepted")
+	}
+}
+
+func TestParserErrorsMentionPosition(t *testing.T) {
+	_, err := Parse("p(a).\nq(b,\n&).")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "3:1") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}

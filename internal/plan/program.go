@@ -1,0 +1,117 @@
+package plan
+
+import (
+	"fmt"
+
+	"ldl/internal/adorn"
+	"ldl/internal/cost"
+	"ldl/internal/lang"
+)
+
+// Compiled is a finished plan lowered to an executable program.
+type Compiled struct {
+	// Clauses are the rewritten rules plus seed facts. Evaluating them
+	// (with the base facts) semi-naively and reading AnswerTag yields
+	// the query's answers.
+	Clauses   []lang.Rule
+	AnswerTag string
+	// FixMethods maps each predicate tag of every CC node's clique to
+	// the chosen recursive method, so the engine can pick naive vs
+	// semi-naive iteration per clique.
+	FixMethods map[string]cost.RecMethod
+}
+
+// ToProgram lowers a processing tree to an executable program over the
+// source program prog, for the given query:
+//
+//   - the Join nodes' permutations become each rule's body order;
+//   - pipelined Union/Fix nodes are compiled with the whole-program
+//     magic rewrite (sideways information passing), materialized ones
+//     without restriction;
+//   - a Fix node labeled Counting (necessarily the query's own clique)
+//     uses the counting rewrite for its clique, with every other
+//     derived predicate materialized.
+func ToProgram(root *Node, prog *lang.Program, query lang.Query) (*Compiled, error) {
+	perms := map[int][]int{}
+	pipelined := map[string]bool{}
+	fixMethods := map[string]cost.RecMethod{}
+	var cliqueFix *Fix // CC node compiled via a per-clique rewrite
+	root.Walk(func(n *Node) {
+		switch n.Kind {
+		case KindJoin:
+			if n.Rule != nil {
+				perms[n.RuleIdx] = n.Perm
+			}
+		case KindUnion:
+			pipelined[n.Lit.Tag()] = n.Mode == Pipelined
+		case KindFix:
+			if n.FixInfo == nil {
+				return
+			}
+			binding := n.FixInfo.Method == cost.RecMagic || n.FixInfo.Method == cost.RecCounting || n.FixInfo.Method == cost.RecSupMagic
+			for _, tag := range n.FixInfo.CliqueTags {
+				pipelined[tag] = n.Mode == Pipelined && binding
+				fixMethods[tag] = n.FixInfo.Method
+			}
+			for i, gi := range n.FixInfo.RuleIdx {
+				if i < len(n.FixInfo.CPerm) {
+					perms[gi] = n.FixInfo.CPerm[i]
+				}
+			}
+			if n.FixInfo.Method == cost.RecCounting || n.FixInfo.Method == cost.RecSupMagic {
+				cliqueFix = n.FixInfo
+			}
+		}
+	})
+
+	if cliqueFix != nil {
+		return compilePerClique(cliqueFix, prog, query, fixMethods)
+	}
+
+	chooser := func(ri int, _ lang.Adornment) []int { return perms[ri] }
+	pipeFn := func(tag string) bool {
+		v, ok := pipelined[tag]
+		if !ok {
+			return true
+		}
+		return v
+	}
+	rw, err := adorn.Global(prog, query, pipeFn, chooser)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{Clauses: rw.Clauses, AnswerTag: rw.AnswerTag, FixMethods: fixMethods}, nil
+}
+
+// compilePerClique composes a per-clique rewrite (counting or
+// supplementary magic) of the query's clique with the unmodified rules
+// of every other derived predicate.
+func compilePerClique(fx *Fix, prog *lang.Program, query lang.Query, fixMethods map[string]cost.RecMethod) (*Compiled, error) {
+	if fx.Adorned == nil {
+		return nil, fmt.Errorf("plan: %s CC node lacks adornment", fx.Method)
+	}
+	inClique := map[string]bool{}
+	for _, tag := range fx.CliqueTags {
+		inClique[tag] = true
+	}
+	if !inClique[query.Goal.Tag()] {
+		return nil, fmt.Errorf("plan: %s selected for clique %v which does not define the query %s", fx.Method, fx.CliqueTags, query.Goal.Tag())
+	}
+	var rw *adorn.Rewrite
+	var err error
+	if fx.Method == cost.RecSupMagic {
+		rw, err = adorn.SupMagic(fx.Adorned, query.Goal)
+	} else {
+		rw, err = adorn.Counting(fx.Adorned, query.Goal)
+	}
+	if err != nil {
+		return nil, err
+	}
+	clauses := append([]lang.Rule{}, rw.Clauses...)
+	for _, r := range prog.Rules {
+		if !inClique[r.Head.Tag()] {
+			clauses = append(clauses, r)
+		}
+	}
+	return &Compiled{Clauses: clauses, AnswerTag: rw.AnswerTag, FixMethods: fixMethods}, nil
+}

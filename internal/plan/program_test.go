@@ -1,0 +1,211 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"ldl/internal/adorn"
+	"ldl/internal/cost"
+	"ldl/internal/lang"
+	"ldl/internal/parser"
+	"ldl/internal/term"
+)
+
+func tcProgram(t *testing.T) *lang.Program {
+	t.Helper()
+	prog, _, err := parser.ParseProgram(`
+e(1, 2). e(2, 3).
+tc(X, Y) <- e(X, Y).
+tc(X, Y) <- e(X, Z), tc(Z, Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func tcFix(t *testing.T, prog *lang.Program, method cost.RecMethod, goal lang.Literal) *Node {
+	t.Helper()
+	bf, _ := lang.ParseAdornment("bf")
+	a, err := adorn.Adorn(prog.Rules, func(tag string) bool { return tag == "tc/2" }, "tc/2", bf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Node{
+		Kind:  KindFix,
+		Mode:  Pipelined,
+		Lit:   goal,
+		Adorn: bf,
+		FixInfo: &Fix{
+			CliqueTags: []string{"tc/2"},
+			Rules:      prog.Rules,
+			RuleIdx:    []int{0, 1},
+			Adorned:    a,
+			Method:     method,
+			CPerm:      [][]int{{0}, {0, 1}},
+		},
+	}
+}
+
+func TestToProgramMagicFix(t *testing.T) {
+	prog := tcProgram(t)
+	goal := lang.Lit("tc", term.Int(1), v("Y"))
+	root := tcFix(t, prog, cost.RecMagic, goal)
+	c, err := ToProgram(root, prog, lang.Query{Goal: goal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AnswerTag != "tc.bf/2" {
+		t.Errorf("AnswerTag = %q", c.AnswerTag)
+	}
+	if c.FixMethods["tc/2"] != cost.RecMagic {
+		t.Errorf("FixMethods = %v", c.FixMethods)
+	}
+	var sawSeed bool
+	for _, cl := range c.Clauses {
+		if cl.IsFact() && strings.HasPrefix(cl.Head.Pred, "m$") {
+			sawSeed = true
+		}
+	}
+	if !sawSeed {
+		t.Errorf("no magic seed in %v", c.Clauses)
+	}
+}
+
+func TestToProgramSemiNaiveFixIsUnrestricted(t *testing.T) {
+	prog := tcProgram(t)
+	goal := lang.Lit("tc", term.Int(1), v("Y"))
+	root := tcFix(t, prog, cost.RecSemiNaive, goal)
+	root.Mode = Materialized
+	c, err := ToProgram(root, prog, lang.Query{Goal: goal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Materialized seminaive: the all-free adorned program, no magic.
+	if c.AnswerTag != "tc.ff/2" {
+		t.Errorf("AnswerTag = %q", c.AnswerTag)
+	}
+	for _, cl := range c.Clauses {
+		if strings.HasPrefix(cl.Head.Pred, "m$") {
+			t.Errorf("magic clause in materialized plan: %s", cl)
+		}
+	}
+}
+
+func TestToProgramCountingFix(t *testing.T) {
+	prog := tcProgram(t)
+	goal := lang.Lit("tc", term.Int(1), v("Y"))
+	root := tcFix(t, prog, cost.RecCounting, goal)
+	c, err := ToProgram(root, prog, lang.Query{Goal: goal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.AnswerTag != "q$ans/2" {
+		t.Errorf("AnswerTag = %q", c.AnswerTag)
+	}
+	var sawCnt bool
+	for _, cl := range c.Clauses {
+		if strings.HasPrefix(cl.Head.Pred, "c$") {
+			sawCnt = true
+		}
+	}
+	if !sawCnt {
+		t.Error("no counting clauses")
+	}
+}
+
+func TestToProgramCountingErrors(t *testing.T) {
+	prog := tcProgram(t)
+	goal := lang.Lit("tc", term.Int(1), v("Y"))
+	// Counting fix for a clique that does not define the query.
+	root := tcFix(t, prog, cost.RecCounting, goal)
+	root.FixInfo.CliqueTags = []string{"other/2"}
+	if _, err := ToProgram(root, prog, lang.Query{Goal: goal}); err == nil {
+		t.Error("counting for foreign clique accepted")
+	}
+	// Missing adornment.
+	root2 := tcFix(t, prog, cost.RecCounting, goal)
+	root2.FixInfo.Adorned = nil
+	if _, err := ToProgram(root2, prog, lang.Query{Goal: goal}); err == nil {
+		t.Error("counting without adornment accepted")
+	}
+}
+
+func TestToProgramCountingKeepsOtherRules(t *testing.T) {
+	prog, _, err := parser.ParseProgram(`
+e(1, 2).
+hop(X, Y) <- e(X, Y).
+tc(X, Y) <- hop(X, Y).
+tc(X, Y) <- hop(X, Z), tc(Z, Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goal := lang.Lit("tc", term.Int(1), v("Y"))
+	bf, _ := lang.ParseAdornment("bf")
+	a, err := adorn.Adorn(prog.RulesFor("tc/2"), func(tag string) bool { return tag == "tc/2" }, "tc/2", bf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := &Node{
+		Kind: KindFix, Mode: Pipelined, Lit: goal, Adorn: bf,
+		FixInfo: &Fix{
+			CliqueTags: []string{"tc/2"},
+			Rules:      prog.RulesFor("tc/2"),
+			RuleIdx:    []int{1, 2},
+			Adorned:    a,
+			Method:     cost.RecCounting,
+			CPerm:      [][]int{{0}, {0, 1}},
+		},
+	}
+	c, err := ToProgram(root, prog, lang.Query{Goal: goal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawHop bool
+	for _, cl := range c.Clauses {
+		if cl.Head.Pred == "hop" {
+			sawHop = true
+		}
+		if cl.Head.Pred == "tc" {
+			t.Errorf("original clique rule survived: %s", cl)
+		}
+	}
+	if !sawHop {
+		t.Error("non-clique rule dropped")
+	}
+}
+
+func TestToProgramJoinPermsFlow(t *testing.T) {
+	prog, _, err := parser.ParseProgram(`
+a(1, 2). b(2, 3).
+q(X, Z) <- a(X, Y), b(Y, Z).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := prog.Rules[0]
+	join := Join(Scan(r.Body[1]), Scan(r.Body[0]))
+	join.Rule = &r
+	join.RuleIdx = 0
+	join.Perm = []int{1, 0}
+	goal := lang.Lit("q", v("X"), v("Z"))
+	root := Union(goal, join)
+	root.Mode = Materialized
+	c, err := ToProgram(root, prog, lang.Query{Goal: goal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qRule *lang.Rule
+	for i := range c.Clauses {
+		if c.Clauses[i].Head.Pred == "q.ff" {
+			qRule = &c.Clauses[i]
+		}
+	}
+	if qRule == nil {
+		t.Fatalf("no rewritten q rule in %v", c.Clauses)
+	}
+	if qRule.Body[0].Pred != "b" {
+		t.Errorf("permutation not applied: %s", qRule)
+	}
+}

@@ -1,0 +1,326 @@
+package plan
+
+import (
+	"fmt"
+
+	"ldl/internal/cost"
+	"ldl/internal/lang"
+	"ldl/internal/term"
+)
+
+// The seven equivalence-preserving transformations of §5. Each returns
+// a new tree (the input is cloned, never mutated) or an error when the
+// transformation does not apply at the requested position. The
+// execution space explored by the optimizer is the closure of these
+// transformations; the search itself only enumerates {MP, PR, PA}
+// because pushing selections/projections and method exchange are
+// resolved locally without loss of optimality (§7.1).
+
+// MP — Materialize/Pipeline: toggles the mode of the node at path.
+func MP(root *Node, path []int) (*Node, error) {
+	c := root.Clone()
+	n, err := at(c, path)
+	if err != nil {
+		return nil, err
+	}
+	if n.Mode == Materialized {
+		n.Mode = Pipelined
+	} else {
+		n.Mode = Materialized
+	}
+	return c, nil
+}
+
+// PR — Permute: reorders the children of the Join node at path by perm.
+func PR(root *Node, path []int, perm []int) (*Node, error) {
+	c := root.Clone()
+	n, err := at(c, path)
+	if err != nil {
+		return nil, err
+	}
+	if n.Kind != KindJoin {
+		return nil, fmt.Errorf("plan: PR applies to join nodes, not %s", n.Kind)
+	}
+	if len(perm) != len(n.Kids) {
+		return nil, fmt.Errorf("plan: PR permutation has %d entries for %d children", len(perm), len(n.Kids))
+	}
+	seen := make([]bool, len(perm))
+	kids := make([]*Node, len(perm))
+	origPerm := make([]int, len(perm))
+	methods := make([]cost.JoinMethod, len(perm))
+	for i, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			return nil, fmt.Errorf("plan: PR permutation %v invalid", perm)
+		}
+		seen[p] = true
+		kids[i] = n.Kids[p]
+		origPerm[i] = n.Perm[p]
+		methods[i] = n.Methods[p]
+	}
+	n.Kids, n.Perm, n.Methods = kids, origPerm, methods
+	return c, nil
+}
+
+// EL — Exchange Label: replaces the join method label of child i of the
+// Join node at path.
+func EL(root *Node, path []int, i int, m cost.JoinMethod) (*Node, error) {
+	c := root.Clone()
+	n, err := at(c, path)
+	if err != nil {
+		return nil, err
+	}
+	if n.Kind != KindJoin {
+		return nil, fmt.Errorf("plan: EL applies to join nodes, not %s", n.Kind)
+	}
+	if i < 0 || i >= len(n.Methods) {
+		return nil, fmt.Errorf("plan: EL child %d out of range", i)
+	}
+	n.Methods[i] = m
+	return c, nil
+}
+
+// PushSelect — PS: moves filter f from the Join node at path onto its
+// child i, which must cover the filter's variables. Selections cannot
+// be pushed into a recursive (Fix) operator.
+func PushSelect(root *Node, path []int, f lang.Literal, i int) (*Node, error) {
+	c := root.Clone()
+	n, err := at(c, path)
+	if err != nil {
+		return nil, err
+	}
+	if n.Kind != KindJoin {
+		return nil, fmt.Errorf("plan: PS applies to join nodes, not %s", n.Kind)
+	}
+	if i < 0 || i >= len(n.Kids) {
+		return nil, fmt.Errorf("plan: PS child %d out of range", i)
+	}
+	kid := n.Kids[i]
+	if kid.Kind == KindFix {
+		return nil, fmt.Errorf("plan: PS cannot push a selection into a recursive operator")
+	}
+	idx := -1
+	for j, g := range n.Filters {
+		if literalEqual(g, f) {
+			idx = j
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("plan: PS filter %s not present at node", f)
+	}
+	need := map[string]bool{}
+	f.VarSet(need)
+	have := map[string]bool{}
+	kid.varSet(have)
+	for v := range need {
+		if !have[v] {
+			return nil, fmt.Errorf("plan: PS child %d does not cover variable %s of %s", i, v, f)
+		}
+	}
+	n.Filters = append(n.Filters[:idx], n.Filters[idx+1:]...)
+	kid.Filters = append(kid.Filters, f)
+	return c, nil
+}
+
+// PullSelect — the inverse of PS: hoists filter f from child i of the
+// Join node at path back onto the join.
+func PullSelect(root *Node, path []int, f lang.Literal, i int) (*Node, error) {
+	c := root.Clone()
+	n, err := at(c, path)
+	if err != nil {
+		return nil, err
+	}
+	if n.Kind != KindJoin {
+		return nil, fmt.Errorf("plan: PS applies to join nodes, not %s", n.Kind)
+	}
+	if i < 0 || i >= len(n.Kids) {
+		return nil, fmt.Errorf("plan: PS child %d out of range", i)
+	}
+	kid := n.Kids[i]
+	for j, g := range kid.Filters {
+		if literalEqual(g, f) {
+			kid.Filters = append(kid.Filters[:j], kid.Filters[j+1:]...)
+			n.Filters = append(n.Filters, f)
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("plan: filter %s not present on child %d", f, i)
+}
+
+// PushProject — PP: sets the projection list of the node at path.
+// Passing nil clears it (PullProject).
+func PushProject(root *Node, path []int, vars []string) (*Node, error) {
+	c := root.Clone()
+	n, err := at(c, path)
+	if err != nil {
+		return nil, err
+	}
+	if n.Kind == KindFix {
+		return nil, fmt.Errorf("plan: PP cannot push a projection into a recursive operator")
+	}
+	n.Proj = vars
+	return c, nil
+}
+
+// Flatten — FU: distributes the Join at path over its Union child i:
+// Join(A.., Union(B1..Bk), C..) becomes Union(Join(A.., B1, C..), ...,
+// Join(A.., Bk, C..)). Children are cloned per branch.
+func Flatten(root *Node, path []int, i int) (*Node, error) {
+	c := root.Clone()
+	n, err := at(c, path)
+	if err != nil {
+		return nil, err
+	}
+	if n.Kind != KindJoin {
+		return nil, fmt.Errorf("plan: FU applies to join nodes, not %s", n.Kind)
+	}
+	if i < 0 || i >= len(n.Kids) || n.Kids[i].Kind != KindUnion {
+		return nil, fmt.Errorf("plan: FU child %d is not a union", i)
+	}
+	u := n.Kids[i]
+	branches := make([]*Node, 0, len(u.Kids))
+	for _, alt := range u.Kids {
+		j := n.Clone()
+		j.Kids[i] = alt.Clone()
+		// The alternative inherits the union's filters/projection.
+		j.Kids[i].Filters = append(j.Kids[i].Filters, u.Filters...)
+		branches = append(branches, j)
+	}
+	repl := Union(u.Lit, branches...)
+	repl.Mode = n.Mode
+	repl.Proj = n.Proj
+	if len(path) == 0 {
+		return repl, nil
+	}
+	parent, err := at(c, path[:len(path)-1])
+	if err != nil {
+		return nil, err
+	}
+	parent.Kids[path[len(path)-1]] = repl
+	return c, nil
+}
+
+// Unflatten — the inverse of FU: recognizes Union(Join(..., Bi at
+// position i, ...)..) whose branches differ only at child i and rebuilds
+// Join(..., Union(B1..Bk), ...).
+func Unflatten(root *Node, path []int, i int) (*Node, error) {
+	c := root.Clone()
+	u, err := at(c, path)
+	if err != nil {
+		return nil, err
+	}
+	if u.Kind != KindUnion || len(u.Kids) == 0 {
+		return nil, fmt.Errorf("plan: unflatten applies to non-empty unions")
+	}
+	first := u.Kids[0]
+	if first.Kind != KindJoin || i < 0 || i >= len(first.Kids) {
+		return nil, fmt.Errorf("plan: unflatten position %d invalid", i)
+	}
+	alts := make([]*Node, 0, len(u.Kids))
+	for _, k := range u.Kids {
+		if k.Kind != KindJoin || len(k.Kids) != len(first.Kids) {
+			return nil, fmt.Errorf("plan: unflatten branches are not joins of equal width")
+		}
+		for j := range k.Kids {
+			if j == i {
+				continue
+			}
+			if !structurallyEqual(k.Kids[j], first.Kids[j]) {
+				return nil, fmt.Errorf("plan: unflatten branches differ outside position %d", i)
+			}
+		}
+		alts = append(alts, k.Kids[i].Clone())
+	}
+	j := first.Clone()
+	j.Kids[i] = Union(u.Lit, alts...)
+	j.Mode = u.Mode
+	if len(path) == 0 {
+		return j, nil
+	}
+	parent, err := at(c, path[:len(path)-1])
+	if err != nil {
+		return nil, err
+	}
+	parent.Kids[path[len(path)-1]] = j
+	return c, nil
+}
+
+// PA — Permute & Adorn: replaces the c-permutation and recursive method
+// label of the Fix node at path. Re-adornment is the optimizer's job
+// (it owns the clique rules); PA validates shape only.
+func PA(root *Node, path []int, cperm [][]int, method cost.RecMethod) (*Node, error) {
+	c := root.Clone()
+	n, err := at(c, path)
+	if err != nil {
+		return nil, err
+	}
+	if n.Kind != KindFix || n.FixInfo == nil {
+		return nil, fmt.Errorf("plan: PA applies to CC nodes, not %s", n.Kind)
+	}
+	if len(cperm) != len(n.FixInfo.Rules) {
+		return nil, fmt.Errorf("plan: PA c-permutation has %d entries for %d clique rules", len(cperm), len(n.FixInfo.Rules))
+	}
+	for ri, p := range cperm {
+		if len(p) != len(n.FixInfo.Rules[ri].Body) {
+			return nil, fmt.Errorf("plan: PA permutation %v does not fit rule %d", p, ri)
+		}
+	}
+	n.FixInfo.CPerm = cperm
+	n.FixInfo.Method = method
+	return c, nil
+}
+
+// at resolves a child path (sequence of child indexes) from root.
+func at(root *Node, path []int) (*Node, error) {
+	n := root
+	for _, i := range path {
+		if i < 0 || i >= len(n.Kids) {
+			return nil, fmt.Errorf("plan: path %v leaves the tree", path)
+		}
+		n = n.Kids[i]
+	}
+	return n, nil
+}
+
+// varSet collects every variable produced by the subtree.
+func (n *Node) varSet(set map[string]bool) {
+	switch n.Kind {
+	case KindScan, KindBuiltin, KindUnion, KindFix:
+		n.Lit.VarSet(set)
+	}
+	for _, k := range n.Kids {
+		k.varSet(set)
+	}
+}
+
+func literalEqual(a, b lang.Literal) bool {
+	if a.Pred != b.Pred || a.Neg != b.Neg || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !term.Equal(a.Args[i], b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func structurallyEqual(a, b *Node) bool {
+	if a.Kind != b.Kind || a.Mode != b.Mode || !literalEqual(a.Lit, b.Lit) || len(a.Kids) != len(b.Kids) {
+		return false
+	}
+	if len(a.Filters) != len(b.Filters) {
+		return false
+	}
+	for i := range a.Filters {
+		if !literalEqual(a.Filters[i], b.Filters[i]) {
+			return false
+		}
+	}
+	for i := range a.Kids {
+		if !structurallyEqual(a.Kids[i], b.Kids[i]) {
+			return false
+		}
+	}
+	return true
+}

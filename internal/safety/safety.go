@@ -1,0 +1,226 @@
+// Package safety implements the compile-time safety analysis of §8:
+// effective computability (EC) of each rule under a chosen goal
+// ordering, finiteness of answers, and well-founded orders guaranteeing
+// that recursive cliques reach their fixpoint in finitely many
+// iterations. The optimizer consults these checks and assigns an
+// infinite cost to executions that fail them, so the ordinary
+// minimization prunes unsafe executions (§8.2).
+package safety
+
+import (
+	"fmt"
+
+	"ldl/internal/adorn"
+	"ldl/internal/lang"
+	"ldl/internal/term"
+)
+
+// Verdict is the outcome of a safety check.
+type Verdict struct {
+	Safe   bool
+	Reason string // set when unsafe: what failed and why
+}
+
+func safe() Verdict { return Verdict{Safe: true} }
+
+func unsafe(format string, args ...any) Verdict {
+	return Verdict{Safe: false, Reason: fmt.Sprintf(format, args...)}
+}
+
+// CheckConjunct verifies the EC condition for a body evaluated in the
+// given permutation order starting from boundVars (mutated copy is
+// returned). Positive relational literals are finite generators and
+// bind their variables; builtins must satisfy lang.BuiltinEC at their
+// position; negated literals must be fully bound at their position.
+func CheckConjunct(body []lang.Literal, perm []int, boundVars map[string]bool) (map[string]bool, Verdict) {
+	bound := map[string]bool{}
+	for v := range boundVars {
+		bound[v] = true
+	}
+	if perm == nil {
+		perm = make([]int, len(body))
+		for i := range perm {
+			perm[i] = i
+		}
+	}
+	for _, bi := range perm {
+		l := body[bi]
+		switch {
+		case lang.IsBuiltin(l.Pred):
+			if !lang.BuiltinEC(l, bound) {
+				return bound, unsafe("goal %s is not effectively computable at its position (insufficient bindings)", l)
+			}
+			for _, v := range lang.BuiltinBinds(l, bound) {
+				bound[v] = true
+			}
+		case l.Neg:
+			for _, v := range l.Vars(nil) {
+				if !bound[v.Name] {
+					return bound, unsafe("negated goal %s has unbound variable %s", l, v.Name)
+				}
+			}
+		default:
+			l.VarSet(bound)
+		}
+	}
+	return bound, safe()
+}
+
+// CheckRule verifies one rule for one head adornment and one body
+// permutation: the body must be EC, and every head variable in a free
+// position must be bound by the body (else the rule's answer set is
+// infinite — the "lack of finite answer" failure of §8).
+func CheckRule(r lang.Rule, perm []int, headAdorn lang.Adornment) Verdict {
+	bound := map[string]bool{}
+	for i, arg := range r.Head.Args {
+		if headAdorn.Bound(i) {
+			term.VarSet(arg, bound)
+		}
+	}
+	bound, v := CheckConjunct(r.Body, perm, bound)
+	if !v.Safe {
+		return Verdict{Safe: false, Reason: fmt.Sprintf("rule %s: %s", r, v.Reason)}
+	}
+	for _, hv := range r.Head.Vars(nil) {
+		if !bound[hv.Name] {
+			return unsafe("rule %s: head variable %s is never bound — infinite answer", r, hv.Name)
+		}
+	}
+	return safe()
+}
+
+// constructsAroundRecursion reports whether rule r, whose recursive
+// body literals are those with tags accepted by inClique, builds new
+// structure flowing into its head: either a compound head argument
+// embedding a variable of a recursive body literal, or an arithmetic
+// equality deriving a head variable from recursive-literal variables.
+// Such rules enlarge the active domain each iteration, so their
+// bottom-up fixpoint need not terminate.
+func constructsAroundRecursion(r lang.Rule, inClique func(string) bool) (bool, string) {
+	recVars := map[string]bool{}
+	recursive := false
+	for _, l := range r.Body {
+		if !l.Neg && !lang.IsBuiltin(l.Pred) && inClique(l.Tag()) {
+			recursive = true
+			l.VarSet(recVars)
+		}
+	}
+	if !recursive {
+		return false, ""
+	}
+	// Track variables derived from recursive variables through
+	// arithmetic equalities (one pass per builtin is enough since we
+	// propagate to a fixpoint).
+	derived := map[string]bool{}
+	for v := range recVars {
+		derived[v] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, l := range r.Body {
+			if l.Pred != lang.OpEq || len(l.Args) != 2 {
+				continue
+			}
+			for side := 0; side < 2; side++ {
+				expr, out := l.Args[side], l.Args[1-side]
+				if !lang.IsArithExpr(expr) {
+					continue
+				}
+				exprVars := map[string]bool{}
+				term.VarSet(expr, exprVars)
+				tainted := false
+				for v := range exprVars {
+					if derived[v] {
+						tainted = true
+					}
+				}
+				if !tainted {
+					continue
+				}
+				outVars := map[string]bool{}
+				term.VarSet(out, outVars)
+				for v := range outVars {
+					if !derived[v] {
+						derived[v] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for i, arg := range r.Head.Args {
+		switch x := arg.(type) {
+		case term.Comp:
+			vs := map[string]bool{}
+			term.VarSet(x, vs)
+			for v := range vs {
+				if derived[v] {
+					return true, fmt.Sprintf("head argument %d of %s wraps recursive variable %s in new structure", i+1, r.Head.Pred, v)
+				}
+			}
+		case term.Var:
+			if derived[x.Name] && !recVars[x.Name] {
+				return true, fmt.Sprintf("head argument %d of %s is arithmetically derived from recursive values", i+1, r.Head.Pred)
+			}
+		}
+	}
+	return false, ""
+}
+
+// CheckCliqueBottomUp verifies that a recursive clique's bottom-up
+// fixpoint terminates: no rule constructs new values around the
+// recursion. Deconstruction (subterms) and plain Datalog recursion are
+// fine — the active domain stays within the finitely many symbols
+// already present.
+func CheckCliqueBottomUp(rules []lang.Rule, inClique func(string) bool) Verdict {
+	for _, r := range rules {
+		if bad, why := constructsAroundRecursion(r, inClique); bad {
+			return unsafe("no well-founded order for bottom-up fixpoint: %s", why)
+		}
+	}
+	return safe()
+}
+
+// CheckCliqueTopDown verifies termination for binding-driven methods
+// (magic sets, counting) applied to an adorned clique: either the
+// clique is already bottom-up safe, or there is a bound argument
+// position on which every recursive call strictly descends (the
+// recursive call's argument is a proper subterm of the head's — e.g. a
+// consumed list), giving the well-founded order of §8.1.
+func CheckCliqueTopDown(a *adorn.Adorned, rules []lang.Rule, inClique func(string) bool) Verdict {
+	if v := CheckCliqueBottomUp(rules, inClique); v.Safe {
+		return v
+	}
+	if len(a.Rules) == 0 {
+		return unsafe("adorned clique for %s is empty", a.QueryTag)
+	}
+	// Candidate positions: bound in every adorned predicate involved.
+	arity := 0
+	for _, ar := range a.Rules {
+		if n := ar.Rule.Head.Arity(); n > arity {
+			arity = n
+		}
+	}
+positions:
+	for i := 0; i < arity; i++ {
+		for _, ar := range a.Rules {
+			if i >= ar.Rule.Head.Arity() || !ar.HeadAdorn.Bound(i) {
+				continue positions
+			}
+			head := ar.Rule.Head.Args[i]
+			for bi, bl := range ar.Rule.Body {
+				if _, isRec := a.PredAdorn[bl.Pred]; !isRec || bl.Neg {
+					continue
+				}
+				if i >= bl.Arity() || !ar.BodyAdorns[bi].Bound(i) {
+					continue positions
+				}
+				if !term.ProperSubterm(bl.Args[i], head) {
+					continue positions
+				}
+			}
+		}
+		return safe() // position i strictly descends in every recursive call
+	}
+	return unsafe("no bound argument position descends in every recursive call of %s — no well-founded order found", a.QueryTag)
+}

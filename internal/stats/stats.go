@@ -1,0 +1,182 @@
+// Package stats maintains the database statistics the optimizer's cost
+// model consumes: relation cardinalities and per-column distinct-value
+// counts, plus the standard selectivity formulas derived from them.
+// Statistics can be gathered from an actual database or supplied
+// synthetically (the random "states of the database" of the paper's
+// §7.1 experiments).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ldl/internal/store"
+	"ldl/internal/term"
+)
+
+// RelStats describes one relation.
+type RelStats struct {
+	Card     float64   // number of tuples
+	Distinct []float64 // distinct values per column; len == arity
+	// Acyclic records whether the relation, viewed as a digraph over
+	// its first two columns, has no cycles. The counting method is only
+	// applicable over acyclic data (its level counter diverges on
+	// cycles), so the optimizer consults this statistic. Gather
+	// computes it exactly; synthetic catalogs default to false
+	// (conservative: counting disabled).
+	Acyclic bool
+}
+
+// DistinctAt returns the distinct count of column i, defaulting
+// conservatively to the cardinality when unknown.
+func (s RelStats) DistinctAt(i int) float64 {
+	if i < len(s.Distinct) && s.Distinct[i] > 0 {
+		return s.Distinct[i]
+	}
+	if s.Card > 1 {
+		return s.Card
+	}
+	return 1
+}
+
+// Catalog maps predicate tags to statistics. Missing entries fall back
+// to Default.
+type Catalog struct {
+	rels map[string]RelStats
+
+	// Default is assumed for relations without recorded statistics.
+	Default RelStats
+
+	// RecursionDepth is the assumed number of fixpoint iterations used
+	// when costing recursive cliques (the catalog's stand-in for data
+	// diameter).
+	RecursionDepth float64
+}
+
+// NewCatalog returns an empty catalog with sensible defaults.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		rels:           map[string]RelStats{},
+		Default:        RelStats{Card: 1000},
+		RecursionDepth: 10,
+	}
+}
+
+// Set records statistics for tag.
+func (c *Catalog) Set(tag string, s RelStats) { c.rels[tag] = s }
+
+// Stats returns the statistics for tag, or the default.
+func (c *Catalog) Stats(tag string) RelStats {
+	if s, ok := c.rels[tag]; ok {
+		return s
+	}
+	return c.Default
+}
+
+// Has reports whether the catalog has explicit statistics for tag.
+func (c *Catalog) Has(tag string) bool {
+	_, ok := c.rels[tag]
+	return ok
+}
+
+// Tags returns the sorted tags with explicit statistics.
+func (c *Catalog) Tags() []string {
+	out := make([]string, 0, len(c.rels))
+	for t := range c.rels {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Gather computes exact statistics for every relation in db, including
+// the acyclicity of each relation's first-two-column digraph.
+func Gather(db *store.Database) *Catalog {
+	c := NewCatalog()
+	for _, tag := range db.Tags() {
+		r := db.Relation(tag)
+		s := RelStats{Card: float64(r.Len()), Distinct: make([]float64, r.Arity)}
+		for i := 0; i < r.Arity; i++ {
+			s.Distinct[i] = float64(r.Distinct(i))
+		}
+		s.Acyclic = acyclic(r)
+		c.Set(tag, s)
+	}
+	return c
+}
+
+// acyclic reports whether the digraph over the relation's first two
+// columns is cycle-free. Relations with fewer than two columns have no
+// graph interpretation and count as acyclic.
+func acyclic(r *store.Relation) bool {
+	if r.Arity < 2 {
+		return true
+	}
+	adj := map[string][]string{}
+	for _, t := range r.Tuples() {
+		a, b := term.Key(t[0]), term.Key(t[1])
+		adj[a] = append(adj[a], b)
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var dfs func(v string) bool // true when a cycle is found
+	dfs = func(v string) bool {
+		color[v] = gray
+		for _, w := range adj[v] {
+			switch color[w] {
+			case gray:
+				return true
+			case white:
+				if dfs(w) {
+					return true
+				}
+			}
+		}
+		color[v] = black
+		return false
+	}
+	for v := range adj {
+		if color[v] == white && dfs(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqSelectivity is the classic 1/distinct selectivity of an equality
+// restriction on column i of the relation described by s.
+func EqSelectivity(s RelStats, i int) float64 {
+	d := s.DistinctAt(i)
+	if d < 1 {
+		return 1
+	}
+	return 1 / d
+}
+
+// JoinSelectivity estimates the selectivity of equating column i of
+// relation a with column j of relation b: 1/max(d_a, d_b).
+func JoinSelectivity(a RelStats, i int, b RelStats, j int) float64 {
+	da, dbb := a.DistinctAt(i), b.DistinctAt(j)
+	m := da
+	if dbb > m {
+		m = dbb
+	}
+	if m < 1 {
+		return 1
+	}
+	return 1 / m
+}
+
+func (c *Catalog) String() string {
+	var b strings.Builder
+	for _, tag := range c.Tags() {
+		s := c.rels[tag]
+		fmt.Fprintf(&b, "%s: card=%.0f distinct=%v\n", tag, s.Card, s.Distinct)
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"ldl/internal/parser"
+	"ldl/internal/store"
+)
+
+func TestCatalogDefaults(t *testing.T) {
+	c := NewCatalog()
+	if c.Has("e/2") {
+		t.Error("empty catalog has e/2")
+	}
+	s := c.Stats("e/2")
+	if s.Card != c.Default.Card {
+		t.Errorf("default card = %v", s.Card)
+	}
+	c.Set("e/2", RelStats{Card: 50, Distinct: []float64{10, 25}})
+	if !c.Has("e/2") || c.Stats("e/2").Card != 50 {
+		t.Error("Set/Stats roundtrip failed")
+	}
+	if got := c.Tags(); len(got) != 1 || got[0] != "e/2" {
+		t.Errorf("Tags = %v", got)
+	}
+	if !strings.Contains(c.String(), "e/2: card=50") {
+		t.Errorf("String = %q", c.String())
+	}
+}
+
+func TestDistinctAtFallbacks(t *testing.T) {
+	s := RelStats{Card: 100, Distinct: []float64{20}}
+	if s.DistinctAt(0) != 20 {
+		t.Errorf("DistinctAt(0) = %v", s.DistinctAt(0))
+	}
+	if s.DistinctAt(1) != 100 {
+		t.Errorf("DistinctAt(1) fallback = %v", s.DistinctAt(1))
+	}
+	tiny := RelStats{Card: 0.5}
+	if tiny.DistinctAt(0) != 1 {
+		t.Errorf("tiny DistinctAt = %v", tiny.DistinctAt(0))
+	}
+	zero := RelStats{Card: 100, Distinct: []float64{0}}
+	if zero.DistinctAt(0) != 100 {
+		t.Errorf("zero distinct fallback = %v", zero.DistinctAt(0))
+	}
+}
+
+func TestGather(t *testing.T) {
+	prog, _, err := parser.ParseProgram(`
+e(1, 2). e(1, 3). e(2, 3).
+n(1). n(2). n(3).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := store.NewDatabase()
+	if err := db.LoadFacts(prog); err != nil {
+		t.Fatal(err)
+	}
+	c := Gather(db)
+	e := c.Stats("e/2")
+	if e.Card != 3 || e.Distinct[0] != 2 || e.Distinct[1] != 2 {
+		t.Errorf("e stats = %+v", e)
+	}
+	n := c.Stats("n/1")
+	if n.Card != 3 || n.Distinct[0] != 3 {
+		t.Errorf("n stats = %+v", n)
+	}
+}
+
+func TestGatherAcyclicity(t *testing.T) {
+	prog, _, err := parser.ParseProgram(`
+chain(1, 2). chain(2, 3).
+loop(1, 2). loop(2, 1).
+selfloop(7, 7).
+unary(1).
+wide(1, 2, 3). wide(2, 1, 9).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := store.NewDatabase()
+	if err := db.LoadFacts(prog); err != nil {
+		t.Fatal(err)
+	}
+	c := Gather(db)
+	if !c.Stats("chain/2").Acyclic {
+		t.Error("chain reported cyclic")
+	}
+	if c.Stats("loop/2").Acyclic {
+		t.Error("loop reported acyclic")
+	}
+	if c.Stats("selfloop/2").Acyclic {
+		t.Error("self-loop reported acyclic")
+	}
+	if !c.Stats("unary/1").Acyclic {
+		t.Error("unary relation reported cyclic")
+	}
+	if c.Stats("wide/3").Acyclic {
+		t.Error("wide cycle over first two columns reported acyclic")
+	}
+}
+
+func TestSelectivities(t *testing.T) {
+	a := RelStats{Card: 100, Distinct: []float64{10, 50}}
+	b := RelStats{Card: 200, Distinct: []float64{25}}
+	if got := EqSelectivity(a, 0); got != 0.1 {
+		t.Errorf("EqSelectivity = %v", got)
+	}
+	if got := EqSelectivity(RelStats{Card: 0}, 0); got != 1 {
+		t.Errorf("degenerate EqSelectivity = %v", got)
+	}
+	if got := JoinSelectivity(a, 0, b, 0); got != 1.0/25 {
+		t.Errorf("JoinSelectivity = %v", got)
+	}
+	if got := JoinSelectivity(RelStats{Card: 0.1}, 0, RelStats{Card: 0.2}, 0); got != 1 {
+		t.Errorf("degenerate JoinSelectivity = %v", got)
+	}
+}

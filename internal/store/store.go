@@ -1,0 +1,259 @@
+// Package store implements the fact base: relations of ground tuples
+// with set semantics, hash indexes on column subsets, and the database
+// mapping predicate tags to relations.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ldl/internal/lang"
+	"ldl/internal/term"
+)
+
+// Tuple is a row of ground terms.
+type Tuple []term.Term
+
+// Key returns the canonical encoding of the tuple, usable as a set key.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for _, x := range t {
+		term.AppendKey(&b, x)
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// KeyOn encodes only the columns whose bit is set in cols.
+func (t Tuple) KeyOn(cols uint32) string {
+	var b strings.Builder
+	for i, x := range t {
+		if cols&(1<<uint(i)) != 0 {
+			term.AppendKey(&b, x)
+			b.WriteByte(',')
+		}
+	}
+	return b.String()
+}
+
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, x := range t {
+		parts[i] = x.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Clone returns an independent copy of the tuple slice header (terms
+// are immutable and shared).
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Relation is a set of same-arity ground tuples with optional hash
+// indexes on column subsets.
+type Relation struct {
+	Name    string
+	Arity   int
+	tuples  []Tuple
+	keys    map[string]bool
+	indexes map[uint32]map[string][]int
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{
+		Name:    name,
+		Arity:   arity,
+		keys:    map[string]bool{},
+		indexes: map[uint32]map[string][]int{},
+	}
+}
+
+// Len is the cardinality of the relation.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples exposes the stored tuples; callers must not mutate them.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Insert adds a tuple, returning true if it was new. It rejects tuples
+// of the wrong arity or containing variables.
+func (r *Relation) Insert(t Tuple) (bool, error) {
+	if len(t) != r.Arity {
+		return false, fmt.Errorf("store: %s: inserting arity %d tuple into arity %d relation", r.Name, len(t), r.Arity)
+	}
+	for _, x := range t {
+		if !term.Ground(x) {
+			return false, fmt.Errorf("store: %s: non-ground tuple %s", r.Name, t)
+		}
+	}
+	k := t.Key()
+	if r.keys[k] {
+		return false, nil
+	}
+	r.keys[k] = true
+	idx := len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	for cols, m := range r.indexes {
+		kk := t.KeyOn(cols)
+		m[kk] = append(m[kk], idx)
+	}
+	return true, nil
+}
+
+// MustInsert inserts and panics on structural errors; for loaders over
+// validated facts.
+func (r *Relation) MustInsert(t Tuple) bool {
+	ok, err := r.Insert(t)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// Contains reports whether the relation holds the tuple.
+func (r *Relation) Contains(t Tuple) bool { return r.keys[t.Key()] }
+
+// BuildIndex creates (or refreshes) a hash index on the column set.
+func (r *Relation) BuildIndex(cols uint32) {
+	m := make(map[string][]int, len(r.tuples))
+	for i, t := range r.tuples {
+		k := t.KeyOn(cols)
+		m[k] = append(m[k], i)
+	}
+	r.indexes[cols] = m
+}
+
+// HasIndex reports whether an index exists on the column set.
+func (r *Relation) HasIndex(cols uint32) bool {
+	_, ok := r.indexes[cols]
+	return ok
+}
+
+// Lookup returns the tuples whose projection on cols matches the
+// corresponding values of probe (only probe positions with the bit set
+// are consulted). It uses an index when available, building one on
+// first use otherwise — modelling a database that adapts access paths.
+func (r *Relation) Lookup(cols uint32, probe Tuple) []Tuple {
+	if cols == 0 {
+		return r.tuples
+	}
+	m, ok := r.indexes[cols]
+	if !ok {
+		r.BuildIndex(cols)
+		m = r.indexes[cols]
+	}
+	idxs := m[probe.KeyOn(cols)]
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]Tuple, len(idxs))
+	for i, j := range idxs {
+		out[i] = r.tuples[j]
+	}
+	return out
+}
+
+// Distinct counts the distinct values in column i.
+func (r *Relation) Distinct(i int) int {
+	if i < 0 || i >= r.Arity {
+		return 0
+	}
+	set := map[string]bool{}
+	for _, t := range r.tuples {
+		set[term.Key(t[i])] = true
+	}
+	return len(set)
+}
+
+// Sorted returns the tuples in canonical order — handy for
+// deterministic test output.
+func (r *Relation) Sorted() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if c := term.Compare(a[k], b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%d {", r.Name, r.Arity)
+	for i, t := range r.Sorted() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Database maps predicate tags ("name/arity") to relations.
+type Database struct {
+	rels map[string]*Relation
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database { return &Database{rels: map[string]*Relation{}} }
+
+// Relation returns the relation for tag, or nil.
+func (db *Database) Relation(tag string) *Relation { return db.rels[tag] }
+
+// Ensure returns the relation for tag, creating it if needed. name is
+// derived from the tag.
+func (db *Database) Ensure(tag string, arity int) *Relation {
+	if r, ok := db.rels[tag]; ok {
+		return r
+	}
+	name := tag
+	if i := strings.IndexByte(tag, '/'); i >= 0 {
+		name = tag[:i]
+	}
+	r := NewRelation(name, arity)
+	db.rels[tag] = r
+	return r
+}
+
+// Tags returns the sorted relation tags.
+func (db *Database) Tags() []string {
+	out := make([]string, 0, len(db.rels))
+	for t := range db.rels {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LoadFacts inserts every fact of the program into the database.
+func (db *Database) LoadFacts(prog *lang.Program) error {
+	for _, f := range prog.Facts {
+		r := db.Ensure(f.Head.Tag(), f.Head.Arity())
+		if _, err := r.Insert(Tuple(f.Head.Args)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Clone deep-copies the database's relation contents (not indexes).
+func (db *Database) Clone() *Database {
+	c := NewDatabase()
+	for tag, r := range db.rels {
+		nr := c.Ensure(tag, r.Arity)
+		for _, t := range r.tuples {
+			nr.MustInsert(t)
+		}
+	}
+	return c
+}

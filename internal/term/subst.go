@@ -1,0 +1,106 @@
+package term
+
+import (
+	"sort"
+	"strings"
+)
+
+// Subst is a substitution: a finite mapping from variable names to
+// terms. Bindings may chain through intermediate variables; Walk and
+// Resolve follow chains.
+type Subst map[string]Term
+
+// NewSubst returns an empty substitution.
+func NewSubst() Subst { return make(Subst) }
+
+// Clone returns an independent copy of s.
+func (s Subst) Clone() Subst {
+	c := make(Subst, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Bind adds the binding v -> t. It does not check consistency; callers
+// use Unify for that.
+func (s Subst) Bind(v Var, t Term) { s[v.Name] = t }
+
+// Walk dereferences t one variable-chain at a time: if t is a variable
+// bound in s, it follows the chain until reaching an unbound variable or
+// a non-variable term. Compound arguments are not entered.
+func (s Subst) Walk(t Term) Term {
+	for {
+		v, ok := t.(Var)
+		if !ok {
+			return t
+		}
+		b, ok := s[v.Name]
+		if !ok {
+			return t
+		}
+		t = b
+	}
+}
+
+// Resolve applies s deeply to t, replacing every bound variable by its
+// (recursively resolved) binding.
+func (s Subst) Resolve(t Term) Term {
+	t = s.Walk(t)
+	c, ok := t.(Comp)
+	if !ok {
+		return t
+	}
+	args := make([]Term, len(c.Args))
+	changed := false
+	for i, a := range c.Args {
+		args[i] = s.Resolve(a)
+		if !Equal(args[i], a) {
+			changed = true
+		}
+	}
+	if !changed {
+		return c
+	}
+	return Comp{Functor: c.Functor, Args: args}
+}
+
+// ResolveAll resolves each term of ts, returning a fresh slice.
+func (s Subst) ResolveAll(ts []Term) []Term {
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = s.Resolve(t)
+	}
+	return out
+}
+
+// Bound reports whether the variable named name resolves to a ground
+// term under s.
+func (s Subst) Bound(name string) bool {
+	t, ok := s[name]
+	if !ok {
+		return false
+	}
+	return Ground(s.Resolve(t))
+}
+
+// String renders the substitution deterministically, e.g. {X=1, Y=f(a)}.
+func (s Subst) String() string {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(s.Resolve(Var{Name: n}).String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

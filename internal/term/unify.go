@@ -1,0 +1,122 @@
+package term
+
+// Unify computes a most general unifier of a and b, extending the given
+// substitution. On success it returns the extended substitution (the
+// same map, mutated) and true; on failure it returns the substitution
+// with possibly partial bindings and false — callers that need rollback
+// should Clone first. The occurs check is performed, so unification of
+// X with f(X) fails rather than building an infinite term.
+func Unify(a, b Term, s Subst) (Subst, bool) {
+	if s == nil {
+		s = NewSubst()
+	}
+	a, b = s.Walk(a), s.Walk(b)
+	if av, ok := a.(Var); ok {
+		if bv, ok := b.(Var); ok && av.Name == bv.Name {
+			return s, true
+		}
+		if occurs(av, b, s) {
+			return s, false
+		}
+		s.Bind(av, b)
+		return s, true
+	}
+	if bv, ok := b.(Var); ok {
+		if occurs(bv, a, s) {
+			return s, false
+		}
+		s.Bind(bv, a)
+		return s, true
+	}
+	if a.Kind() != b.Kind() {
+		return s, false
+	}
+	switch x := a.(type) {
+	case Atom:
+		return s, x == b.(Atom)
+	case Int:
+		return s, x == b.(Int)
+	case Str:
+		return s, x == b.(Str)
+	case Comp:
+		y := b.(Comp)
+		if x.Functor != y.Functor || len(x.Args) != len(y.Args) {
+			return s, false
+		}
+		for i := range x.Args {
+			var ok bool
+			if s, ok = Unify(x.Args[i], y.Args[i], s); !ok {
+				return s, false
+			}
+		}
+		return s, true
+	}
+	return s, false
+}
+
+// UnifyAll unifies the parallel slices as and bs pairwise.
+func UnifyAll(as, bs []Term, s Subst) (Subst, bool) {
+	if len(as) != len(bs) {
+		return s, false
+	}
+	var ok bool
+	for i := range as {
+		if s, ok = Unify(as[i], bs[i], s); !ok {
+			return s, false
+		}
+	}
+	return s, true
+}
+
+func occurs(v Var, t Term, s Subst) bool {
+	t = s.Walk(t)
+	switch x := t.(type) {
+	case Var:
+		return x.Name == v.Name
+	case Comp:
+		for _, a := range x.Args {
+			if occurs(v, a, s) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Match performs one-way matching: it extends s so that pattern
+// instantiated by s equals ground, binding variables only in pattern.
+// ground must be variable-free at the positions matched.
+func Match(pattern, ground Term, s Subst) (Subst, bool) {
+	if s == nil {
+		s = NewSubst()
+	}
+	pattern = s.Walk(pattern)
+	if pv, ok := pattern.(Var); ok {
+		s.Bind(pv, ground)
+		return s, true
+	}
+	if pattern.Kind() != ground.Kind() {
+		return s, false
+	}
+	switch x := pattern.(type) {
+	case Atom:
+		return s, x == ground.(Atom)
+	case Int:
+		return s, x == ground.(Int)
+	case Str:
+		return s, x == ground.(Str)
+	case Comp:
+		y := ground.(Comp)
+		if x.Functor != y.Functor || len(x.Args) != len(y.Args) {
+			return s, false
+		}
+		var ok bool
+		for i := range x.Args {
+			if s, ok = Match(x.Args[i], y.Args[i], s); !ok {
+				return s, false
+			}
+		}
+		return s, true
+	}
+	return s, false
+}

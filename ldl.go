@@ -1,0 +1,358 @@
+// Package ldl is a from-scratch Go implementation of the LDL query
+// optimizer described in R. Krishnamurthy & C. Zaniolo, "Optimization
+// in a Logic Based Language for Knowledge and Data Intensive
+// Applications" (EDBT 1988), together with the complete substrate that
+// paper assumes: a Horn-clause language with complex terms and
+// evaluable predicates, a relational/fixpoint execution engine,
+// recursive-query rewrites (magic sets, counting), database statistics
+// and a cost model.
+//
+// The entry point is a System: load a program (rules + facts), then ask
+// it to Optimize query forms. Optimization is query-form-specific —
+// sg(john, Y)? compiles to a different execution than sg(X, Y)? — and
+// integrates safety: queries with no terminating execution are
+// rejected with a diagnosis rather than looping forever.
+//
+//	sys, _ := ldl.Load(src)
+//	plan, _ := sys.Optimize("sg(john, Y)", ldl.WithStrategy(ldl.StrategyExhaustive))
+//	fmt.Println(plan.Explain())
+//	rows, _ := plan.Execute()
+package ldl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ldl/internal/core"
+	"ldl/internal/cost"
+	"ldl/internal/eval"
+	"ldl/internal/lang"
+	"ldl/internal/parser"
+	"ldl/internal/stats"
+	"ldl/internal/store"
+)
+
+// Strategy names the optimizer's search strategy for conjunct ordering.
+type Strategy string
+
+// The three interchangeable strategies of the paper's §7.1, plus the
+// Selinger dynamic-programming variant of exhaustive search.
+const (
+	StrategyExhaustive Strategy = "exhaustive"
+	StrategyDP         Strategy = "dp"
+	StrategyKBZ        Strategy = "kbz"
+	StrategyAnneal     Strategy = "anneal"
+)
+
+func (s Strategy) impl(seed int64) (core.Strategy, error) {
+	switch s {
+	case StrategyExhaustive, "":
+		return core.Exhaustive{}, nil
+	case StrategyDP:
+		return core.DP{}, nil
+	case StrategyKBZ:
+		return core.KBZ{}, nil
+	case StrategyAnneal:
+		return core.Anneal{Seed: seed}, nil
+	}
+	return nil, fmt.Errorf("ldl: unknown strategy %q", s)
+}
+
+// System is a loaded knowledge base: rule base, fact base and gathered
+// statistics.
+type System struct {
+	prog    *lang.Program
+	db      *store.Database
+	cat     *stats.Catalog
+	queries []lang.Query
+}
+
+// Load parses LDL source text (rules, facts and optional "goal?" query
+// forms), loads the facts and gathers exact statistics.
+func Load(src string) (*System, error) {
+	prog, queries, err := parser.ParseProgram(src)
+	if err != nil {
+		return nil, err
+	}
+	// Predicates mixing facts and rules are normalized so program
+	// rewrites (magic, counting) keep their facts.
+	prog, err = lang.Normalize(prog)
+	if err != nil {
+		return nil, err
+	}
+	db := store.NewDatabase()
+	if err := db.LoadFacts(prog); err != nil {
+		return nil, err
+	}
+	return &System{prog: prog, db: db, cat: stats.Gather(db), queries: queries}, nil
+}
+
+// Queries returns the query forms embedded in the source ("goal?").
+func (s *System) Queries() []string {
+	out := make([]string, len(s.queries))
+	for i, q := range s.queries {
+		out[i] = q.Goal.String()
+	}
+	return out
+}
+
+// Relations lists the base and loaded relations with cardinalities.
+func (s *System) Relations() []string {
+	var out []string
+	for _, tag := range s.db.Tags() {
+		out = append(out, fmt.Sprintf("%s (%d tuples)", tag, s.db.Relation(tag).Len()))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetStats overrides the statistics of one relation — the hook
+// experiments use to explore synthetic "states of the database".
+func (s *System) SetStats(tag string, card float64, distinct []float64) {
+	s.cat.Set(tag, stats.RelStats{Card: card, Distinct: distinct})
+}
+
+// Option configures one Optimize call.
+type Option func(*options)
+
+type options struct {
+	strategy Strategy
+	seed     int64
+	flatten  bool
+}
+
+// WithStrategy selects the search strategy (default exhaustive).
+func WithStrategy(st Strategy) Option { return func(o *options) { o.strategy = st } }
+
+// WithSeed seeds the stochastic strategy.
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithFlattening enables the §8.3 rescue: when a query form has no
+// safe execution, non-recursive single-rule predicates are unfolded
+// into their callers (the FU transformation applied as rewriting) and
+// the search retried — the extension the paper sketches for later
+// optimizer versions.
+func WithFlattening() Option { return func(o *options) { o.flatten = true } }
+
+// Plan is an optimized (and compilable) execution for one query form.
+type Plan struct {
+	sys    *System
+	goal   lang.Literal
+	result *core.Result
+	// Optimizer diagnostics.
+	MemoLookups int
+	MemoHits    int
+}
+
+// Optimize compiles and optimizes one query form, e.g. "sg(john, Y)".
+// It never fails on unsafe queries — it returns a Plan whose Safe()
+// reports false with a Reason(); Execute then refuses to run.
+func (s *System) Optimize(goal string, opts ...Option) (*Plan, error) {
+	var o options
+	for _, f := range opts {
+		f(&o)
+	}
+	strat, err := o.strategy.impl(o.seed)
+	if err != nil {
+		return nil, err
+	}
+	lit, err := parser.ParseLiteral(goal)
+	if err != nil {
+		return nil, err
+	}
+	opt, err := core.New(s.prog, s.cat, strat)
+	if err != nil {
+		return nil, err
+	}
+	var res *core.Result
+	if o.flatten {
+		res, err = opt.OptimizeFlattened(lang.Query{Goal: lit}, 8)
+	} else {
+		res, err = opt.Optimize(lang.Query{Goal: lit})
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{sys: s, goal: lit, result: res, MemoLookups: opt.MemoLookups, MemoHits: opt.MemoHits}, nil
+}
+
+// Safe reports whether a safe (terminating) execution was found.
+func (p *Plan) Safe() bool { return p.result.Safe }
+
+// Reason explains why the query is unsafe (empty when Safe).
+func (p *Plan) Reason() string { return p.result.Reason }
+
+// Cost is the estimated cost of the chosen execution (+Inf if unsafe).
+func (p *Plan) Cost() float64 { return float64(p.result.Cost) }
+
+// Explain renders the chosen processing tree (Figure 4-1 style:
+// squares materialize, triangles pipeline, CC marks recursive cliques).
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s?\n", p.goal)
+	if !p.result.Safe {
+		fmt.Fprintf(&b, "UNSAFE: %s\n", p.result.Reason)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "estimated cost: %.1f, cardinality: %.1f\n", float64(p.result.Cost), p.result.Card)
+	b.WriteString(p.result.Plan.Render())
+	return b.String()
+}
+
+// ExecStats reports how much work an execution did.
+type ExecStats struct {
+	TuplesDerived int
+	Iterations    int
+	Unifications  int64
+	Lookups       int64
+}
+
+// Execute compiles the plan to a program, evaluates it and returns the
+// answers as rows of rendered terms, in canonical order.
+func (p *Plan) Execute() ([][]string, error) {
+	rows, _, err := p.ExecuteStats()
+	return rows, err
+}
+
+// ExecuteStats is Execute plus work counters.
+func (p *Plan) ExecuteStats() ([][]string, ExecStats, error) {
+	var es ExecStats
+	compiled, err := p.result.Compile()
+	if err != nil {
+		return nil, es, err
+	}
+	prog2, err := lang.NewProgram(compiled.Clauses)
+	if err != nil {
+		return nil, es, err
+	}
+	db2 := p.sys.db.Clone()
+	if err := db2.LoadFacts(prog2); err != nil {
+		return nil, es, err
+	}
+	methodFor := map[string]eval.Method{}
+	for tag, meth := range compiled.FixMethods {
+		if meth != cost.RecNaive {
+			continue
+		}
+		base := tag[:strings.IndexByte(tag, '/')]
+		for _, t2 := range prog2.PredTags() {
+			name := t2[:strings.LastIndexByte(t2, '/')]
+			if name == base || strings.HasPrefix(name, base+".") {
+				methodFor[t2] = eval.Naive
+			}
+		}
+	}
+	// Budgets turn a diverging execution (which the safety analysis
+	// should have prevented) into an error instead of a hang.
+	e, err := eval.New(prog2, db2, eval.Options{
+		Method: eval.SemiNaive, MethodFor: methodFor,
+		MaxTuples: 5_000_000, MaxIterations: 200_000,
+	})
+	if err != nil {
+		return nil, es, err
+	}
+	if err := e.Run(); err != nil {
+		return nil, es, err
+	}
+	ansPred := compiled.AnswerTag[:strings.LastIndexByte(compiled.AnswerTag, '/')]
+	ts, err := e.Answers(lang.Query{Goal: lang.Literal{Pred: ansPred, Args: p.goal.Args}})
+	if err != nil {
+		return nil, es, err
+	}
+	es = ExecStats{
+		TuplesDerived: e.Counters.TuplesDerived,
+		Iterations:    e.Counters.Iterations,
+		Unifications:  e.Counters.Unifications,
+		Lookups:       e.Counters.Lookups,
+	}
+	rows := make([][]string, len(ts))
+	for i, t := range ts {
+		row := make([]string, len(t))
+		for j, v := range t {
+			row[j] = v.String()
+		}
+		rows[i] = row
+	}
+	return rows, es, nil
+}
+
+// Query is the one-shot convenience: optimize with defaults and run.
+func (s *System) Query(goal string, opts ...Option) ([][]string, error) {
+	p, err := s.Optimize(goal, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if !p.Safe() {
+		return nil, fmt.Errorf("ldl: query %s is unsafe: %s", goal, p.Reason())
+	}
+	return p.Execute()
+}
+
+// EvaluateTopDown answers the goal with the tabled top-down evaluator:
+// goal-directed resolution with one answer table per call pattern — the
+// literal realization of pipelined execution, and an independent oracle
+// against the bottom-up engine. It can answer bound query forms (e.g. a
+// list-consuming recursion with the list supplied) whose bottom-up
+// fixpoint does not exist.
+func (s *System) EvaluateTopDown(goal string) ([][]string, ExecStats, error) {
+	var es ExecStats
+	lit, err := parser.ParseLiteral(goal)
+	if err != nil {
+		return nil, es, err
+	}
+	td := eval.NewTopDown(s.prog, s.db, eval.Options{MaxTuples: 5_000_000, MaxIterations: 200_000})
+	ts, err := td.Query(lang.Query{Goal: lit})
+	if err != nil {
+		return nil, es, err
+	}
+	es = ExecStats{
+		TuplesDerived: td.Counters.TuplesDerived,
+		Iterations:    td.Counters.Iterations,
+		Unifications:  td.Counters.Unifications,
+		Lookups:       td.Counters.Lookups,
+	}
+	rows := make([][]string, len(ts))
+	for i, t := range ts {
+		row := make([]string, len(t))
+		for j, v := range t {
+			row[j] = v.String()
+		}
+		rows[i] = row
+	}
+	return rows, es, nil
+}
+
+// EvaluateUnoptimized runs the query on the original program with plain
+// semi-naive evaluation and no optimization — the baseline the paper's
+// optimizer improves on, exposed for comparison and testing.
+func (s *System) EvaluateUnoptimized(goal string) ([][]string, ExecStats, error) {
+	var es ExecStats
+	lit, err := parser.ParseLiteral(goal)
+	if err != nil {
+		return nil, es, err
+	}
+	e, err := eval.New(s.prog, s.db, eval.Options{Method: eval.SemiNaive})
+	if err != nil {
+		return nil, es, err
+	}
+	ts, err := e.Answers(lang.Query{Goal: lit})
+	if err != nil {
+		return nil, es, err
+	}
+	es = ExecStats{
+		TuplesDerived: e.Counters.TuplesDerived,
+		Iterations:    e.Counters.Iterations,
+		Unifications:  e.Counters.Unifications,
+		Lookups:       e.Counters.Lookups,
+	}
+	rows := make([][]string, len(ts))
+	for i, t := range ts {
+		row := make([]string, len(t))
+		for j, v := range t {
+			row[j] = v.String()
+		}
+		rows[i] = row
+	}
+	return rows, es, nil
+}
