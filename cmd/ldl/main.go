@@ -4,12 +4,14 @@
 // Usage:
 //
 //	ldl -f program.ldl -q "sg(john, Y)" [-strategy kbz] [-explain] [-stats]
+//	    [-timeout 500ms] [-max-tuples 100000]
 //
 // Without -q, every query form embedded in the program ("goal?") runs.
 // Without -f, the program is read from stdin.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -23,8 +25,33 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ldl: ")
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
-		log.Fatal(err)
+		log.Fatal(diagnose(err))
 	}
+}
+
+// diagnose expands a resource-budget error into an actionable message:
+// which limit tripped plus the work counters at the moment it did
+// (tuples derived, fixpoint rounds, optimizer states, elapsed time).
+func diagnose(err error) string {
+	var re *ldl.ResourceError
+	if !errors.As(err, &re) {
+		return err.Error()
+	}
+	var hint string
+	switch {
+	case errors.Is(err, ldl.ErrTimeout):
+		hint = "raise -timeout or tighten the query"
+	case errors.Is(err, ldl.ErrTupleBudget):
+		hint = "raise -max-tuples or bind more query arguments"
+	case errors.Is(err, ldl.ErrIterationBudget):
+		hint = "the fixpoint needed more rounds than allowed"
+	case errors.Is(err, ldl.ErrCanceled):
+		hint = "the run was canceled"
+	}
+	if hint != "" {
+		return fmt.Sprintf("%v (%s)", err, hint)
+	}
+	return err.Error()
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
@@ -37,6 +64,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		explain  = fs.Bool("explain", false, "print the optimized processing tree")
 		stats    = fs.Bool("stats", false, "print execution work counters")
 		flatten  = fs.Bool("flatten", false, "rescue unsafe queries by flattening (rule unfolding)")
+		timeout  = fs.Duration("timeout", 0, "wall-clock budget per optimize/execute call, e.g. 500ms (0 = none)")
+		maxTup   = fs.Int("max-tuples", 0, "max tuples an execution may derive (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,6 +98,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		opts := []ldl.Option{ldl.WithStrategy(ldl.Strategy(*strategy)), ldl.WithSeed(*seed)}
 		if *flatten {
 			opts = append(opts, ldl.WithFlattening())
+		}
+		if *timeout > 0 {
+			opts = append(opts, ldl.WithTimeout(*timeout))
+		}
+		if *maxTup > 0 {
+			opts = append(opts, ldl.WithMaxTuples(*maxTup))
 		}
 		plan, err := sys.Optimize(goal, opts...)
 		if err != nil {

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"ldl"
 )
 
 const program = `
@@ -65,6 +69,59 @@ q(X, Y, Z) <- p(X, Y, Z), Y = 2 ^ X.
 	}
 	if !strings.Contains(out.String(), "3, 8, 11") {
 		t.Errorf("output = %s", out.String())
+	}
+}
+
+// cycleProgram builds transitive closure over an n-node cycle: safe
+// under every query form, but tc(X, Y) derives n*n tuples.
+func cycleProgram(n int) string {
+	var b strings.Builder
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "e(n%d, n%d). ", i, i%n+1)
+	}
+	b.WriteString("\ntc(X, Y) <- e(X, Y).\ntc(X, Y) <- e(X, Z), tc(Z, Y).\n")
+	return b.String()
+}
+
+func TestRunBudgetFlags(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-q", "tc(X, Y)", "-strategy", "kbz", "-max-tuples", "100"},
+		strings.NewReader(cycleProgram(50)), &out)
+	if !errors.Is(err, ldl.ErrTupleBudget) {
+		t.Fatalf("err = %v, want ErrTupleBudget", err)
+	}
+	msg := diagnose(err)
+	for _, want := range []string{"tuples=", "elapsed=", "-max-tuples"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q: %s", want, msg)
+		}
+	}
+
+	out.Reset()
+	err = run([]string{"-q", "tc(X, Y)", "-strategy", "kbz", "-timeout", "1ns"},
+		strings.NewReader(cycleProgram(50)), &out)
+	if !errors.Is(err, ldl.ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if !strings.Contains(diagnose(err), "-timeout") {
+		t.Errorf("diagnostic missing hint: %s", diagnose(err))
+	}
+
+	// Generous budgets leave the run untouched.
+	out.Reset()
+	err = run([]string{"-q", "tc(n1, Y)", "-timeout", "30s", "-max-tuples", "100000"},
+		strings.NewReader(cycleProgram(10)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "10 answers") {
+		t.Errorf("output = %s", out.String())
+	}
+}
+
+func TestDiagnosePlainError(t *testing.T) {
+	if got := diagnose(errors.New("boom")); got != "boom" {
+		t.Errorf("diagnose = %q", got)
 	}
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"math/rand"
 
 	"ldl/internal/adorn"
@@ -8,6 +10,7 @@ import (
 	"ldl/internal/depgraph"
 	"ldl/internal/lang"
 	"ldl/internal/plan"
+	"ldl/internal/resource"
 	"ldl/internal/safety"
 )
 
@@ -32,10 +35,10 @@ func (o *Optimizer) optimizeFix(tag string, ad lang.Adornment, occurrence lang.L
 	var best *candidate
 	bestReason := "no safe c-permutation/method combination found"
 
-	evalCPerm := func(cperm [][]int) (*candidate, string) {
+	evalCPerm := func(cperm [][]int) (*candidate, string, error) {
 		a, err := adorn.Adorn(rules, clique.Contains, tag, ad, adorn.UniformCPerm(cperm))
 		if err != nil {
-			return nil, err.Error()
+			return nil, err.Error(), nil
 		}
 		bottomUp := safety.CheckCliqueBottomUp(rules, clique.Contains)
 		topDown := safety.CheckCliqueTopDown(a, rules, clique.Contains)
@@ -61,8 +64,11 @@ func (o *Optimizer) optimizeFix(tag string, ad lang.Adornment, occurrence lang.L
 				}
 				seen[k] = true
 				sub := o.optimizeOr(bl.Tag(), ar.BodyAdorns[bi], bl, false)
+				if sub.err != nil {
+					return nil, "", sub.err
+				}
 				if sub.cost.IsInfinite() {
-					return nil, sub.reason
+					return nil, sub.reason, nil
 				}
 				extra += float64(sub.cost)
 				kids = append(kids, sub.node.Clone())
@@ -100,22 +106,41 @@ func (o *Optimizer) optimizeFix(tag string, ad lang.Adornment, occurrence lang.L
 			}
 		}
 		if bestC == nil {
-			return nil, reason
+			return nil, reason, nil
 		}
-		return bestC, ""
+		return bestC, "", nil
 	}
 
-	consider := func(cperm [][]int) {
-		c, why := evalCPerm(cperm)
+	// consider prices one c-permutation (one governed search state) and
+	// keeps the cheapest; it returns false to stop the walk — either
+	// because the search is aborting (fatalErr) or because the state
+	// budget tripped and the walk degrades to best-found-so-far.
+	var fatalErr error
+	truncated := false
+	consider := func(cperm [][]int) bool {
+		if err := o.Gov.AddStates(1); err != nil {
+			if errors.Is(err, resource.ErrOptimizerBudget) {
+				truncated = true
+			} else {
+				fatalErr = err
+			}
+			return false
+		}
+		c, why, err := evalCPerm(cperm)
+		if err != nil {
+			fatalErr = err
+			return false
+		}
 		if c == nil {
 			if why != "" {
 				bestReason = why
 			}
-			return
+			return true
 		}
 		if best == nil || cost.Cost(float64(c.costing.Total)+c.extra) < cost.Cost(float64(best.costing.Total)+best.extra) {
 			best = c
 		}
+		return true
 	}
 
 	// Enumerate or anneal the c-permutation space.
@@ -131,12 +156,39 @@ func (o *Optimizer) optimizeFix(tag string, ad lang.Adornment, occurrence lang.L
 		}
 	}
 	if space <= o.MaxCPermEnum {
-		enumerateCPerms(sizes, func(cperm [][]int) { consider(cperm) })
+		enumerateCPerms(sizes, consider)
 	} else {
 		o.annealCPerms(sizes, consider)
 	}
 
 	node := &plan.Node{Kind: plan.KindFix, Lit: occurrence, Adorn: ad}
+	if fatalErr != nil {
+		return &orResult{node: node, err: fatalErr}
+	}
+	if truncated {
+		if best == nil {
+			// Nothing priced before the budget tripped: evaluate the
+			// identity c-permutation as the last resort so the caller
+			// still gets a plan (the rung below KBZ on this axis).
+			id := make([][]int, len(sizes))
+			for i, n := range sizes {
+				id[i] = identityPerm(n)
+			}
+			c, why, err := evalCPerm(id)
+			if err != nil {
+				return &orResult{node: node, err: err}
+			}
+			if c == nil && why != "" {
+				bestReason = why
+			}
+			best = c
+			o.Gov.NoteDowngrade(fmt.Sprintf(
+				"clique %v: c-permutation search exceeded the optimizer state budget before any candidate was priced; using the identity c-permutation", clique.Preds))
+		} else {
+			o.Gov.NoteDowngrade(fmt.Sprintf(
+				"clique %v: c-permutation search exceeded the optimizer state budget; keeping the best of the candidates priced so far", clique.Preds))
+		}
+	}
 	if best == nil {
 		node.EstCost = cost.Infinite()
 		return &orResult{node: node, cost: cost.Infinite(), reason: bestReason}
@@ -164,40 +216,45 @@ func (o *Optimizer) optimizeFix(tag string, ad lang.Adornment, occurrence lang.L
 	return &orResult{node: node, cost: total, card: best.costing.OutCard}
 }
 
-// enumerateCPerms visits the cross product of all body permutations.
-func enumerateCPerms(sizes []int, visit func([][]int)) {
+// enumerateCPerms visits the cross product of all body permutations;
+// visit returning false stops the enumeration.
+func enumerateCPerms(sizes []int, visit func([][]int) bool) {
 	perRule := make([][][]int, len(sizes))
 	for i, n := range sizes {
 		perRule[i] = adorn.Permutations(n)
 	}
 	cur := make([][]int, len(sizes))
-	var rec func(i int)
-	rec = func(i int) {
+	var rec func(i int) bool
+	rec = func(i int) bool {
 		if i == len(sizes) {
 			cp := make([][]int, len(cur))
 			copy(cp, cur)
-			visit(cp)
-			return
+			return visit(cp)
 		}
 		for _, p := range perRule[i] {
 			cur[i] = p
-			rec(i + 1)
+			if !rec(i + 1) {
+				return false
+			}
 		}
+		return true
 	}
 	rec(0)
 }
 
 // annealCPerms walks the c-permutation space: a neighbor differs in one
 // rule's permutation by exactly one transposition (§7.3's neighbor
-// relation). consider is invoked on every visited state; the caller
-// tracks the best.
-func (o *Optimizer) annealCPerms(sizes []int, consider func([][]int)) {
+// relation). consider is invoked on every visited state and returns
+// false to stop the walk; the caller tracks the best.
+func (o *Optimizer) annealCPerms(sizes []int, consider func([][]int) bool) {
 	rng := rand.New(rand.NewSource(1))
 	cur := make([][]int, len(sizes))
 	for i, n := range sizes {
 		cur[i] = identityPerm(n)
 	}
-	consider(clone2(cur))
+	if !consider(clone2(cur)) {
+		return
+	}
 	steps := o.AnnealCPermSteps
 	if steps <= 0 {
 		steps = 300
@@ -212,7 +269,9 @@ func (o *Optimizer) annealCPerms(sizes []int, consider func([][]int)) {
 			continue
 		}
 		cur[ri][x], cur[ri][y] = cur[ri][y], cur[ri][x]
-		consider(clone2(cur))
+		if !consider(clone2(cur)) {
+			return
+		}
 		// The walk keeps moving (consider() retains the global best);
 		// occasionally jump back to identity to diversify.
 		if rng.Float64() < 0.05 {

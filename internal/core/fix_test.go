@@ -207,14 +207,23 @@ tc(X, Y) <- e(X, A), f(A, Z), tc(Z, Y).
 
 func TestEnumerateCPerms(t *testing.T) {
 	var count int
-	enumerateCPerms([]int{2, 3}, func(cp [][]int) {
+	enumerateCPerms([]int{2, 3}, func(cp [][]int) bool {
 		count++
 		if len(cp) != 2 || len(cp[0]) != 2 || len(cp[1]) != 3 {
 			t.Errorf("bad cperm %v", cp)
 		}
+		return true
 	})
 	if count != 2*6 {
 		t.Errorf("cperms = %d, want 12", count)
+	}
+	count = 0
+	enumerateCPerms([]int{2, 3}, func(cp [][]int) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Errorf("stopped enumeration visited %d states, want 5", count)
 	}
 }
 

@@ -113,6 +113,9 @@ func (o *Optimizer) OptimizeFlattened(q lang.Query, maxRounds int) (*Result, err
 		if err != nil {
 			return nil, err
 		}
+		// The rescue rounds share the original call's governor so the
+		// whole flatten-and-retry loop stays under one budget.
+		o2.Gov = o.Gov
 		r2, err := o2.Optimize(q)
 		if err != nil {
 			return nil, err

@@ -5,6 +5,7 @@ import (
 
 	"ldl/internal/cost"
 	"ldl/internal/lang"
+	"ldl/internal/resource"
 )
 
 // KBZ is the quadratic-time join-ordering strategy of [KBZ 86]: build
@@ -39,7 +40,18 @@ func mergeModules(a, b kbzModule) kbzModule {
 	}
 }
 
-func (KBZ) Order(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn) ([]int, cost.ConjunctResult) {
+func (k KBZ) Order(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn) ([]int, cost.ConjunctResult) {
+	perm, r, _ := k.OrderBudget(m, body, bound, inCard, sf, nil)
+	return perm, r
+}
+
+// OrderBudget for KBZ charges states for accounting but never enforces
+// the state limit: KBZ is the quadratic floor of the degradation
+// ladder (exhaustive/DP → KBZ → error), so it must keep working after
+// the budget that triggered the downgrade has tripped. Deadlines and
+// cancellation still apply.
+func (KBZ) OrderBudget(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn, gov *resource.Governor) ([]int, cost.ConjunctResult, error) {
+	gov = gov.StatesExempt()
 	// Separate relational goals from builtins/negations; the latter are
 	// re-inserted greedily afterwards.
 	var rel []int
@@ -53,7 +65,7 @@ func (KBZ) Order(m *cost.Model, body []lang.Literal, bound map[string]bool, inCa
 	}
 	if len(rel) == 0 {
 		perm := identityPerm(len(body))
-		return perm, m.Conjunct(body, perm, bound, inCard, sf)
+		return perm, m.Conjunct(body, perm, bound, inCard, sf), nil
 	}
 
 	// Query graph over relational goals: edge when two goals share a
@@ -101,6 +113,9 @@ func (KBZ) Order(m *cost.Model, body []lang.Literal, bound map[string]bool, inCa
 		var bestCost cost.Cost
 		bestSet := false
 		for _, root := range comp {
+			if err := gov.AddStates(1); err != nil {
+				return bestPerm, bestRes, err
+			}
 			order := linearize(m, body, bound, sf, comp, adj, root)
 			r := m.Conjunct(body, order, bound, inCard, sf)
 			if !bestSet || (r.Safe && r.Total < bestCost) {
@@ -119,9 +134,9 @@ func (KBZ) Order(m *cost.Model, body []lang.Literal, bound map[string]bool, inCa
 	perm := insertNonRelational(body, relOrder, other, bound)
 	res := m.Conjunct(body, perm, bound, inCard, sf)
 	if betterThan(res, bestRes) {
-		return perm, res
+		return perm, res, nil
 	}
-	return bestPerm, bestRes
+	return bestPerm, bestRes, nil
 }
 
 // linearize runs the IKKBZ rank merge on the spanning tree of comp

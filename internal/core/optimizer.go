@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"ldl/internal/adorn"
@@ -8,6 +9,7 @@ import (
 	"ldl/internal/depgraph"
 	"ldl/internal/lang"
 	"ldl/internal/plan"
+	"ldl/internal/resource"
 	"ldl/internal/safety"
 	"ldl/internal/stats"
 	"ldl/internal/term"
@@ -33,6 +35,13 @@ type Optimizer struct {
 	// 7-1 — only for the ablation experiment that measures its value.
 	DisableMemo bool
 
+	// Gov meters the search: every candidate ordering priced charges
+	// one state, and deadlines/cancellation abort the optimization. A
+	// tripped state budget does not fail the search — the strategy
+	// degrades to KBZ (the quadratic floor) and the downgrade is
+	// recorded for Plan.Explain. nil means ungoverned.
+	Gov *resource.Governor
+
 	// Memoization of OR-subtree optimizations, indexed by binding (the
 	// linchpin of Figure 7-1's complexity bound). MemoLookups/MemoHits
 	// are exposed for the E10 experiment.
@@ -56,6 +65,10 @@ type orResult struct {
 	cost   cost.Cost
 	card   float64
 	reason string
+	// err aborts the whole optimization (deadline passed, context
+	// canceled). Budget *downgrades* never surface here — they are
+	// absorbed by the fallback ladder and recorded on the governor.
+	err error
 }
 
 // Result is a finished optimization.
@@ -65,6 +78,10 @@ type Result struct {
 	Card   float64
 	Safe   bool
 	Reason string
+	// Downgrades lists graceful degradations the governed search took
+	// (e.g. exhaustive → KBZ after the state budget tripped); rendered
+	// by Plan.Explain so callers can see the plan is best-effort.
+	Downgrades []string
 
 	prog  *lang.Program
 	query lang.Query
@@ -112,11 +129,15 @@ func (o *Optimizer) Optimize(q lang.Query) (*Result, error) {
 		return res, nil
 	}
 	r := o.optimizeOr(tag, q.Adornment(), q.Goal, true)
+	if r.err != nil {
+		return nil, r.err
+	}
 	res.Plan = r.node
 	res.Cost = r.cost
 	res.Card = r.card
 	res.Safe = !r.cost.IsInfinite()
 	res.Reason = r.reason
+	res.Downgrades = o.Gov.Downgrades()
 	return res, nil
 }
 
@@ -240,6 +261,11 @@ func (o *Optimizer) optimizeOr(tag string, ad lang.Adornment, occurrence lang.Li
 	} else {
 		r = o.optimizeUnion(tag, ad, occurrence)
 	}
+	if r.err != nil {
+		// Aborted searches are not memoized: the whole optimization is
+		// unwinding and the entry would be junk.
+		return r
+	}
 	o.memo[key] = r
 	return r
 }
@@ -260,6 +286,9 @@ func (o *Optimizer) optimizeUnion(tag string, ad lang.Adornment, occurrence lang
 		unsafeReason := ""
 		for ri, r := range rules {
 			rr := o.optimizeRule(r, idxs[ri], useAd)
+			if rr.err != nil {
+				return rr
+			}
 			node.Kids = append(node.Kids, rr.node)
 			if rr.cost.IsInfinite() {
 				if unsafeReason == "" {
@@ -280,11 +309,17 @@ func (o *Optimizer) optimizeUnion(tag string, ad lang.Adornment, occurrence lang
 	}
 
 	full := build(lang.AllFree)
+	if full.err != nil {
+		return full
+	}
 	full.node.Mode = plan.Materialized
 	if ad == lang.AllFree {
 		return full
 	}
 	restricted := build(ad)
+	if restricted.err != nil {
+		return restricted
+	}
 	restricted.node.Mode = plan.Pipelined
 	// Pipelined computation pays the magic bookkeeping overhead.
 	restricted.cost = cost.Cost(float64(restricted.cost) * o.Model.MagicOverhead)
@@ -306,11 +341,31 @@ func (o *Optimizer) optimizeRule(r lang.Rule, globalIdx int, headAdorn lang.Ador
 			term.VarSet(arg, bound)
 		}
 	}
-	perm, cr := o.Strategy.Order(o.Model, r.Body, bound, 1, o.statsFn)
+	perm, cr, oerr := o.Strategy.OrderBudget(o.Model, r.Body, bound, 1, o.statsFn, o.Gov)
 	node := plan.Join()
 	node.Rule = &r
 	node.RuleIdx = globalIdx
 	node.Adorn = headAdorn
+	if oerr != nil {
+		_, isKBZ := o.Strategy.(KBZ)
+		if !errors.Is(oerr, resource.ErrOptimizerBudget) || isKBZ {
+			return &orResult{node: node, err: oerr}
+		}
+		// Graceful degradation (the ladder's second rung): the
+		// exhaustive/DP/anneal search ran out of states — re-order with
+		// the quadratic KBZ strategy and keep the better of its answer
+		// and the partial best the aborted search returned.
+		o.Gov.NoteDowngrade(fmt.Sprintf(
+			"rule %s: %s ordering search exceeded the optimizer state budget; fell back to kbz",
+			r.Head, o.Strategy.Name()))
+		kperm, kcr, kerr := (KBZ{}).OrderBudget(o.Model, r.Body, bound, 1, o.statsFn, o.Gov)
+		if kerr != nil {
+			return &orResult{node: node, err: kerr}
+		}
+		if betterThan(kcr, cr) {
+			perm, cr = kperm, kcr
+		}
+	}
 	if !cr.Safe {
 		node.EstCost = cost.Infinite()
 		return &orResult{node: node, cost: cost.Infinite(), reason: fmt.Sprintf("rule %s: %s", r, cr.Reason)}
@@ -332,6 +387,9 @@ func (o *Optimizer) optimizeRule(r lang.Rule, globalIdx int, headAdorn lang.Ador
 			kids = append(kids, plan.Builtin(l))
 		case o.Prog.IsDerived(l.Tag()):
 			sub := o.optimizeOr(l.Tag(), step.Adorn, l, false)
+			if sub.err != nil {
+				return &orResult{node: node, err: sub.err}
+			}
 			kids = append(kids, sub.node.Clone())
 			if sub.cost.IsInfinite() {
 				return &orResult{node: node, cost: cost.Infinite(), reason: sub.reason}

@@ -18,15 +18,25 @@ import (
 	"ldl/internal/adorn"
 	"ldl/internal/cost"
 	"ldl/internal/lang"
+	"ldl/internal/resource"
 )
 
 // Strategy orders the goals of one conjunct (one rule body). It returns
 // the chosen permutation and its costing under the full cost model.
 // Implementations must return a ConjunctResult with Safe=false (and
 // infinite Total) when no safe ordering was found.
+//
+// OrderBudget is the governed variant: each candidate ordering priced
+// under the cost model charges one optimizer state against gov. A
+// non-nil error is always a *resource.ResourceError; on
+// resource.ErrOptimizerBudget the returned permutation/costing are the
+// best found before the budget tripped (an anytime result the caller
+// may still compare against its fallback strategy). Order is
+// OrderBudget with no governor and can never fail.
 type Strategy interface {
 	Name() string
 	Order(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn) ([]int, cost.ConjunctResult)
+	OrderBudget(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn, gov *resource.Governor) ([]int, cost.ConjunctResult, error)
 }
 
 // identityPerm returns 0..n-1.
@@ -51,23 +61,31 @@ type Exhaustive struct {
 func (Exhaustive) Name() string { return "exhaustive" }
 
 func (e Exhaustive) Order(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn) ([]int, cost.ConjunctResult) {
+	perm, r, _ := e.OrderBudget(m, body, bound, inCard, sf, nil)
+	return perm, r
+}
+
+func (e Exhaustive) OrderBudget(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn, gov *resource.Governor) ([]int, cost.ConjunctResult, error) {
 	limit := e.FallbackAt
 	if limit <= 0 {
 		limit = 8
 	}
 	if len(body) > limit {
-		return DP{}.Order(m, body, bound, inCard, sf)
+		return DP{}.OrderBudget(m, body, bound, inCard, sf, gov)
 	}
 	bestPerm := identityPerm(len(body))
 	best := m.Conjunct(body, bestPerm, bound, inCard, sf)
 	for _, perm := range adorn.Permutations(len(body)) {
+		if err := gov.AddStates(1); err != nil {
+			return bestPerm, best, err
+		}
 		r := m.Conjunct(body, perm, bound, inCard, sf)
 		if betterThan(r, best) {
 			best = r
 			bestPerm = append(bestPerm[:0], perm...)
 		}
 	}
-	return bestPerm, best
+	return bestPerm, best, nil
 }
 
 func betterThan(a, b cost.ConjunctResult) bool {
@@ -85,10 +103,15 @@ type DP struct{}
 
 func (DP) Name() string { return "dp" }
 
-func (DP) Order(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn) ([]int, cost.ConjunctResult) {
+func (d DP) Order(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn) ([]int, cost.ConjunctResult) {
+	perm, r, _ := d.OrderBudget(m, body, bound, inCard, sf, nil)
+	return perm, r
+}
+
+func (DP) OrderBudget(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn, gov *resource.Governor) ([]int, cost.ConjunctResult, error) {
 	n := len(body)
 	if n == 0 {
-		return nil, m.Conjunct(body, nil, bound, inCard, sf)
+		return nil, m.Conjunct(body, nil, bound, inCard, sf), nil
 	}
 	type entry struct {
 		perm []int
@@ -108,6 +131,12 @@ func (DP) Order(m *cost.Model, body []lang.Literal, bound map[string]bool, inCar
 			if !prev.ok {
 				continue
 			}
+			if err := gov.AddStates(1); err != nil {
+				// Mid-table abort: the identity ordering is the only
+				// complete costing available at this point.
+				perm := identityPerm(n)
+				return perm, m.Conjunct(body, perm, bound, inCard, sf), err
+			}
 			perm := append(append([]int{}, prev.perm...), last)
 			r := m.Conjunct(body, perm, bound, inCard, sf)
 			if !bestSet || betterThan(r, best.res) {
@@ -120,9 +149,9 @@ func (DP) Order(m *cost.Model, body []lang.Literal, bound map[string]bool, inCar
 	final := table[1<<uint(n)-1]
 	if !final.ok {
 		r := m.Conjunct(body, identityPerm(n), bound, inCard, sf)
-		return identityPerm(n), r
+		return identityPerm(n), r, nil
 	}
-	return final.perm, final.res
+	return final.perm, final.res, nil
 }
 
 // Anneal is the simulated-annealing strategy of §7.1: a random walk of
@@ -139,6 +168,11 @@ type Anneal struct {
 func (Anneal) Name() string { return "anneal" }
 
 func (a Anneal) Order(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn) ([]int, cost.ConjunctResult) {
+	perm, r, _ := a.OrderBudget(m, body, bound, inCard, sf, nil)
+	return perm, r
+}
+
+func (a Anneal) OrderBudget(m *cost.Model, body []lang.Literal, bound map[string]bool, inCard float64, sf cost.StatsFn, gov *resource.Governor) ([]int, cost.ConjunctResult, error) {
 	n := len(body)
 	steps := a.Steps
 	if steps <= 0 {
@@ -167,6 +201,11 @@ func (a Anneal) Order(m *cost.Model, body []lang.Literal, bound map[string]bool,
 		if n < 2 {
 			break
 		}
+		if err := gov.AddStates(1); err != nil {
+			// The walk is an anytime algorithm: the best ordering seen
+			// so far is a complete answer.
+			return bestPerm, bestRes, err
+		}
 		x, y := rng.Intn(n), rng.Intn(n)
 		if x == y {
 			continue
@@ -193,7 +232,7 @@ func (a Anneal) Order(m *cost.Model, body []lang.Literal, bound map[string]bool,
 		}
 		temp *= alpha
 	}
-	return bestPerm, bestRes
+	return bestPerm, bestRes, nil
 }
 
 // initialPerm seeds the walk with a greedy EC-feasible ordering:

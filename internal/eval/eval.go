@@ -12,6 +12,7 @@ import (
 
 	"ldl/internal/depgraph"
 	"ldl/internal/lang"
+	"ldl/internal/resource"
 	"ldl/internal/store"
 	"ldl/internal/term"
 )
@@ -50,6 +51,13 @@ type Options struct {
 	// MaxTuples bounds total derived tuples (0 = 10M); exceeding it
 	// aborts with ErrRunaway.
 	MaxTuples int
+	// Gov, when non-nil, meters the evaluation at tuple/iteration
+	// granularity: derived tuples, fixpoint rounds, and wall-clock
+	// deadlines/cancellation all charge against it, and a violation
+	// aborts the run with the governor's typed ResourceError. It is the
+	// caller-facing budget; MaxIterations/MaxTuples above remain the
+	// engine's own runaway backstop.
+	Gov *resource.Governor
 }
 
 func (o *Options) norm() {
@@ -185,6 +193,9 @@ func (e *Engine) evalClique(c *depgraph.Clique) error {
 		if iter >= e.opts.MaxIterations {
 			return fmt.Errorf("%w: clique %v exceeded %d iterations", ErrRunaway, c.Preds, e.opts.MaxIterations)
 		}
+		if err := e.opts.Gov.AddIteration(); err != nil {
+			return err
+		}
 		e.Counters.Iterations++
 		empty := true
 		for _, d := range deltas {
@@ -258,6 +269,9 @@ func (e *Engine) applyRuleCollect(r lang.Rule, deltaOcc int, deltas map[string]*
 			if e.Counters.TuplesDerived > e.opts.MaxTuples {
 				return fmt.Errorf("%w: more than %d tuples", ErrRunaway, e.opts.MaxTuples)
 			}
+			if err := e.opts.Gov.AddTuples(1); err != nil {
+				return err
+			}
 			if collect != nil {
 				collect(r.Head.Tag(), t)
 			}
@@ -270,6 +284,12 @@ func (e *Engine) applyRuleCollect(r lang.Rule, deltaOcc int, deltas map[string]*
 // joinBody enumerates the substitutions satisfying body[i:], carrying
 // pending builtins/negations that were not yet effectively computable.
 func (e *Engine) joinBody(body []lang.Literal, i, deltaOcc int, deltas map[string]*store.Relation, s term.Subst, pending []lang.Literal, emit func(term.Subst) error) error {
+	// The join can churn for a long time without deriving anything new
+	// (novelty filtering discards duplicates), so the deadline is
+	// checked here too, not only on derivation.
+	if err := e.opts.Gov.Tick(); err != nil {
+		return err
+	}
 	// Flush any pending goal that has become evaluable.
 	for pi := 0; pi < len(pending); pi++ {
 		l := pending[pi]

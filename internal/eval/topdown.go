@@ -124,6 +124,9 @@ func (td *TopDown) Query(q lang.Query) ([]store.Tuple, error) {
 		if round > td.opts.MaxIterations {
 			return nil, fmt.Errorf("%w: top-down tables exceeded %d rounds", ErrRunaway, td.opts.MaxIterations)
 		}
+		if err := td.opts.Gov.AddIteration(); err != nil {
+			return nil, err
+		}
 		td.Counters.Iterations++
 		changed := false
 		// New tables may appear while iterating; the slice grows.
@@ -169,6 +172,9 @@ func (td *TopDown) evalTable(t *tdTable) (bool, error) {
 			if added {
 				changed = true
 				td.Counters.TuplesDerived++
+				if err := td.opts.Gov.AddTuples(1); err != nil {
+					return changed, err
+				}
 			}
 		}
 	}
@@ -195,6 +201,9 @@ func (td *TopDown) evalTable(t *tdTable) (bool, error) {
 				if td.Counters.TuplesDerived > td.opts.MaxTuples {
 					return fmt.Errorf("%w: more than %d tuples", ErrRunaway, td.opts.MaxTuples)
 				}
+				if err := td.opts.Gov.AddTuples(1); err != nil {
+					return err
+				}
 			}
 			return nil
 		}
@@ -208,6 +217,11 @@ func (td *TopDown) evalTable(t *tdTable) (bool, error) {
 // solveBody resolves body[i:] under s, deferring builtins/negation
 // until evaluable, creating subcall tables for derived literals.
 func (td *TopDown) solveBody(body []lang.Literal, i int, s term.Subst, pending []lang.Literal, emit func(term.Subst) error) error {
+	// Resolution can loop through huge candidate sets without tabling
+	// anything new; enforce the deadline here as well.
+	if err := td.opts.Gov.Tick(); err != nil {
+		return err
+	}
 	for pi := 0; pi < len(pending); pi++ {
 		l := pending[pi]
 		ok, done, err := td.tryDeferred(l, s)

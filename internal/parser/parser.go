@@ -44,16 +44,6 @@ func ParseProgram(src string) (*lang.Program, []lang.Query, error) {
 	return prog, res.Queries, nil
 }
 
-// MustParseProgram is ParseProgram for tests and examples with known-
-// good sources; it panics on error.
-func MustParseProgram(src string) (*lang.Program, []lang.Query) {
-	prog, qs, err := ParseProgram(src)
-	if err != nil {
-		panic(err)
-	}
-	return prog, qs
-}
-
 // ParseLiteral parses a single literal, e.g. "sg(john, Y)".
 func ParseLiteral(src string) (lang.Literal, error) {
 	p := &parser{lx: newLexer(src)}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ldl/internal/lang"
+	"ldl/internal/resource"
 	"ldl/internal/store"
 	"ldl/internal/term"
 )
@@ -44,7 +45,15 @@ func (r *Rows) Canonical() []string {
 // Pipelined and materialized nodes produce identical rows (the modes
 // differ in cost, not in semantics), so Eval ignores Mode.
 func Eval(n *Node, db *store.Database) (*Rows, error) {
-	rows, err := evalNode(n, db, []term.Subst{term.NewSubst()})
+	return EvalBudget(n, db, nil)
+}
+
+// EvalBudget is Eval under a resource governor: every node visit and
+// every produced binding is charged, so deadlines, cancellation and
+// tuple budgets cut long-running tree evaluations short with a typed
+// resource error. A nil governor means unlimited.
+func EvalBudget(n *Node, db *store.Database, gov *resource.Governor) (*Rows, error) {
+	rows, err := evalNode(n, db, []term.Subst{term.NewSubst()}, gov)
 	if err != nil {
 		return nil, err
 	}
@@ -52,7 +61,10 @@ func Eval(n *Node, db *store.Database) (*Rows, error) {
 }
 
 // evalNode evaluates n once per incoming binding, concatenating results.
-func evalNode(n *Node, db *store.Database, in []term.Subst) (*Rows, error) {
+func evalNode(n *Node, db *store.Database, in []term.Subst, gov *resource.Governor) (*Rows, error) {
+	if err := gov.Tick(); err != nil {
+		return nil, err
+	}
 	var out []term.Subst
 	switch n.Kind {
 	case KindScan:
@@ -62,6 +74,9 @@ func evalNode(n *Node, db *store.Database, in []term.Subst) (*Rows, error) {
 				continue
 			}
 			for _, t := range rel.Tuples() {
+				if err := gov.Tick(); err != nil {
+					return nil, err
+				}
 				s2, ok := term.UnifyAll(s.ResolveAll(n.Lit.Args), []term.Term(t), s.Clone())
 				if !ok {
 					continue
@@ -71,6 +86,9 @@ func evalNode(n *Node, db *store.Database, in []term.Subst) (*Rows, error) {
 					return nil, err
 				}
 				if keep {
+					if err := gov.AddTuples(1); err != nil {
+						return nil, err
+					}
 					out = append(out, s2)
 				}
 			}
@@ -92,6 +110,9 @@ func evalNode(n *Node, db *store.Database, in []term.Subst) (*Rows, error) {
 		// them (mirroring the engine's runtime reordering safety net).
 		var joinRows func(idx int, s term.Subst, pending []*Node) error
 		joinRows = func(idx int, s term.Subst, pending []*Node) error {
+			if err := gov.Tick(); err != nil {
+				return err
+			}
 			for pi := 0; pi < len(pending); pi++ {
 				if !builtinReady(pending[pi].Lit, s) {
 					continue
@@ -116,6 +137,9 @@ func evalNode(n *Node, db *store.Database, in []term.Subst) (*Rows, error) {
 					return err
 				}
 				if keep {
+					if err := gov.AddTuples(1); err != nil {
+						return err
+					}
 					out = append(out, s)
 				}
 				return nil
@@ -124,7 +148,7 @@ func evalNode(n *Node, db *store.Database, in []term.Subst) (*Rows, error) {
 			if k.Kind == KindBuiltin && !builtinReady(k.Lit, s) {
 				return joinRows(idx+1, s, append(pending, k))
 			}
-			r, err := evalNode(k, db, []term.Subst{s})
+			r, err := evalNode(k, db, []term.Subst{s}, gov)
 			if err != nil {
 				return err
 			}
@@ -142,7 +166,7 @@ func evalNode(n *Node, db *store.Database, in []term.Subst) (*Rows, error) {
 		}
 	case KindUnion:
 		for _, k := range n.Kids {
-			r, err := evalNode(k, db, in)
+			r, err := evalNode(k, db, in, gov)
 			if err != nil {
 				return nil, err
 			}

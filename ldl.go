@@ -20,18 +20,69 @@
 package ldl
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"ldl/internal/core"
 	"ldl/internal/cost"
 	"ldl/internal/eval"
 	"ldl/internal/lang"
 	"ldl/internal/parser"
+	"ldl/internal/resource"
 	"ldl/internal/stats"
 	"ldl/internal/store"
 )
+
+// The resource-governor error taxonomy. Optimize, Execute and the
+// evaluators return errors matchable with errors.Is against these
+// sentinels when a configured budget is exceeded; every such error is
+// a *ResourceError carrying the work counters at the violation, read
+// with errors.As. Safety (rejecting queries with no terminating
+// execution) is a static guarantee; these budgets are the dynamic
+// complement — a safe query can still be too expensive to run.
+var (
+	// ErrTimeout: the WithTimeout bound or the WithContext deadline
+	// passed before the call finished.
+	ErrTimeout = resource.ErrTimeout
+	// ErrCanceled: the WithContext context was canceled.
+	ErrCanceled = resource.ErrCanceled
+	// ErrTupleBudget: evaluation derived more tuples than WithMaxTuples
+	// allows.
+	ErrTupleBudget = resource.ErrTupleBudget
+	// ErrIterationBudget: the fixpoint ran more rounds than
+	// WithMaxIterations allows.
+	ErrIterationBudget = resource.ErrIterationBudget
+	// ErrOptimizerBudget: the plan search exhausted WithOptimizerBudget.
+	// Inside Optimize this triggers graceful degradation to the KBZ
+	// strategy instead of failing, so it is rarely observed by callers;
+	// it is exported so the taxonomy is complete.
+	ErrOptimizerBudget = resource.ErrOptimizerBudget
+	// ErrInternal wraps a recovered internal panic: the library
+	// guarantees that no malformed program or optimizer bug can take
+	// down a serving process through Load, Optimize or Execute.
+	ErrInternal = errors.New("ldl: internal error")
+)
+
+// ResourceError is the concrete type of all budget errors; Counters
+// reports tuples derived, fixpoint iterations, optimizer states
+// explored and elapsed time at the moment the budget tripped.
+type ResourceError = resource.ResourceError
+
+// ResourceCounters is the counter block inside a ResourceError.
+type ResourceCounters = resource.Counters
+
+// guard converts a panic escaping an internal layer into ErrInternal.
+// Deferred at every public API boundary so one bad program cannot
+// crash the process hosting the library.
+func guard(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("%w: panic: %v", ErrInternal, r)
+	}
+}
 
 // Strategy names the optimizer's search strategy for conjunct ordering.
 type Strategy string
@@ -70,7 +121,8 @@ type System struct {
 
 // Load parses LDL source text (rules, facts and optional "goal?" query
 // forms), loads the facts and gathers exact statistics.
-func Load(src string) (*System, error) {
+func Load(src string) (_ *System, err error) {
+	defer guard(&err)
 	prog, queries, err := parser.ParseProgram(src)
 	if err != nil {
 		return nil, err
@@ -120,6 +172,30 @@ type options struct {
 	strategy Strategy
 	seed     int64
 	flatten  bool
+
+	// Resource governor configuration. Zero values mean "no limit";
+	// with everything zero no governor is built and the hot paths pay
+	// only a nil check.
+	ctx           context.Context
+	timeout       time.Duration
+	maxTuples     int
+	maxIterations int
+	optStates     int
+}
+
+// governor builds the resource governor for one call. Each call gets a
+// fresh deadline (now + timeout), so a Plan optimized under a timeout
+// grants every Execute the full duration again.
+func (o *options) governor() *resource.Governor {
+	b := resource.Budget{
+		MaxTuples:     o.maxTuples,
+		MaxIterations: o.maxIterations,
+		MaxStates:     o.optStates,
+	}
+	if o.timeout > 0 {
+		b.Deadline = time.Now().Add(o.timeout)
+	}
+	return resource.New(o.ctx, b)
 }
 
 // WithStrategy selects the search strategy (default exhaustive).
@@ -127,6 +203,35 @@ func WithStrategy(st Strategy) Option { return func(o *options) { o.strategy = s
 
 // WithSeed seeds the stochastic strategy.
 func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithContext makes the call observe ctx: cancellation surfaces as
+// ErrCanceled, a context deadline as ErrTimeout. The check is
+// amortized (the clock is read every few hundred derivations), so
+// cancellation takes effect within microseconds, not instantly.
+func WithContext(ctx context.Context) Option { return func(o *options) { o.ctx = ctx } }
+
+// WithTimeout bounds the wall-clock time of each governed call
+// (Optimize, and each Execute separately); exceeding it returns
+// ErrTimeout wrapping a *ResourceError.
+func WithTimeout(d time.Duration) Option { return func(o *options) { o.timeout = d } }
+
+// WithMaxTuples bounds how many tuples an execution may derive across
+// all relations; exceeding it returns ErrTupleBudget. It bounds space
+// as well as time: every derived tuple is materialized.
+func WithMaxTuples(n int) Option { return func(o *options) { o.maxTuples = n } }
+
+// WithMaxIterations bounds the number of fixpoint rounds; exceeding it
+// returns ErrIterationBudget.
+func WithMaxIterations(n int) Option { return func(o *options) { o.maxIterations = n } }
+
+// WithOptimizerBudget bounds the plan-search effort of Optimize to n
+// explored states (join orders costed, c-permutations priced). On
+// exhaustion the optimizer degrades instead of failing: rule-ordering
+// search falls back to the quadratic KBZ strategy and the recursive
+//-clique search keeps the best candidate priced so far. Downgrades are
+// recorded in Plan.Explain. KBZ itself is exempt (it is the floor of
+// the ladder), so Optimize still returns a plan unless time runs out.
+func WithOptimizerBudget(n int) Option { return func(o *options) { o.optStates = n } }
 
 // WithFlattening enables the §8.3 rescue: when a query form has no
 // safe execution, non-recursive single-rule predicates are unfolded
@@ -140,6 +245,7 @@ type Plan struct {
 	sys    *System
 	goal   lang.Literal
 	result *core.Result
+	opts   options // budgets carry over from Optimize to each Execute
 	// Optimizer diagnostics.
 	MemoLookups int
 	MemoHits    int
@@ -148,7 +254,8 @@ type Plan struct {
 // Optimize compiles and optimizes one query form, e.g. "sg(john, Y)".
 // It never fails on unsafe queries — it returns a Plan whose Safe()
 // reports false with a Reason(); Execute then refuses to run.
-func (s *System) Optimize(goal string, opts ...Option) (*Plan, error) {
+func (s *System) Optimize(goal string, opts ...Option) (_ *Plan, err error) {
+	defer guard(&err)
 	var o options
 	for _, f := range opts {
 		f(&o)
@@ -165,6 +272,7 @@ func (s *System) Optimize(goal string, opts ...Option) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	opt.Gov = o.governor()
 	var res *core.Result
 	if o.flatten {
 		res, err = opt.OptimizeFlattened(lang.Query{Goal: lit}, 8)
@@ -174,7 +282,7 @@ func (s *System) Optimize(goal string, opts ...Option) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{sys: s, goal: lit, result: res, MemoLookups: opt.MemoLookups, MemoHits: opt.MemoHits}, nil
+	return &Plan{sys: s, goal: lit, result: res, opts: o, MemoLookups: opt.MemoLookups, MemoHits: opt.MemoHits}, nil
 }
 
 // Safe reports whether a safe (terminating) execution was found.
@@ -196,6 +304,9 @@ func (p *Plan) Explain() string {
 		return b.String()
 	}
 	fmt.Fprintf(&b, "estimated cost: %.1f, cardinality: %.1f\n", float64(p.result.Cost), p.result.Card)
+	for _, d := range p.result.Downgrades {
+		fmt.Fprintf(&b, "note: %s\n", d)
+	}
 	b.WriteString(p.result.Plan.Render())
 	return b.String()
 }
@@ -216,8 +327,8 @@ func (p *Plan) Execute() ([][]string, error) {
 }
 
 // ExecuteStats is Execute plus work counters.
-func (p *Plan) ExecuteStats() ([][]string, ExecStats, error) {
-	var es ExecStats
+func (p *Plan) ExecuteStats() (_ [][]string, es ExecStats, err error) {
+	defer guard(&err)
 	compiled, err := p.result.Compile()
 	if err != nil {
 		return nil, es, err
@@ -244,10 +355,12 @@ func (p *Plan) ExecuteStats() ([][]string, ExecStats, error) {
 		}
 	}
 	// Budgets turn a diverging execution (which the safety analysis
-	// should have prevented) into an error instead of a hang.
+	// should have prevented) into an error instead of a hang. The
+	// governor layers the caller's (typically tighter) budget on top.
 	e, err := eval.New(prog2, db2, eval.Options{
 		Method: eval.SemiNaive, MethodFor: methodFor,
 		MaxTuples: 5_000_000, MaxIterations: 200_000,
+		Gov: p.opts.governor(),
 	})
 	if err != nil {
 		return nil, es, err
@@ -295,13 +408,17 @@ func (s *System) Query(goal string, opts ...Option) ([][]string, error) {
 // against the bottom-up engine. It can answer bound query forms (e.g. a
 // list-consuming recursion with the list supplied) whose bottom-up
 // fixpoint does not exist.
-func (s *System) EvaluateTopDown(goal string) ([][]string, ExecStats, error) {
-	var es ExecStats
+func (s *System) EvaluateTopDown(goal string, opts ...Option) (_ [][]string, es ExecStats, err error) {
+	defer guard(&err)
+	var o options
+	for _, f := range opts {
+		f(&o)
+	}
 	lit, err := parser.ParseLiteral(goal)
 	if err != nil {
 		return nil, es, err
 	}
-	td := eval.NewTopDown(s.prog, s.db, eval.Options{MaxTuples: 5_000_000, MaxIterations: 200_000})
+	td := eval.NewTopDown(s.prog, s.db, eval.Options{MaxTuples: 5_000_000, MaxIterations: 200_000, Gov: o.governor()})
 	ts, err := td.Query(lang.Query{Goal: lit})
 	if err != nil {
 		return nil, es, err
@@ -326,13 +443,17 @@ func (s *System) EvaluateTopDown(goal string) ([][]string, ExecStats, error) {
 // EvaluateUnoptimized runs the query on the original program with plain
 // semi-naive evaluation and no optimization — the baseline the paper's
 // optimizer improves on, exposed for comparison and testing.
-func (s *System) EvaluateUnoptimized(goal string) ([][]string, ExecStats, error) {
-	var es ExecStats
+func (s *System) EvaluateUnoptimized(goal string, opts ...Option) (_ [][]string, es ExecStats, err error) {
+	defer guard(&err)
+	var o options
+	for _, f := range opts {
+		f(&o)
+	}
 	lit, err := parser.ParseLiteral(goal)
 	if err != nil {
 		return nil, es, err
 	}
-	e, err := eval.New(s.prog, s.db, eval.Options{Method: eval.SemiNaive})
+	e, err := eval.New(s.prog, s.db, eval.Options{Method: eval.SemiNaive, Gov: o.governor()})
 	if err != nil {
 		return nil, es, err
 	}
