@@ -4,11 +4,23 @@
 // and stratified negation. It is both the runtime that executes
 // optimized plans (after plan-directed program rewriting) and the
 // reference evaluator that correctness tests compare against.
+//
+// The engine has two drive modes. The default is the sequential
+// reference evaluator. Options.Parallel > 1 enables the parallel
+// stratified fixpoint (parallel.go): independent cliques of the
+// follows order run concurrently, and within a clique each fixpoint
+// round fans its rule applications across a worker pool, reading a
+// frozen snapshot of the relations and merging per-variant delta
+// buffers at a barrier. Both modes compute the same least fixpoint;
+// Answers output is identical.
 package eval
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"ldl/internal/depgraph"
 	"ldl/internal/lang"
@@ -51,12 +63,22 @@ type Options struct {
 	// MaxTuples bounds total derived tuples (0 = 10M); exceeding it
 	// aborts with ErrRunaway.
 	MaxTuples int
+	// Parallel sets the evaluation drive mode: 0 or 1 runs the
+	// sequential reference engine, n > 1 runs the parallel stratified
+	// fixpoint on n workers, and any negative value sizes the pool by
+	// GOMAXPROCS. Final query answers are identical in every mode.
+	Parallel int
+	// SizeHints maps predicate tags to expected cardinalities; derived
+	// relations and delta sets are pre-sized from them so fixpoint runs
+	// avoid rehash growth. Missing entries cost nothing.
+	SizeHints map[string]int
 	// Gov, when non-nil, meters the evaluation at tuple/iteration
 	// granularity: derived tuples, fixpoint rounds, and wall-clock
 	// deadlines/cancellation all charge against it, and a violation
 	// aborts the run with the governor's typed ResourceError. It is the
 	// caller-facing budget; MaxIterations/MaxTuples above remain the
-	// engine's own runaway backstop.
+	// engine's own runaway backstop. The governor is goroutine-safe, so
+	// one budget governs all parallel workers.
 	Gov *resource.Governor
 }
 
@@ -66,6 +88,9 @@ func (o *Options) norm() {
 	}
 	if o.MaxTuples <= 0 {
 		o.MaxTuples = 10_000_000
+	}
+	if o.Parallel < 0 {
+		o.Parallel = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -79,6 +104,14 @@ type Counters struct {
 	BuiltinCalls  int64
 }
 
+func (c *Counters) add(o *Counters) {
+	c.Iterations += o.Iterations
+	c.TuplesDerived += o.TuplesDerived
+	c.Unifications += o.Unifications
+	c.Lookups += o.Lookups
+	c.BuiltinCalls += o.BuiltinCalls
+}
+
 // Engine evaluates one program against one database.
 type Engine struct {
 	Prog     *lang.Program
@@ -89,6 +122,15 @@ type Engine struct {
 	opts    Options
 	derived map[string]*store.Relation
 	ran     bool
+
+	// Parallel-mode bookkeeping: mu guards Counters merges from worker
+	// goroutines and first-error capture; derivedN mirrors
+	// Counters.TuplesDerived as an atomic so workers can enforce the
+	// MaxTuples backstop without taking the lock.
+	mu       sync.Mutex
+	runErr   error
+	aborted  atomic.Bool
+	derivedN atomic.Int64
 }
 
 // New analyzes prog and prepares an engine. The database is not
@@ -116,7 +158,7 @@ func (e *Engine) ensureDerived(tag string, arity int) *store.Relation {
 	if r, ok := e.derived[tag]; ok {
 		return r
 	}
-	r := store.NewRelation(tag, arity)
+	r := store.NewRelationSized(tag, arity, e.opts.SizeHints[tag])
 	// A predicate can have both facts and rules; the derived relation
 	// starts from the base facts so they are not shadowed.
 	if base := e.DB.Relation(tag); base != nil {
@@ -128,14 +170,24 @@ func (e *Engine) ensureDerived(tag string, arity int) *store.Relation {
 	return r
 }
 
-// Run computes every derived predicate, cliques in follows order.
+// Run computes every derived predicate, cliques in follows order (the
+// parallel mode relaxes the order to the follows partial order: only
+// genuine dependencies serialize).
 func (e *Engine) Run() error {
 	if e.ran {
 		return nil
 	}
-	// Pre-create derived relations so empty predicates exist.
+	// Pre-create derived relations so empty predicates exist — and so
+	// the parallel scheduler never mutates the derived map concurrently.
 	for _, r := range e.Prog.Rules {
 		e.ensureDerived(r.Head.Tag(), r.Head.Arity())
+	}
+	if e.opts.Parallel > 1 {
+		if err := e.runParallel(); err != nil {
+			return err
+		}
+		e.ran = true
+		return nil
 	}
 	for _, c := range e.Graph.TopoCliques() {
 		if len(c.Rules) == 0 {
@@ -149,8 +201,8 @@ func (e *Engine) Run() error {
 	return nil
 }
 
-// evalClique runs the fixpoint for one clique.
-func (e *Engine) evalClique(c *depgraph.Clique) error {
+// cliqueRules resolves a clique's rule indexes and iteration method.
+func (e *Engine) cliqueRules(c *depgraph.Clique) ([]lang.Rule, Method) {
 	rules := make([]lang.Rule, len(c.Rules))
 	for i, ri := range c.Rules {
 		rules[i] = e.Prog.Rules[ri]
@@ -162,30 +214,49 @@ func (e *Engine) evalClique(c *depgraph.Clique) error {
 			break
 		}
 	}
-	if !c.Recursive {
-		// Single pass suffices: dependencies are already computed.
-		for _, r := range rules {
-			if err := e.applyRule(r, -1, nil); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	// Seed round: naive application of every rule from current state.
-	deltas := map[string]*store.Relation{}
+	return rules, method
+}
+
+// newDeltas builds one empty delta relation per clique predicate,
+// pre-sized from the cardinality hints (deltas peak well below the
+// full relation, so they get half the hint).
+func (e *Engine) newDeltas(c *depgraph.Clique) map[string]*store.Relation {
+	deltas := make(map[string]*store.Relation, len(c.Preds))
 	for _, p := range c.Preds {
 		rel := e.RelationFor(p)
 		arity := 0
 		if rel != nil {
 			arity = rel.Arity
 		}
-		deltas[p] = store.NewRelation(p+"Δ", arity)
+		deltas[p] = store.NewRelationSized(p+"Δ", arity, e.opts.SizeHints[p]/2)
 	}
+	return deltas
+}
+
+// evalClique runs the sequential fixpoint for one clique.
+func (e *Engine) evalClique(c *depgraph.Clique) error {
+	rules, method := e.cliqueRules(c)
+	cx := &evalCtx{e: e, counters: &e.Counters}
+	if !c.Recursive {
+		// Single pass suffices: dependencies are already computed.
+		for _, r := range rules {
+			if err := cx.applyRule(r, -1, nil, nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Seed round: naive application of every rule from current state.
+	deltas := e.newDeltas(c)
+	// collect fires immediately after a successful head insert, so the
+	// new tuple is the head relation's last row and InsertFrom reuses
+	// its interned IDs and hash instead of re-hashing.
 	collect := func(tag string, t store.Tuple) {
-		deltas[tag].MustInsert(t)
+		head := e.derived[tag]
+		deltas[tag].InsertFrom(head, head.Len()-1)
 	}
 	for _, r := range rules {
-		if err := e.applyRuleCollect(r, -1, nil, collect); err != nil {
+		if err := cx.applyRule(r, -1, nil, collect); err != nil {
 			return err
 		}
 	}
@@ -208,27 +279,28 @@ func (e *Engine) evalClique(c *depgraph.Clique) error {
 		}
 		next := map[string]*store.Relation{}
 		for p, d := range deltas {
-			next[p] = store.NewRelation(p+"Δ", d.Arity)
+			next[p] = store.NewRelationSized(p+"Δ", d.Arity, e.opts.SizeHints[p]/2)
 		}
 		collectNext := func(tag string, t store.Tuple) {
-			next[tag].MustInsert(t)
+			head := e.derived[tag]
+			next[tag].InsertFrom(head, head.Len()-1)
 		}
 		for _, r := range rules {
 			switch method {
 			case Naive:
 				// Recompute from full relations; novelty filtering in
-				// applyRuleCollect keeps only new tuples.
-				if err := e.applyRuleCollect(r, -1, nil, collectNext); err != nil {
+				// applyRule keeps only new tuples.
+				if err := cx.applyRule(r, -1, nil, collectNext); err != nil {
 					return err
 				}
 			case SemiNaive:
 				// One variant per recursive body occurrence, sourcing
 				// that occurrence from the delta.
 				for bi, l := range r.Body {
-					if l.Neg || lang.IsBuiltin(l.Pred) || !cContains(c, l.Tag()) {
+					if l.Neg || lang.IsBuiltin(l.Pred) || !c.Contains(l.Tag()) {
 						continue
 					}
-					if err := e.applyRuleCollect(r, bi, deltas, collectNext); err != nil {
+					if err := cx.applyRule(r, bi, deltas, collectNext); err != nil {
 						return err
 					}
 				}
@@ -238,19 +310,30 @@ func (e *Engine) evalClique(c *depgraph.Clique) error {
 	}
 }
 
-func cContains(c *depgraph.Clique, tag string) bool { return c.Contains(tag) }
-
-// applyRule evaluates one rule and inserts results into the head's
-// derived relation.
-func (e *Engine) applyRule(r lang.Rule, deltaOcc int, deltas map[string]*store.Relation) error {
-	return e.applyRuleCollect(r, deltaOcc, deltas, nil)
+// evalCtx is the per-goroutine evaluation context. The sequential
+// engine uses one context writing Engine.Counters directly and
+// inserting into the derived relations as it goes; parallel workers
+// use private contexts with local counters and a frozen-mode buffer,
+// merged at round barriers.
+type evalCtx struct {
+	e        *Engine
+	counters *Counters
+	// buf, when non-nil, switches emit to frozen mode: candidate head
+	// tuples are deduplicated against the (frozen) head relation and
+	// buffered instead of inserted, so worker goroutines never mutate
+	// shared relations. bufN counts buffered tuples for the MaxTuples
+	// backstop.
+	buf  *store.Relation
+	bufN int
 }
 
-// applyRuleCollect evaluates one rule body left-to-right; every newly
-// derived head tuple is inserted into the head relation and passed to
-// collect (if non-nil). deltaOcc, when >= 0, makes body literal
-// deltaOcc read from deltas[tag] instead of the full relation.
-func (e *Engine) applyRuleCollect(r lang.Rule, deltaOcc int, deltas map[string]*store.Relation, collect func(string, store.Tuple)) error {
+// applyRule evaluates one rule body left-to-right; every newly derived
+// head tuple is inserted into the head relation (direct mode) or
+// buffered (frozen mode), and passed to collect (if non-nil).
+// deltaOcc, when >= 0, makes body literal deltaOcc read from
+// deltas[tag] instead of the full relation.
+func (cx *evalCtx) applyRule(r lang.Rule, deltaOcc int, deltas map[string]*store.Relation, collect func(string, store.Tuple)) error {
+	e := cx.e
 	head := e.ensureDerived(r.Head.Tag(), r.Head.Arity())
 	emit := func(s term.Subst) error {
 		args := s.ResolveAll(r.Head.Args)
@@ -260,13 +343,37 @@ func (e *Engine) applyRuleCollect(r lang.Rule, deltaOcc int, deltas map[string]*
 			}
 		}
 		t := store.Tuple(args)
+		if cx.buf != nil {
+			// Frozen mode: the head relation is a stable snapshot for the
+			// duration of the round; novelty relative to it plus the
+			// buffer's own set semantics bound the buffer size.
+			if head.Contains(t) {
+				return nil
+			}
+			added, err := cx.buf.Insert(t)
+			if err != nil || !added {
+				return err
+			}
+			cx.bufN++
+			if int(e.derivedN.Load())+cx.bufN > e.opts.MaxTuples {
+				return fmt.Errorf("%w: more than %d tuples", ErrRunaway, e.opts.MaxTuples)
+			}
+			// The budget is charged at materialization time: a buffered
+			// tuple is real work (and real memory) even if another
+			// variant derives it too and the merge dedups it.
+			return e.opts.Gov.AddTuples(1)
+		}
 		added, err := head.Insert(t)
 		if err != nil {
 			return err
 		}
 		if added {
-			e.Counters.TuplesDerived++
-			if e.Counters.TuplesDerived > e.opts.MaxTuples {
+			cx.counters.TuplesDerived++
+			// The runaway backstop reads the shared atomic mirror, not the
+			// context-local counter: parallel cliques run direct-mode
+			// contexts whose counters reset per round, and only the global
+			// total is a meaningful bound.
+			if int(e.derivedN.Add(1)) > e.opts.MaxTuples {
 				return fmt.Errorf("%w: more than %d tuples", ErrRunaway, e.opts.MaxTuples)
 			}
 			if err := e.opts.Gov.AddTuples(1); err != nil {
@@ -278,12 +385,13 @@ func (e *Engine) applyRuleCollect(r lang.Rule, deltaOcc int, deltas map[string]*
 		}
 		return nil
 	}
-	return e.joinBody(r.Body, 0, deltaOcc, deltas, term.NewSubst(), nil, emit)
+	return cx.joinBody(r.Body, 0, deltaOcc, deltas, term.NewSubst(), nil, emit)
 }
 
 // joinBody enumerates the substitutions satisfying body[i:], carrying
 // pending builtins/negations that were not yet effectively computable.
-func (e *Engine) joinBody(body []lang.Literal, i, deltaOcc int, deltas map[string]*store.Relation, s term.Subst, pending []lang.Literal, emit func(term.Subst) error) error {
+func (cx *evalCtx) joinBody(body []lang.Literal, i, deltaOcc int, deltas map[string]*store.Relation, s term.Subst, pending []lang.Literal, emit func(term.Subst) error) error {
+	e := cx.e
 	// The join can churn for a long time without deriving anything new
 	// (novelty filtering discards duplicates), so the deadline is
 	// checked here too, not only on derivation.
@@ -293,7 +401,7 @@ func (e *Engine) joinBody(body []lang.Literal, i, deltaOcc int, deltas map[strin
 	// Flush any pending goal that has become evaluable.
 	for pi := 0; pi < len(pending); pi++ {
 		l := pending[pi]
-		ok, done, err := e.tryDeferred(l, s)
+		ok, done, err := cx.tryDeferred(l, s)
 		if err != nil {
 			return err
 		}
@@ -317,7 +425,7 @@ func (e *Engine) joinBody(body []lang.Literal, i, deltaOcc int, deltas map[strin
 	}
 	l := body[i]
 	if lang.IsBuiltin(l.Pred) || l.Neg {
-		ok, done, err := e.tryDeferred(l, s)
+		ok, done, err := cx.tryDeferred(l, s)
 		if err != nil {
 			return err
 		}
@@ -325,9 +433,9 @@ func (e *Engine) joinBody(body []lang.Literal, i, deltaOcc int, deltas map[strin
 			if !ok {
 				return nil
 			}
-			return e.joinBody(body, i+1, deltaOcc, deltas, s, pending, emit)
+			return cx.joinBody(body, i+1, deltaOcc, deltas, s, pending, emit)
 		}
-		return e.joinBody(body, i+1, deltaOcc, deltas, s, append(pending, l), emit)
+		return cx.joinBody(body, i+1, deltaOcc, deltas, s, append(pending, l), emit)
 	}
 	// Positive relational literal.
 	var rel *store.Relation
@@ -348,17 +456,14 @@ func (e *Engine) joinBody(body []lang.Literal, i, deltaOcc int, deltas map[strin
 			probe[ai] = a
 		}
 	}
-	e.Counters.Lookups++
+	cx.counters.Lookups++
 	for _, t := range rel.Lookup(mask, probe) {
-		e.Counters.Unifications++
+		cx.counters.Unifications++
 		s2 := s.Clone()
 		ok := true
 		for ai, a := range resolved {
 			if mask&(1<<uint(ai)) != 0 {
-				if !term.Equal(a, t[ai]) {
-					ok = false
-					break
-				}
+				// Lookup already verified the bound columns match.
 				continue
 			}
 			if s2, ok = term.Unify(a, t[ai], s2); !ok {
@@ -368,7 +473,7 @@ func (e *Engine) joinBody(body []lang.Literal, i, deltaOcc int, deltas map[strin
 		if !ok {
 			continue
 		}
-		if err := e.joinBody(body, i+1, deltaOcc, deltas, s2, pending, emit); err != nil {
+		if err := cx.joinBody(body, i+1, deltaOcc, deltas, s2, pending, emit); err != nil {
 			return err
 		}
 	}
@@ -377,7 +482,8 @@ func (e *Engine) joinBody(body []lang.Literal, i, deltaOcc int, deltas map[strin
 
 // tryDeferred attempts a builtin or negated goal. done=false means the
 // goal is not yet sufficiently instantiated and must be deferred.
-func (e *Engine) tryDeferred(l lang.Literal, s term.Subst) (ok, done bool, err error) {
+func (cx *evalCtx) tryDeferred(l lang.Literal, s term.Subst) (ok, done bool, err error) {
+	e := cx.e
 	if l.Neg {
 		resolved := s.ResolveAll(l.Args)
 		for _, a := range resolved {
@@ -389,7 +495,7 @@ func (e *Engine) tryDeferred(l lang.Literal, s term.Subst) (ok, done bool, err e
 			return false, false, fmt.Errorf("eval: negated builtin %s", l)
 		}
 		rel := e.RelationFor(l.Tag())
-		e.Counters.Lookups++
+		cx.counters.Lookups++
 		if rel == nil {
 			return true, true, nil
 		}
@@ -405,7 +511,7 @@ func (e *Engine) tryDeferred(l lang.Literal, s term.Subst) (ok, done bool, err e
 	if !lang.BuiltinEC(l, bound) {
 		return false, false, nil
 	}
-	e.Counters.BuiltinCalls++
+	cx.counters.BuiltinCalls++
 	ok, err = lang.EvalBuiltin(l, s)
 	return ok, true, err
 }
@@ -420,8 +526,8 @@ func (e *Engine) Answers(q lang.Query) ([]store.Tuple, error) {
 	if rel == nil {
 		return nil, nil
 	}
-	out := store.NewRelation("ans", q.Goal.Arity())
-	for _, t := range rel.Tuples() {
+	out := store.NewRelationSized("ans", q.Goal.Arity(), rel.Len())
+	for _, t := range rel.Snapshot() {
 		e.Counters.Unifications++
 		if s, ok := term.UnifyAll(q.Goal.Args, []term.Term(t), term.NewSubst()); ok {
 			_ = s

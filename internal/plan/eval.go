@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"ldl/internal/lang"
 	"ldl/internal/resource"
@@ -53,15 +54,35 @@ func Eval(n *Node, db *store.Database) (*Rows, error) {
 // tuple budgets cut long-running tree evaluations short with a typed
 // resource error. A nil governor means unlimited.
 func EvalBudget(n *Node, db *store.Database, gov *resource.Governor) (*Rows, error) {
-	rows, err := evalNode(n, db, []term.Subst{term.NewSubst()}, gov)
-	if err != nil {
-		return nil, err
+	return EvalParallel(n, db, gov, 1)
+}
+
+// EvalParallel is EvalBudget with union fan-out: the children of each
+// union node — the branches of a disjunctive definition — evaluate
+// concurrently on up to workers goroutines, their rows concatenated in
+// child order so the result is identical to the sequential one. The
+// governor is goroutine-safe, so one budget covers all branches.
+// workers <= 1 evaluates sequentially.
+func EvalParallel(n *Node, db *store.Database, gov *resource.Governor, workers int) (*Rows, error) {
+	ev := &evaluator{db: db, gov: gov}
+	if workers > 1 {
+		ev.sem = make(chan struct{}, workers)
 	}
-	return rows, nil
+	return ev.evalNode(n, []term.Subst{term.NewSubst()})
+}
+
+// evaluator carries the evaluation environment down the tree: the
+// database (read-only), the shared governor, and — when union fan-out
+// is enabled — the semaphore bounding total evaluation goroutines.
+type evaluator struct {
+	db  *store.Database
+	gov *resource.Governor
+	sem chan struct{}
 }
 
 // evalNode evaluates n once per incoming binding, concatenating results.
-func evalNode(n *Node, db *store.Database, in []term.Subst, gov *resource.Governor) (*Rows, error) {
+func (ev *evaluator) evalNode(n *Node, in []term.Subst) (*Rows, error) {
+	db, gov := ev.db, ev.gov
 	if err := gov.Tick(); err != nil {
 		return nil, err
 	}
@@ -148,7 +169,7 @@ func evalNode(n *Node, db *store.Database, in []term.Subst, gov *resource.Govern
 			if k.Kind == KindBuiltin && !builtinReady(k.Lit, s) {
 				return joinRows(idx+1, s, append(pending, k))
 			}
-			r, err := evalNode(k, db, []term.Subst{s}, gov)
+			r, err := ev.evalNode(k, []term.Subst{s})
 			if err != nil {
 				return err
 			}
@@ -165,12 +186,48 @@ func evalNode(n *Node, db *store.Database, in []term.Subst, gov *resource.Govern
 			}
 		}
 	case KindUnion:
-		for _, k := range n.Kids {
-			r, err := evalNode(k, db, in, gov)
+		kidRows := make([]*Rows, len(n.Kids))
+		kidErrs := make([]error, len(n.Kids))
+		if ev.sem != nil && len(n.Kids) > 1 {
+			// Branch fan-out: children read the shared database and
+			// charge the shared governor, both goroutine-safe; each child
+			// writes only its own slot. Concatenation below stays in
+			// child order, so the fan-out is invisible in the result. The
+			// semaphore acquire is non-blocking with inline evaluation as
+			// the fallback — a goroutine never waits for a slot while
+			// holding one, so nested unions cannot deadlock the pool.
+			var wg sync.WaitGroup
+			for i, k := range n.Kids {
+				select {
+				case ev.sem <- struct{}{}:
+					wg.Add(1)
+					go func(i int, k *Node) {
+						defer wg.Done()
+						defer func() { <-ev.sem }()
+						kidRows[i], kidErrs[i] = ev.evalNode(k, in)
+					}(i, k)
+				default:
+					kidRows[i], kidErrs[i] = ev.evalNode(k, in)
+				}
+			}
+			wg.Wait()
+		} else {
+			for i, k := range n.Kids {
+				kidRows[i], kidErrs[i] = ev.evalNode(k, in)
+				if kidErrs[i] != nil {
+					break
+				}
+			}
+		}
+		for _, err := range kidErrs {
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, r.Data...)
+		}
+		for _, r := range kidRows {
+			if r != nil {
+				out = append(out, r.Data...)
+			}
 		}
 		kept := out[:0]
 		for _, s := range out {

@@ -13,6 +13,11 @@
 // and trips with a ResourceError carrying the work counters at the
 // moment of the violation.
 //
+// The governor is safe for concurrent use: the parallel evaluator's
+// worker goroutines all charge the same governor, so the counters are
+// atomics and the sticky violation is published through an atomic
+// pointer. The uncontended cost stays a few nanoseconds per charge.
+//
 // A nil *Governor is valid everywhere and enforces nothing — the
 // ungoverned path stays allocation- and branch-cheap.
 package resource
@@ -21,6 +26,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -95,35 +102,39 @@ func (b Budget) IsZero() bool {
 
 // govCore is the shared mutable state behind one governor; views made
 // by StatesExempt alias it so counters stay globally consistent.
+// Counters are atomics: one governor may be charged from every worker
+// of the parallel evaluator at once.
 type govCore struct {
 	ctx      context.Context
 	start    time.Time
 	deadline time.Time
 
-	maxTuples     int
-	maxIterations int
-	maxStates     int
+	maxTuples     int64
+	maxIterations int64
+	maxStates     int64
 
-	tuples     int
-	iterations int
-	states     int
+	tuples     atomic.Int64
+	iterations atomic.Int64
+	states     atomic.Int64
 
-	tick      int
-	tupleTick int
+	tick      atomic.Int64
+	tupleTick atomic.Int64
+
 	// done is the sticky first *fatal* violation (time, cancellation,
 	// tuple or iteration budget), returned on every later check so
 	// loops unwind fast. A state-budget violation is deliberately NOT
 	// sticky: it is recoverable — the optimizer degrades to a cheaper
 	// strategy and keeps running under the same governor.
-	done       error
-	stateErr   error
+	done     atomic.Pointer[ResourceError]
+	stateErr atomic.Pointer[ResourceError]
+
+	mu         sync.Mutex // guards downgrades
 	downgrades []string
 }
 
-// Governor meters one query's resource consumption. It is not
-// goroutine-safe: one governor governs one query evaluated on one
-// goroutine (context cancellation, which may originate elsewhere, is
-// observed through the context's own synchronization).
+// Governor meters one query's resource consumption. It is safe for
+// concurrent use: one governor governs one query, which the parallel
+// evaluator may spread across many goroutines.
 type Governor struct {
 	core *govCore
 	// exemptStates views skip the MaxStates limit (they still count
@@ -150,9 +161,9 @@ func New(ctx context.Context, b Budget) *Governor {
 		ctx:           ctx,
 		start:         time.Now(),
 		deadline:      b.Deadline,
-		maxTuples:     b.MaxTuples,
-		maxIterations: b.MaxIterations,
-		maxStates:     b.MaxStates,
+		maxTuples:     int64(b.MaxTuples),
+		maxIterations: int64(b.MaxIterations),
+		maxStates:     int64(b.MaxStates),
 	}}
 }
 
@@ -174,27 +185,29 @@ func (g *Governor) Snapshot() Counters {
 	}
 	c := g.core
 	return Counters{
-		TuplesDerived:  c.tuples,
-		Iterations:     c.iterations,
-		StatesExplored: c.states,
+		TuplesDerived:  int(c.tuples.Load()),
+		Iterations:     int(c.iterations.Load()),
+		StatesExplored: int(c.states.Load()),
 		Elapsed:        time.Since(c.start),
 	}
 }
 
-// fail records and returns the sticky violation.
+// fail records and returns the sticky violation. Under a race the first
+// published error wins and every contender returns it.
 func (g *Governor) fail(limit error, detail string) error {
 	c := g.core
-	if c.done == nil {
-		c.done = &ResourceError{Limit: limit, Counters: g.Snapshot(), Detail: detail}
+	e := &ResourceError{Limit: limit, Counters: g.Snapshot(), Detail: detail}
+	if c.done.CompareAndSwap(nil, e) {
+		return e
 	}
-	return c.done
+	return c.done.Load()
 }
 
 // checkTime enforces ctx cancellation and the deadline immediately.
 func (g *Governor) checkTime() error {
 	c := g.core
-	if c.done != nil {
-		return c.done
+	if d := c.done.Load(); d != nil {
+		return d
 	}
 	if c.ctx != nil {
 		switch c.ctx.Err() {
@@ -217,17 +230,19 @@ func (g *Governor) checkTime() error {
 const tickInterval = 256
 
 // Tick is the cheap inner-loop check: it enforces only time limits,
-// reading the clock every tickInterval calls.
+// reading the clock every tickInterval calls (the counter is shared, so
+// with N workers ticking the clock is read every tickInterval charges
+// fleet-wide, not per goroutine — deadline precision improves under
+// parallelism rather than degrading).
 func (g *Governor) Tick() error {
 	if g == nil {
 		return nil
 	}
 	c := g.core
-	if c.done != nil {
-		return c.done
+	if d := c.done.Load(); d != nil {
+		return d
 	}
-	c.tick++
-	if c.tick%tickInterval != 0 {
+	if c.tick.Add(1)%tickInterval != 0 {
 		return nil
 	}
 	return g.checkTime()
@@ -240,16 +255,17 @@ func (g *Governor) AddTuples(n int) error {
 		return nil
 	}
 	c := g.core
-	if c.done != nil {
-		return c.done
+	if d := c.done.Load(); d != nil {
+		return d
 	}
-	c.tuples += n
-	if c.maxTuples > 0 && c.tuples > c.maxTuples {
+	t := c.tuples.Add(int64(n))
+	if c.maxTuples > 0 && t > c.maxTuples {
 		return g.fail(ErrTupleBudget, fmt.Sprintf("limit %d", c.maxTuples))
 	}
-	c.tupleTick += n
-	if c.tupleTick >= 64 {
-		c.tupleTick = 0
+	if tt := c.tupleTick.Add(int64(n)); tt >= 64 {
+		// Benign race: concurrent resets only change which charge pays
+		// for the clock read, never whether deadlines are enforced.
+		c.tupleTick.Store(0)
 		return g.checkTime()
 	}
 	return nil
@@ -262,11 +278,11 @@ func (g *Governor) AddIteration() error {
 		return nil
 	}
 	c := g.core
-	if c.done != nil {
-		return c.done
+	if d := c.done.Load(); d != nil {
+		return d
 	}
-	c.iterations++
-	if c.maxIterations > 0 && c.iterations > c.maxIterations {
+	it := c.iterations.Add(1)
+	if c.maxIterations > 0 && it > c.maxIterations {
 		return g.fail(ErrIterationBudget, fmt.Sprintf("limit %d", c.maxIterations))
 	}
 	return g.checkTime()
@@ -280,16 +296,17 @@ func (g *Governor) AddStates(n int) error {
 		return nil
 	}
 	c := g.core
-	if c.done != nil {
-		return c.done
+	if d := c.done.Load(); d != nil {
+		return d
 	}
-	c.states += n
-	if !g.exemptStates && c.maxStates > 0 && c.states > c.maxStates {
-		if c.stateErr == nil {
-			c.stateErr = &ResourceError{Limit: ErrOptimizerBudget, Counters: g.Snapshot(),
-				Detail: fmt.Sprintf("limit %d", c.maxStates)}
+	s := c.states.Add(int64(n))
+	if !g.exemptStates && c.maxStates > 0 && s > c.maxStates {
+		e := &ResourceError{Limit: ErrOptimizerBudget, Counters: g.Snapshot(),
+			Detail: fmt.Sprintf("limit %d", c.maxStates)}
+		if c.stateErr.CompareAndSwap(nil, e) {
+			return e
 		}
-		return c.stateErr
+		return c.stateErr.Load()
 	}
 	return g.checkTime()
 }
@@ -300,7 +317,9 @@ func (g *Governor) NoteDowngrade(msg string) {
 	if g == nil {
 		return
 	}
+	g.core.mu.Lock()
 	g.core.downgrades = append(g.core.downgrades, msg)
+	g.core.mu.Unlock()
 }
 
 // Downgrades lists the degradation events recorded so far.
@@ -308,5 +327,7 @@ func (g *Governor) Downgrades() []string {
 	if g == nil {
 		return nil
 	}
+	g.core.mu.Lock()
+	defer g.core.mu.Unlock()
 	return append([]string(nil), g.core.downgrades...)
 }

@@ -1,0 +1,9 @@
+//go:build !ldldebug
+
+package store
+
+import "ldl/internal/term"
+
+// debugCheckInsert is compiled away outside the ldldebug build tag; the
+// release insert path pays nothing for the invariant checks.
+func debugCheckInsert(r *Relation, t Tuple, ids []term.ID) {}

@@ -1,0 +1,33 @@
+//go:build ldldebug
+
+package store
+
+// Build with -tags ldldebug to verify, on every insert, the invariant
+// the engine's sharing discipline rests on: only ground, interned terms
+// enter a relation, and interning is stable (re-interning an admitted
+// term yields the same ID). Tuple.Clone copies only slice headers and
+// relations hand out borrowed views precisely because stored terms are
+// immutable; this mode catches any violation at the door instead of as
+// a corrupted set far downstream.
+
+import (
+	"fmt"
+
+	"ldl/internal/term"
+)
+
+func debugCheckInsert(r *Relation, t Tuple, ids []term.ID) {
+	for i, x := range t {
+		if !term.Ground(x) {
+			panic(fmt.Sprintf("store[ldldebug]: %s: non-ground term %s at column %d", r.Name, x, i))
+		}
+		id2, _, ok := term.TryIntern(x)
+		if !ok || id2 != ids[i] {
+			panic(fmt.Sprintf("store[ldldebug]: %s: unstable intern for %s at column %d: %d vs %d",
+				r.Name, x, i, ids[i], id2))
+		}
+		if !term.Equal(term.InternedTerm(id2), x) {
+			panic(fmt.Sprintf("store[ldldebug]: %s: interned term mismatch for %s at column %d", r.Name, x, i))
+		}
+	}
+}

@@ -1,12 +1,31 @@
 // Package store implements the fact base: relations of ground tuples
 // with set semantics, hash indexes on column subsets, and the database
 // mapping predicate tags to relations.
+//
+// The data plane is string-free: every inserted term is interned
+// (hash-consed) by internal/term, tuples are deduplicated through an
+// open-addressed hash set keyed on combined interned-term hashes with
+// ID-row equality on collision, and column indexes are open-addressed
+// multimaps on masked column hashes. Tuple.Key/KeyOn survive for
+// display and debugging only — no hot-path operation serializes terms.
+//
+// Concurrency contract: a Relation supports any number of concurrent
+// readers (Contains, Lookup, Tuples, Snapshot, Sorted, Distinct) —
+// including the lazy index build inside Lookup, which publishes
+// atomically — but writers (Insert, BuildIndex) must be externally
+// serialized and must not run concurrently with readers of the same
+// relation. The parallel evaluator relies on exactly this: relations
+// are frozen while worker goroutines read them and mutated only at
+// single-threaded merge points.
 package store
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"ldl/internal/lang"
 	"ldl/internal/term"
@@ -15,7 +34,9 @@ import (
 // Tuple is a row of ground terms.
 type Tuple []term.Term
 
-// Key returns the canonical encoding of the tuple, usable as a set key.
+// Key returns the canonical string encoding of the tuple. It is for
+// display and debugging only; storage and indexing key on interned-term
+// hashes and never call it.
 func (t Tuple) Key() string {
 	var b strings.Builder
 	for _, x := range t {
@@ -25,7 +46,7 @@ func (t Tuple) Key() string {
 	return b.String()
 }
 
-// KeyOn encodes only the columns whose bit is set in cols.
+// KeyOn encodes only the columns whose bit is set in cols (debug only).
 func (t Tuple) KeyOn(cols uint32) string {
 	var b strings.Builder
 	for i, x := range t {
@@ -45,61 +66,317 @@ func (t Tuple) String() string {
 	return "(" + strings.Join(parts, ", ") + ")"
 }
 
-// Clone returns an independent copy of the tuple slice header (terms
-// are immutable and shared).
+// Clone returns an independent copy of the tuple slice header. The
+// terms themselves are immutable and shared — an invariant Insert
+// enforces by admitting only ground, interned terms (see the ldldebug
+// build tag for the paranoid verification mode).
 func (t Tuple) Clone() Tuple {
 	c := make(Tuple, len(t))
 	copy(c, t)
 	return c
 }
 
+// hashSeed is the initial row-hash value (golden-ratio constant).
+const hashSeed uint64 = 0x9e3779b97f4a7c15
+
+// combineHash folds one column hash into a row hash; sequential
+// re-mixing keeps it order-sensitive, so (a,b) and (b,a) differ.
+func combineHash(h, col uint64) uint64 {
+	h ^= col
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return h
+}
+
+// maskedHash hashes the projection of t onto cols without interning —
+// the probe-side path used by Contains and Lookup.
+func maskedHash(t Tuple, cols uint32) uint64 {
+	h := hashSeed
+	for i, x := range t {
+		if cols&(1<<uint(i)) != 0 {
+			h = combineHash(h, term.HashTerm(x))
+		}
+	}
+	return h
+}
+
+// colIndex is an open-addressed multimap from the masked-column hash of
+// a tuple to its index. Duplicate keys are stored as separate slots;
+// lookups probe the cluster until an empty slot. Entries are never
+// deleted (relations only grow).
+type colIndex struct {
+	cols   uint32
+	slots  []int32  // tuple index + 1; 0 = empty
+	hashes []uint64 // masked hash per occupied slot
+	mask   uint32
+	n      int
+}
+
+func newColIndex(cols uint32, capacity int) *colIndex {
+	size := tableSize(capacity)
+	return &colIndex{
+		cols:   cols,
+		slots:  make([]int32, size),
+		hashes: make([]uint64, size),
+		mask:   uint32(size - 1),
+	}
+}
+
+// tableSize picks the power-of-two table length for an expected element
+// count, keeping load below ~2/3.
+func tableSize(n int) int {
+	if n < 8 {
+		n = 8
+	}
+	return 1 << bits.Len(uint(n+n/2))
+}
+
+func (ci *colIndex) insert(h uint64, idx int) {
+	if ci.n*3 >= len(ci.slots)*2 {
+		ci.grow()
+	}
+	i := uint32(h) & ci.mask
+	for ci.slots[i] != 0 {
+		i = (i + 1) & ci.mask
+	}
+	ci.slots[i] = int32(idx) + 1
+	ci.hashes[i] = h
+	ci.n++
+}
+
+func (ci *colIndex) grow() {
+	old, oldh := ci.slots, ci.hashes
+	size := len(ci.slots) * 2
+	ci.slots = make([]int32, size)
+	ci.hashes = make([]uint64, size)
+	ci.mask = uint32(size - 1)
+	for i, v := range old {
+		if v == 0 {
+			continue
+		}
+		h := oldh[i]
+		j := uint32(h) & ci.mask
+		for ci.slots[j] != 0 {
+			j = (j + 1) & ci.mask
+		}
+		ci.slots[j] = v
+		ci.hashes[j] = h
+	}
+}
+
+// lookup appends the indexes of every slot whose hash matches to dst.
+// Candidates still need column-wise verification by the caller (hash
+// collisions between distinct values share a slot cluster).
+func (ci *colIndex) lookup(h uint64, dst []int32) []int32 {
+	i := uint32(h) & ci.mask
+	for ci.slots[i] != 0 {
+		if ci.hashes[i] == h {
+			dst = append(dst, ci.slots[i]-1)
+		}
+		i = (i + 1) & ci.mask
+	}
+	return dst
+}
+
 // Relation is a set of same-arity ground tuples with optional hash
 // indexes on column subsets.
 type Relation struct {
-	Name    string
-	Arity   int
-	tuples  []Tuple
-	keys    map[string]bool
-	indexes map[uint32]map[string][]int
+	Name  string
+	Arity int
+
+	tuples []Tuple
+	ids    []term.ID // interned IDs, row-major, Arity per tuple
+	hashes []uint64  // full-row hash per tuple
+
+	// The dedup set: open-addressed, slot = tuple index + 1, keyed on
+	// hashes[idx] with ID-row equality on collision.
+	setSlots []int32
+	setMask  uint32
+
+	// indexes holds the column indexes behind an atomically published
+	// immutable map so concurrent readers can lazily build missing
+	// indexes without a read-path lock.
+	indexes atomic.Pointer[map[uint32]*colIndex]
+	buildMu sync.Mutex
+
+	scratch []term.ID // per-insert ID buffer, reused
 }
 
 // NewRelation creates an empty relation.
 func NewRelation(name string, arity int) *Relation {
-	return &Relation{
-		Name:    name,
-		Arity:   arity,
-		keys:    map[string]bool{},
-		indexes: map[uint32]map[string][]int{},
+	return NewRelationSized(name, arity, 0)
+}
+
+// NewRelationSized creates an empty relation pre-sized for an expected
+// cardinality, avoiding rehash growth while a fixpoint fills it. The
+// evaluator feeds it the optimizer's cardinality estimates.
+func NewRelationSized(name string, arity, capacity int) *Relation {
+	r := &Relation{Name: name, Arity: arity}
+	size := tableSize(capacity)
+	r.setSlots = make([]int32, size)
+	r.setMask = uint32(size - 1)
+	if capacity > 0 {
+		r.tuples = make([]Tuple, 0, capacity)
+		r.ids = make([]term.ID, 0, capacity*arity)
+		r.hashes = make([]uint64, 0, capacity)
 	}
+	empty := map[uint32]*colIndex{}
+	r.indexes.Store(&empty)
+	return r
 }
 
 // Len is the cardinality of the relation.
 func (r *Relation) Len() int { return len(r.tuples) }
 
-// Tuples exposes the stored tuples; callers must not mutate them.
+// Tuples exposes the stored tuples as a borrowed read-only view: the
+// returned slice shares its backing array with the live relation.
+// Callers must not mutate it, and must not hold it across an Insert if
+// they need a stable length (append may extend in place — existing
+// elements never move or change, so iterating a previously taken view
+// is always safe). Use Snapshot for an independent copy.
 func (r *Relation) Tuples() []Tuple { return r.tuples }
 
+// Snapshot returns an independent copy of the tuple slice, decoupled
+// from subsequent Inserts. The parallel evaluator snapshots relations
+// it iterates while another goroutine may later extend them.
+func (r *Relation) Snapshot() []Tuple {
+	out := make([]Tuple, len(r.tuples))
+	copy(out, r.tuples)
+	return out
+}
+
+// rowEqual reports whether the interned-ID row of tuple idx equals ids.
+func (r *Relation) rowEqual(idx int, ids []term.ID) bool {
+	row := r.ids[idx*r.Arity : (idx+1)*r.Arity]
+	for i, id := range row {
+		if id != ids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// findByIDs probes the dedup set for an interned ID row.
+func (r *Relation) findByIDs(h uint64, ids []term.ID) int {
+	i := uint32(h) & r.setMask
+	for {
+		v := r.setSlots[i]
+		if v == 0 {
+			return -1
+		}
+		idx := int(v - 1)
+		if r.hashes[idx] == h && r.rowEqual(idx, ids) {
+			return idx
+		}
+		i = (i + 1) & r.setMask
+	}
+}
+
+// findByTerms probes the dedup set comparing terms structurally — the
+// probe side, which never interns.
+func (r *Relation) findByTerms(h uint64, t Tuple) int {
+	i := uint32(h) & r.setMask
+	for {
+		v := r.setSlots[i]
+		if v == 0 {
+			return -1
+		}
+		idx := int(v - 1)
+		if r.hashes[idx] == h {
+			cand := r.tuples[idx]
+			eq := true
+			for c := range t {
+				if !term.Equal(t[c], cand[c]) {
+					eq = false
+					break
+				}
+			}
+			if eq {
+				return idx
+			}
+		}
+		i = (i + 1) & r.setMask
+	}
+}
+
+func (r *Relation) setInsert(h uint64, idx int) {
+	if (len(r.tuples))*3 >= len(r.setSlots)*2 {
+		r.growSet()
+	}
+	i := uint32(h) & r.setMask
+	for r.setSlots[i] != 0 {
+		i = (i + 1) & r.setMask
+	}
+	r.setSlots[i] = int32(idx) + 1
+}
+
+func (r *Relation) growSet() {
+	size := len(r.setSlots) * 2
+	r.setSlots = make([]int32, size)
+	r.setMask = uint32(size - 1)
+	for idx := range r.tuples {
+		h := r.hashes[idx]
+		i := uint32(h) & r.setMask
+		for r.setSlots[i] != 0 {
+			i = (i + 1) & r.setMask
+		}
+		r.setSlots[i] = int32(idx) + 1
+	}
+}
+
 // Insert adds a tuple, returning true if it was new. It rejects tuples
-// of the wrong arity or containing variables.
+// of the wrong arity or containing variables. Every admitted term is
+// interned, so stored tuples carry canonical, immutable ground terms.
 func (r *Relation) Insert(t Tuple) (bool, error) {
 	if len(t) != r.Arity {
 		return false, fmt.Errorf("store: %s: inserting arity %d tuple into arity %d relation", r.Name, len(t), r.Arity)
 	}
+	r.scratch = r.scratch[:0]
+	h := hashSeed
 	for _, x := range t {
-		if !term.Ground(x) {
+		id, th, ok := term.TryIntern(x)
+		if !ok {
 			return false, fmt.Errorf("store: %s: non-ground tuple %s", r.Name, t)
 		}
+		r.scratch = append(r.scratch, id)
+		h = combineHash(h, th)
 	}
-	k := t.Key()
-	if r.keys[k] {
+	debugCheckInsert(r, t, r.scratch)
+	if r.findByIDs(h, r.scratch) >= 0 {
 		return false, nil
 	}
-	r.keys[k] = true
 	idx := len(r.tuples)
 	r.tuples = append(r.tuples, t)
-	for cols, m := range r.indexes {
-		kk := t.KeyOn(cols)
-		m[kk] = append(m[kk], idx)
+	r.ids = append(r.ids, r.scratch...)
+	r.hashes = append(r.hashes, h)
+	r.setInsert(h, idx)
+	for cols, ci := range *r.indexes.Load() {
+		ci.insert(maskedHash(t, cols), idx)
+	}
+	return true, nil
+}
+
+// InsertFrom adds row i of src, reusing src's interned IDs and row
+// hash instead of re-hashing — the merge fast path for the parallel
+// evaluator's per-worker buffers. Both relations must share the arity.
+func (r *Relation) InsertFrom(src *Relation, i int) (bool, error) {
+	if src.Arity != r.Arity {
+		return false, fmt.Errorf("store: %s: merging arity %d relation into arity %d relation", r.Name, src.Arity, r.Arity)
+	}
+	h := src.hashes[i]
+	ids := src.ids[i*src.Arity : (i+1)*src.Arity]
+	if r.findByIDs(h, ids) >= 0 {
+		return false, nil
+	}
+	t := src.tuples[i]
+	idx := len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	r.ids = append(r.ids, ids...)
+	r.hashes = append(r.hashes, h)
+	r.setInsert(h, idx)
+	for cols, ci := range *r.indexes.Load() {
+		ci.insert(maskedHash(t, cols), idx)
 	}
 	return true, nil
 }
@@ -115,22 +392,63 @@ func (r *Relation) MustInsert(t Tuple) bool {
 }
 
 // Contains reports whether the relation holds the tuple.
-func (r *Relation) Contains(t Tuple) bool { return r.keys[t.Key()] }
+func (r *Relation) Contains(t Tuple) bool {
+	if len(t) != r.Arity || len(r.tuples) == 0 {
+		return false
+	}
+	return r.findByTerms(maskedHash(t, ^uint32(0)), t) >= 0
+}
 
 // BuildIndex creates (or refreshes) a hash index on the column set.
+// Writer-side API: callers must hold the same external serialization
+// they hold for Insert.
 func (r *Relation) BuildIndex(cols uint32) {
-	m := make(map[string][]int, len(r.tuples))
-	for i, t := range r.tuples {
-		k := t.KeyOn(cols)
-		m[k] = append(m[k], i)
+	ci := r.buildColIndex(cols)
+	old := *r.indexes.Load()
+	next := make(map[uint32]*colIndex, len(old)+1)
+	for k, v := range old {
+		next[k] = v
 	}
-	r.indexes[cols] = m
+	next[cols] = ci
+	r.indexes.Store(&next)
+}
+
+func (r *Relation) buildColIndex(cols uint32) *colIndex {
+	ci := newColIndex(cols, len(r.tuples))
+	for i, t := range r.tuples {
+		ci.insert(maskedHash(t, cols), i)
+	}
+	return ci
 }
 
 // HasIndex reports whether an index exists on the column set.
 func (r *Relation) HasIndex(cols uint32) bool {
-	_, ok := r.indexes[cols]
+	_, ok := (*r.indexes.Load())[cols]
 	return ok
+}
+
+// ensureIndex returns the index on cols, building and atomically
+// publishing it on first use. Safe under concurrent readers: the build
+// is serialized by buildMu and the map is replaced copy-on-write, so
+// readers only ever observe fully built indexes.
+func (r *Relation) ensureIndex(cols uint32) *colIndex {
+	if ci, ok := (*r.indexes.Load())[cols]; ok {
+		return ci
+	}
+	r.buildMu.Lock()
+	defer r.buildMu.Unlock()
+	if ci, ok := (*r.indexes.Load())[cols]; ok {
+		return ci
+	}
+	ci := r.buildColIndex(cols)
+	old := *r.indexes.Load()
+	next := make(map[uint32]*colIndex, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[cols] = ci
+	r.indexes.Store(&next)
+	return ci
 }
 
 // Lookup returns the tuples whose projection on cols matches the
@@ -141,30 +459,41 @@ func (r *Relation) Lookup(cols uint32, probe Tuple) []Tuple {
 	if cols == 0 {
 		return r.tuples
 	}
-	m, ok := r.indexes[cols]
-	if !ok {
-		r.BuildIndex(cols)
-		m = r.indexes[cols]
+	if len(r.tuples) == 0 {
+		return nil
 	}
-	idxs := m[probe.KeyOn(cols)]
+	ci := r.ensureIndex(cols)
+	var stack [16]int32
+	idxs := ci.lookup(maskedHash(probe, cols), stack[:0])
 	if len(idxs) == 0 {
 		return nil
 	}
-	out := make([]Tuple, len(idxs))
-	for i, j := range idxs {
-		out[i] = r.tuples[j]
+	out := make([]Tuple, 0, len(idxs))
+	for _, j := range idxs {
+		cand := r.tuples[j]
+		ok := true
+		for c := range cand {
+			if cols&(1<<uint(c)) != 0 && !term.Equal(probe[c], cand[c]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, cand)
+		}
 	}
 	return out
 }
 
-// Distinct counts the distinct values in column i.
+// Distinct counts the distinct values in column i — exact, via interned
+// IDs.
 func (r *Relation) Distinct(i int) int {
 	if i < 0 || i >= r.Arity {
 		return 0
 	}
-	set := map[string]bool{}
-	for _, t := range r.tuples {
-		set[term.Key(t[i])] = true
+	set := make(map[term.ID]struct{}, len(r.tuples))
+	for idx := range r.tuples {
+		set[r.ids[idx*r.Arity+i]] = struct{}{}
 	}
 	return len(set)
 }
@@ -172,8 +501,7 @@ func (r *Relation) Distinct(i int) int {
 // Sorted returns the tuples in canonical order — handy for
 // deterministic test output.
 func (r *Relation) Sorted() []Tuple {
-	out := make([]Tuple, len(r.tuples))
-	copy(out, r.tuples)
+	out := r.Snapshot()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		for k := range a {
@@ -247,13 +575,25 @@ func (db *Database) LoadFacts(prog *lang.Program) error {
 }
 
 // Clone deep-copies the database's relation contents (not indexes).
+// Because stored tuples are immutable and already interned, the copy is
+// a straight array copy — no re-hashing or re-interning.
 func (db *Database) Clone() *Database {
 	c := NewDatabase()
 	for tag, r := range db.rels {
-		nr := c.Ensure(tag, r.Arity)
-		for _, t := range r.tuples {
-			nr.MustInsert(t)
-		}
+		c.rels[tag] = r.clone()
 	}
 	return c
+}
+
+// clone copies the relation's tuple store and dedup set (not indexes).
+func (r *Relation) clone() *Relation {
+	nr := &Relation{Name: r.Name, Arity: r.Arity}
+	nr.tuples = append([]Tuple(nil), r.tuples...)
+	nr.ids = append([]term.ID(nil), r.ids...)
+	nr.hashes = append([]uint64(nil), r.hashes...)
+	nr.setSlots = append([]int32(nil), r.setSlots...)
+	nr.setMask = r.setMask
+	empty := map[uint32]*colIndex{}
+	nr.indexes.Store(&empty)
+	return nr
 }

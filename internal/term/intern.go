@@ -1,0 +1,216 @@
+package term
+
+// Term interning (hash-consing) for ground terms. The fact base stores
+// millions of ground terms and compares them constantly — every tuple
+// insert, dedup probe and index lookup needs term equality and a hash.
+// Structural comparison and string serialization (Key) are far too
+// expensive for that, so ground terms are interned: a concurrent,
+// sharded table assigns every distinct ground term a dense uint32 ID
+// and remembers its 64-bit structural hash. After interning, equality
+// is an integer compare and the hash is a table read.
+//
+// The table is global and append-only: terms are never evicted, which
+// is exactly the hash-consing trade — a term seen once costs its
+// storage forever, and every later occurrence costs nothing. IDs are
+// stable for the life of the process.
+
+import (
+	"sync"
+)
+
+// ID is the dense identifier of an interned ground term. Two ground
+// terms are Equal iff their IDs are equal. The zero ID is never
+// assigned, so it can be used as a sentinel.
+type ID uint32
+
+const (
+	internShardBits = 6
+	internShardN    = 1 << internShardBits // 64 shards
+	internIndexBits = 32 - internShardBits
+	internIndexMask = 1<<internIndexBits - 1
+)
+
+// internShard is one lock-striped slice of the intern table. byHash
+// buckets candidate IDs per structural hash; collisions are resolved by
+// structural equality, so distinct terms with colliding hashes simply
+// share a bucket.
+type internShard struct {
+	mu     sync.RWMutex
+	byHash map[uint64][]ID
+	terms  []Term
+	hashes []uint64
+}
+
+var internTab [internShardN]*internShard
+
+func init() {
+	for i := range internTab {
+		internTab[i] = &internShard{byHash: make(map[uint64][]ID)}
+	}
+}
+
+func packID(shard, index int) ID { return ID(shard<<internIndexBits|index) + 1 }
+
+func unpackID(id ID) (shard, index int) {
+	v := uint32(id - 1)
+	return int(v >> internIndexBits), int(v & internIndexMask)
+}
+
+// TryIntern interns t if it is ground, returning its ID and structural
+// hash. ok is false (and the ID zero) when t contains a variable.
+// It is safe for concurrent use; concurrent calls with equal terms
+// return the same ID.
+func TryIntern(t Term) (id ID, hash uint64, ok bool) {
+	h, ok := tryHashTerm(t)
+	if !ok {
+		return 0, 0, false
+	}
+	sh := internTab[h>>(64-internShardBits)]
+	sh.mu.RLock()
+	for _, cand := range sh.byHash[h] {
+		_, i := unpackID(cand)
+		if Equal(sh.terms[i], t) {
+			sh.mu.RUnlock()
+			return cand, h, true
+		}
+	}
+	sh.mu.RUnlock()
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// Re-check: another goroutine may have interned t between the locks.
+	for _, cand := range sh.byHash[h] {
+		_, i := unpackID(cand)
+		if Equal(sh.terms[i], t) {
+			return cand, h, true
+		}
+	}
+	shard := int(h >> (64 - internShardBits))
+	index := len(sh.terms)
+	if index > internIndexMask {
+		// 2^26 distinct terms per shard (~4 billion total): treat as an
+		// invariant violation rather than silently corrupting IDs.
+		panic("term: intern table shard overflow")
+	}
+	sh.terms = append(sh.terms, t)
+	sh.hashes = append(sh.hashes, h)
+	id = packID(shard, index)
+	sh.byHash[h] = append(sh.byHash[h], id)
+	return id, h, true
+}
+
+// Intern interns a ground term, panicking on non-ground input (mirrors
+// Key's contract: only ground terms enter the fact base).
+func Intern(t Term) ID {
+	id, _, ok := TryIntern(t)
+	if !ok {
+		panic("term.Intern: non-ground term " + t.String())
+	}
+	return id
+}
+
+// InternedTerm returns the canonical term interned under id.
+func InternedTerm(id ID) Term {
+	shard, i := unpackID(id)
+	sh := internTab[shard]
+	sh.mu.RLock()
+	t := sh.terms[i]
+	sh.mu.RUnlock()
+	return t
+}
+
+// IDHash returns the structural hash of the term interned under id.
+func IDHash(id ID) uint64 {
+	shard, i := unpackID(id)
+	sh := internTab[shard]
+	sh.mu.RLock()
+	h := sh.hashes[i]
+	sh.mu.RUnlock()
+	return h
+}
+
+// InternedCount reports how many distinct ground terms are interned.
+func InternedCount() int {
+	n := 0
+	for _, sh := range internTab {
+		sh.mu.RLock()
+		n += len(sh.terms)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// ---- structural hashing --------------------------------------------
+
+// Kind seeds keep terms of different kinds from colliding trivially
+// (the atom `a` vs the string "a").
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+
+	seedAtom uint64 = fnvOffset ^ 0xA70A
+	seedInt  uint64 = fnvOffset ^ 0x1247
+	seedStr  uint64 = fnvOffset ^ 0x57E1
+	seedComp uint64 = fnvOffset ^ 0xC03B
+)
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// mix64 is a strong 64-bit finalizer (Murmur3); it decorrelates the
+// weakly mixed FNV words before they are combined across positions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// HashTerm computes the structural 64-bit hash of a ground term without
+// interning it — the probe-side companion of TryIntern (lookups hash
+// transient probe values without growing the table). It equals the hash
+// TryIntern records for the same term. Panics on non-ground terms,
+// mirroring Key.
+func HashTerm(t Term) uint64 {
+	h, ok := tryHashTerm(t)
+	if !ok {
+		panic("term.HashTerm: non-ground term " + t.String())
+	}
+	return h
+}
+
+// tryHashTerm hashes t structurally, reporting ok=false if it finds a
+// variable. Allocation-free.
+func tryHashTerm(t Term) (uint64, bool) {
+	switch x := t.(type) {
+	case Var:
+		return 0, false
+	case Atom:
+		return mix64(hashString(seedAtom, string(x))), true
+	case Int:
+		return mix64(seedInt ^ uint64(x)), true
+	case Str:
+		return mix64(hashString(seedStr, string(x))), true
+	case Comp:
+		h := hashString(seedComp, x.Functor)
+		h = mix64(h ^ uint64(len(x.Args)))
+		for _, a := range x.Args {
+			ah, ok := tryHashTerm(a)
+			if !ok {
+				return 0, false
+			}
+			// Sequential re-mixing keeps the combination order-sensitive:
+			// f(a,b) and f(b,a) hash differently.
+			h = mix64(h ^ ah)
+		}
+		return h, true
+	}
+	return 0, false
+}

@@ -165,6 +165,22 @@ func (s *System) SetStats(tag string, card float64, distinct []float64) {
 	s.cat.Set(tag, stats.RelStats{Card: card, Distinct: distinct})
 }
 
+// sizeHints turns the gathered statistics into relation pre-sizing
+// hints for the evaluator: base predicates get their exact cardinality
+// (derived relations seeded from base facts then skip every rehash
+// growth step up to that size). Derived predicates are absent — their
+// cardinality is a cost-model estimate, not a promise — and absent
+// entries cost nothing.
+func (s *System) sizeHints() map[string]int {
+	hints := make(map[string]int)
+	for _, tag := range s.cat.Tags() {
+		if c := s.cat.Stats(tag).Card; c > 0 {
+			hints[tag] = int(c)
+		}
+	}
+	return hints
+}
+
 // Option configures one Optimize call.
 type Option func(*options)
 
@@ -172,6 +188,7 @@ type options struct {
 	strategy Strategy
 	seed     int64
 	flatten  bool
+	parallel int
 
 	// Resource governor configuration. Zero values mean "no limit";
 	// with everything zero no governor is built and the hot paths pay
@@ -232,6 +249,17 @@ func WithMaxIterations(n int) Option { return func(o *options) { o.maxIterations
 // recorded in Plan.Explain. KBZ itself is exempt (it is the floor of
 // the ladder), so Optimize still returns a plan unless time runs out.
 func WithOptimizerBudget(n int) Option { return func(o *options) { o.optStates = n } }
+
+// WithParallel evaluates the bottom-up fixpoint on n workers:
+// independent recursive cliques of the follows order run concurrently,
+// and rule applications within one fixpoint round fan out across the
+// pool. n <= 1 keeps the sequential reference engine (the default);
+// n < 0 sizes the pool by GOMAXPROCS. Query answers are identical in
+// every mode — plans, Explain output and answer order do not change,
+// only evaluation wall-clock. Work counters (ExecStats) remain exact,
+// but Iterations may differ from the sequential engine's because
+// parallel rounds see derivations one barrier later.
+func WithParallel(n int) Option { return func(o *options) { o.parallel = n } }
 
 // WithFlattening enables the §8.3 rescue: when a query form has no
 // safe execution, non-recursive single-rule predicates are unfolded
@@ -360,6 +388,7 @@ func (p *Plan) ExecuteStats() (_ [][]string, es ExecStats, err error) {
 	e, err := eval.New(prog2, db2, eval.Options{
 		Method: eval.SemiNaive, MethodFor: methodFor,
 		MaxTuples: 5_000_000, MaxIterations: 200_000,
+		Parallel: p.opts.parallel, SizeHints: p.sys.sizeHints(),
 		Gov: p.opts.governor(),
 	})
 	if err != nil {
@@ -453,7 +482,10 @@ func (s *System) EvaluateUnoptimized(goal string, opts ...Option) (_ [][]string,
 	if err != nil {
 		return nil, es, err
 	}
-	e, err := eval.New(s.prog, s.db, eval.Options{Method: eval.SemiNaive, Gov: o.governor()})
+	e, err := eval.New(s.prog, s.db, eval.Options{
+		Method: eval.SemiNaive, Parallel: o.parallel,
+		SizeHints: s.sizeHints(), Gov: o.governor(),
+	})
 	if err != nil {
 		return nil, es, err
 	}

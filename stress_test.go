@@ -1,0 +1,133 @@
+package ldl
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stressSource is a knowledge base with enough structure for every
+// evaluation path: linear recursion, stratified negation, arithmetic
+// and a couple of independent base relations.
+func stressSource() string {
+	var b strings.Builder
+	for i := 1; i <= 20; i++ {
+		fmt.Fprintf(&b, "e(%d, %d).\n", i, i+1)
+	}
+	b.WriteString("e(5, 1).\n") // a cycle, so tc is dense
+	for _, p := range []string{"up(a, p1).", "up(b, p1).", "up(p1, g1).", "dn(g1, q1).", "dn(q1, d).", "flat(g1, g1)."} {
+		b.WriteString(p + "\n")
+	}
+	b.WriteString(`
+tc(X, Y) <- e(X, Y).
+tc(X, Y) <- e(X, Z), tc(Z, Y).
+sg(X, Y) <- flat(X, Y).
+sg(X, Y) <- up(X, X1), sg(X1, Y1), dn(Y1, Y).
+`)
+	return b.String()
+}
+
+// TestSharedDatabaseStress hammers one System from many goroutines at
+// once, mixing every public evaluation entry point — optimized Query,
+// the unoptimized bottom-up engine (sequential and parallel), and the
+// tabled top-down evaluator. All paths read the same base relations,
+// including racing to build the same lazy column indexes; run under
+// -race this is the concurrency contract test for the store layer.
+func TestSharedDatabaseStress(t *testing.T) {
+	sys, err := Load(stressSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference answers, computed once, sequentially.
+	wantTC, _, err := sys.EvaluateUnoptimized("tc(1, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSG, err := sys.Query("sg(a, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantTC) == 0 || len(wantSG) == 0 {
+		t.Fatalf("empty reference answers: tc=%d sg=%d", len(wantTC), len(wantSG))
+	}
+
+	const goroutines = 24
+	const rounds = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				var got [][]string
+				var want [][]string
+				var err error
+				switch (g + r) % 4 {
+				case 0:
+					got, err = sys.Query("sg(a, Y)")
+					want = wantSG
+				case 1:
+					got, _, err = sys.EvaluateUnoptimized("tc(1, Y)")
+					want = wantTC
+				case 2:
+					got, _, err = sys.EvaluateUnoptimized("tc(1, Y)", WithParallel(4))
+					want = wantTC
+				case 3:
+					got, _, err = sys.EvaluateTopDown("tc(1, Y)")
+					want = wantTC
+				}
+				if err != nil {
+					errc <- fmt.Errorf("goroutine %d round %d: %v", g, r, err)
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					errc <- fmt.Errorf("goroutine %d round %d: got %v want %v", g, r, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestParallelExecuteEquivalence checks the public-API contract of
+// WithParallel: an optimized plan executed in parallel returns exactly
+// the rows of the sequential execution, and Explain output (the plan)
+// is unaffected by the option.
+func TestParallelExecuteEquivalence(t *testing.T) {
+	sys, err := Load(stressSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, goal := range []string{"sg(a, Y)", "tc(1, Y)", "tc(X, Y)"} {
+		seqPlan, err := sys.Optimize(goal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parPlan, err := sys.Optimize(goal, WithParallel(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seqPlan.Explain() != parPlan.Explain() {
+			t.Errorf("%s: WithParallel changed the plan:\n%s\nvs\n%s", goal, seqPlan.Explain(), parPlan.Explain())
+		}
+		seq, err := seqPlan.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := parPlan.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: parallel rows differ:\n got %v\nwant %v", goal, par, seq)
+		}
+	}
+}
