@@ -256,6 +256,47 @@ func BenchmarkSemiNaiveTCParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkFixpointKernels is the acceptance pair for the compiled
+// positional join kernels: the same fixpoint workloads run through the
+// generic substitution-based interpreter (WithCompiledKernels(false))
+// and the register-frame kernels (default). The headline numbers —
+// allocs/op on transitive closure and wall-clock on same-generation —
+// are recorded in BENCH_PR3.json.
+func BenchmarkFixpointKernels(b *testing.B) {
+	sgSpec := workload.SameGenSpec{Depth: 8, Fanout: 2}
+	workloads := []struct {
+		name string
+		src  string
+		goal string
+	}{
+		{"tc/chain100", workload.TCChain(100), "tc(X, Y)"},
+		{"samegen/d8f2", workload.SameGen(sgSpec), "sg(X, Y)"},
+	}
+	modes := []struct {
+		name string
+		opts []ldl.Option
+	}{
+		{"generic", []ldl.Option{ldl.WithCompiledKernels(false)}},
+		{"compiled", nil},
+	}
+	for _, w := range workloads {
+		sys, err := ldl.Load(w.src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range modes {
+			b.Run(w.name+"/"+m.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := sys.EvaluateUnoptimized(w.goal, m.opts...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkParallelStrata measures clique-level parallelism: k
 // independent transitive closures (disjoint strata in the follows
 // order) that the parallel scheduler can run concurrently, joined by a

@@ -1,0 +1,709 @@
+package eval
+
+// Rule compilation to positional join kernels. The paper's premise
+// (§4, §7) is that rules are *compiled* into relational operations in
+// the order the optimizer chose; this file realizes that for the
+// fixpoint engine. compileRule turns a rule body into a join program —
+// a flat array of steps whose column behavior is resolved once, at
+// compile time:
+//
+//   - each positive literal becomes a scan step whose columns are
+//     classified as constants (index probe), already-bound variables
+//     (index probe from a register), first occurrences (write a
+//     register), or repeats within the literal (compare a register);
+//   - each builtin becomes a test or an assignment placed at the
+//     earliest point its arguments are instantiated — the effective
+//     computability (EC) schedule of §8.1, resolved statically because
+//     instantiation depends only on literal order, never on data;
+//   - each negated literal becomes an anti-join membership test, again
+//     placed at its EC point.
+//
+// Execution runs over a flat []term.Term register frame reused across
+// the whole rule application: no substitution maps, no Clone, no
+// ResolveAll, reused probe and match-index buffers, and one reusable
+// head buffer that only pays a copy when a derived tuple is genuinely
+// new. Rules the compiler cannot prove safe for this representation —
+// non-ground compound arguments needing real unification, head
+// compounds built from body bindings, goals whose EC point never
+// arrives — return nil and fall back to the generic joinBody
+// interpreter, preserving its answers and its error timing exactly.
+
+import (
+	"ldl/internal/lang"
+	"ldl/internal/store"
+	"ldl/internal/term"
+)
+
+// kcolOp classifies one column of a scan step (or head template).
+type kcolOp uint8
+
+const (
+	// kcolConst: the column must equal a compile-time constant; part of
+	// the index probe (or prefilled in the head buffer).
+	kcolConst kcolOp = iota
+	// kcolProbe: the column must equal a register bound before this
+	// step; part of the index probe (or copied into the head buffer).
+	kcolProbe
+	// kcolOut: first occurrence of a variable — write the candidate's
+	// column value into the register.
+	kcolOut
+	// kcolChk: the variable first occurred earlier in this same literal
+	// — compare the candidate's column against the register.
+	kcolChk
+)
+
+// kcol is one column's compiled behavior.
+type kcol struct {
+	op  kcolOp
+	reg int       // kcolProbe/kcolOut/kcolChk
+	val term.Term // kcolConst
+}
+
+// kstepKind discriminates the step variants of a join program.
+type kstepKind uint8
+
+const (
+	kScan   kstepKind = iota // positive literal: indexed relation scan
+	kTest   kstepKind = iota // builtin comparison over bound values
+	kAssign                  // "=" binding a fresh variable to a value
+	kNeg                     // negated literal: membership anti-test
+)
+
+// testOp is the comparison operator of a kTest step.
+type testOp uint8
+
+const (
+	testEq testOp = iota
+	testNe
+	testLt
+	testLe
+	testGt
+	testGe
+)
+
+// tmpl is a compiled value template: a register reference, a ground
+// literal term, or an arithmetic expression over sub-templates
+// (evaluated over register values without constructing term.Comp
+// nodes). Exactly one representation applies: args != nil → arithmetic
+// node, else reg >= 0 → register, else lit.
+type tmpl struct {
+	reg     int
+	lit     term.Term
+	functor string
+	args    []tmpl
+}
+
+// kstep is one step of a join program. A single struct with per-kind
+// fields keeps the interpreter loop free of interface dispatch.
+type kstep struct {
+	kind kstepKind
+
+	// kScan
+	tag     string // predicate tag, resolved to a relation per application
+	scanIdx int    // index into kernelState.{rels, probes, idxs}
+	mask    uint32 // probe columns (kcolConst + kcolProbe)
+	cols    []kcol // per-column behavior, len == literal arity
+
+	// kTest / kAssign
+	test     testOp
+	lhs, rhs tmpl // kTest: both sides; kAssign: rhs only
+	dstReg   int  // kAssign: register receiving the value
+
+	// kNeg
+	negTag  string
+	negIdx  int    // index into kernelState.{negRels, negBufs}
+	negCols []tmpl // register-or-literal templates only
+}
+
+// compiledRule is a rule's join program. It is immutable after
+// compilation and safely shared across goroutines; all mutable
+// execution state lives in kernelState.
+type compiledRule struct {
+	rule   lang.Rule
+	steps  []kstep
+	nregs  int
+	nscans int
+	nnegs  int
+	head   []kcol // kcolConst or kcolProbe only
+	// scanForBody maps a body-literal index to its scan step's scanIdx
+	// (-1 for builtins/negations) — the delta-occurrence remap used by
+	// semi-naive variants, which share this one program.
+	scanForBody []int
+	// scanStep maps a scanIdx back to its index in steps.
+	scanStep []int
+}
+
+// compileRule compiles r to a join program, or returns nil when the
+// rule needs the generic interpreter: a non-ground compound argument
+// anywhere the kernel would have to unify or construct terms, a head
+// variable no body literal binds (the generic path raises the unsafe-
+// rule error), or a deferred goal whose EC point never arrives.
+func compileRule(r lang.Rule) *compiledRule {
+	cr := &compiledRule{rule: r, scanForBody: make([]int, len(r.Body))}
+	regOf := map[string]int{}
+	newReg := func(name string) int {
+		reg := cr.nregs
+		cr.nregs++
+		regOf[name] = reg
+		return reg
+	}
+
+	// mkTmpl compiles a fully-instantiated value position. Non-arith
+	// compounds containing variables would require construction per
+	// candidate — generic path territory.
+	var mkTmpl func(t term.Term) (tmpl, bool)
+	mkTmpl = func(t term.Term) (tmpl, bool) {
+		switch x := t.(type) {
+		case term.Var:
+			reg, ok := regOf[x.Name]
+			if !ok {
+				return tmpl{}, false
+			}
+			return tmpl{reg: reg, lit: nil}, true
+		case term.Comp:
+			if term.Ground(t) {
+				return tmpl{reg: -1, lit: t}, true
+			}
+			if n, isOp := lang.ArithArity(x.Functor); isOp && len(x.Args) == n {
+				args := make([]tmpl, len(x.Args))
+				for i, a := range x.Args {
+					at, ok := mkTmpl(a)
+					if !ok {
+						return tmpl{}, false
+					}
+					args[i] = at
+				}
+				return tmpl{reg: -1, functor: x.Functor, args: args}, true
+			}
+			return tmpl{}, false
+		default: // Atom, Int, Str
+			return tmpl{reg: -1, lit: t}, true
+		}
+	}
+
+	boundSet := func() map[string]bool {
+		m := make(map[string]bool, len(regOf))
+		for v := range regOf {
+			m[v] = true
+		}
+		return m
+	}
+
+	// compileDeferred compiles a builtin or negated goal at its EC
+	// point. ready=false defers it; ok=false forces generic fallback.
+	compileDeferred := func(l lang.Literal) (ready, ok bool) {
+		if l.Neg {
+			if lang.IsBuiltin(l.Pred) {
+				return false, false // Validate rejects these; be safe
+			}
+			set := map[string]bool{}
+			l.VarSet(set)
+			for v := range set {
+				if _, have := regOf[v]; !have {
+					return false, true
+				}
+			}
+			st := kstep{kind: kNeg, negTag: l.Tag(), negIdx: cr.nnegs, negCols: make([]tmpl, len(l.Args))}
+			for i, a := range l.Args {
+				tm, tok := mkTmpl(a)
+				if !tok || tm.args != nil {
+					// Compound args (even arithmetic ones: the generic
+					// path probes them structurally, unevaluated) need
+					// term construction — fall back.
+					return false, false
+				}
+				st.negCols[i] = tm
+			}
+			cr.nnegs++
+			cr.steps = append(cr.steps, st)
+			return true, true
+		}
+		// Builtin.
+		if len(l.Args) != 2 {
+			return false, false // generic path raises the arity error
+		}
+		if !lang.BuiltinEC(l, boundSet()) {
+			return false, true
+		}
+		lhs, rhs := l.Args[0], l.Args[1]
+		if l.Pred == lang.OpEq {
+			lt, lok := mkTmpl(lhs)
+			rt, rok := mkTmpl(rhs)
+			if lok && rok {
+				cr.steps = append(cr.steps, kstep{kind: kTest, test: testEq, lhs: lt, rhs: rt})
+				return true, true
+			}
+			// One side failed to template. EC guarantees at least one
+			// side is fully bound; if the other is a single fresh
+			// variable this is an assignment, anything else (compound
+			// with unbound vars) needs unification — fall back.
+			if v, isVar := lhs.(term.Var); isVar && !lok && rok {
+				cr.steps = append(cr.steps, kstep{kind: kAssign, dstReg: newReg(v.Name), rhs: rt})
+				return true, true
+			}
+			if v, isVar := rhs.(term.Var); isVar && !rok && lok {
+				cr.steps = append(cr.steps, kstep{kind: kAssign, dstReg: newReg(v.Name), rhs: lt})
+				return true, true
+			}
+			return false, false
+		}
+		var op testOp
+		switch l.Pred {
+		case lang.OpNe:
+			op = testNe
+		case lang.OpLt:
+			op = testLt
+		case lang.OpLe:
+			op = testLe
+		case lang.OpGt:
+			op = testGt
+		case lang.OpGe:
+			op = testGe
+		default:
+			return false, false
+		}
+		lt, lok := mkTmpl(lhs)
+		rt, rok := mkTmpl(rhs)
+		if !lok || !rok {
+			return false, false
+		}
+		cr.steps = append(cr.steps, kstep{kind: kTest, test: op, lhs: lt, rhs: rt})
+		return true, true
+	}
+
+	var pending []lang.Literal
+	// flushPending retries deferred goals after a binding step, with a
+	// restart after each success — mirroring joinBody's pi = -1 loop:
+	// an assignment flushed from pending may enable another goal.
+	flushPending := func() bool {
+		for pi := 0; pi < len(pending); pi++ {
+			ready, ok := compileDeferred(pending[pi])
+			if !ok {
+				return false
+			}
+			if !ready {
+				continue
+			}
+			pending = append(pending[:pi:pi], pending[pi+1:]...)
+			pi = -1
+		}
+		return true
+	}
+
+	for bi, l := range r.Body {
+		cr.scanForBody[bi] = -1
+		if l.Neg || lang.IsBuiltin(l.Pred) {
+			ready, ok := compileDeferred(l)
+			if !ok {
+				return nil
+			}
+			if !ready {
+				pending = append(pending, l)
+				continue
+			}
+			if !flushPending() {
+				return nil
+			}
+			continue
+		}
+		// Positive relational literal → scan step.
+		if len(l.Args) > lang.MaxAdornArity {
+			return nil // Validate rejects these; be safe
+		}
+		st := kstep{kind: kScan, tag: l.Tag(), scanIdx: cr.nscans, cols: make([]kcol, len(l.Args))}
+		newHere := map[string]bool{}
+		for ai, a := range l.Args {
+			if v, isVar := a.(term.Var); isVar {
+				if reg, have := regOf[v.Name]; have {
+					if newHere[v.Name] {
+						st.cols[ai] = kcol{op: kcolChk, reg: reg}
+					} else {
+						st.cols[ai] = kcol{op: kcolProbe, reg: reg}
+						st.mask |= 1 << uint(ai)
+					}
+					continue
+				}
+				st.cols[ai] = kcol{op: kcolOut, reg: newReg(v.Name)}
+				newHere[v.Name] = true
+				continue
+			}
+			if !term.Ground(a) {
+				return nil // non-ground compound column: needs unification
+			}
+			st.cols[ai] = kcol{op: kcolConst, val: a}
+			st.mask |= 1 << uint(ai)
+		}
+		cr.scanForBody[bi] = st.scanIdx
+		cr.scanStep = append(cr.scanStep, len(cr.steps))
+		cr.nscans++
+		cr.steps = append(cr.steps, st)
+		if !flushPending() {
+			return nil
+		}
+	}
+	if len(pending) > 0 {
+		return nil // generic path raises "never became evaluable"
+	}
+	// Head template: registers and constants only. A head compound
+	// built from body bindings (e.g. cons(Y, P)) or a variable no body
+	// literal binds falls back to the generic path.
+	cr.head = make([]kcol, len(r.Head.Args))
+	for ai, a := range r.Head.Args {
+		if v, isVar := a.(term.Var); isVar {
+			reg, have := regOf[v.Name]
+			if !have {
+				return nil
+			}
+			cr.head[ai] = kcol{op: kcolProbe, reg: reg}
+			continue
+		}
+		if !term.Ground(a) {
+			return nil
+		}
+		cr.head[ai] = kcol{op: kcolConst, val: a}
+	}
+	return cr
+}
+
+// kernelState is the mutable, reusable execution state for one
+// compiled rule in one evaluation context (one goroutine): the
+// register frame plus every buffer the join program needs, so
+// steady-state rule application allocates nothing. Constant cells of
+// the probe, negation, and head buffers are prefilled here, once.
+type kernelState struct {
+	regs    []term.Term
+	rels    []*store.Relation // per scan, resolved per application
+	probes  []store.Tuple     // per scan, consts prefilled
+	idxs    [][]int32         // per scan, reusable match-index buffers
+	negRels []*store.Relation // per negation, resolved per application
+	negBufs []store.Tuple     // per negation, consts prefilled
+	headBuf store.Tuple       // consts prefilled
+}
+
+func newKernelState(cr *compiledRule) *kernelState {
+	ks := &kernelState{
+		regs:    make([]term.Term, cr.nregs),
+		rels:    make([]*store.Relation, cr.nscans),
+		probes:  make([]store.Tuple, cr.nscans),
+		idxs:    make([][]int32, cr.nscans),
+		negRels: make([]*store.Relation, cr.nnegs),
+		negBufs: make([]store.Tuple, cr.nnegs),
+		headBuf: make(store.Tuple, len(cr.head)),
+	}
+	for _, st := range cr.steps {
+		switch st.kind {
+		case kScan:
+			p := make(store.Tuple, len(st.cols))
+			for i, c := range st.cols {
+				if c.op == kcolConst {
+					p[i] = c.val
+				}
+			}
+			ks.probes[st.scanIdx] = p
+		case kNeg:
+			b := make(store.Tuple, len(st.negCols))
+			for i, tm := range st.negCols {
+				if tm.reg < 0 {
+					b[i] = tm.lit
+				}
+			}
+			ks.negBufs[st.negIdx] = b
+		}
+	}
+	for i, c := range cr.head {
+		if c.op == kcolConst {
+			ks.headBuf[i] = c.val
+		}
+	}
+	return ks
+}
+
+// kstate returns the context's cached kernel state for cr, creating it
+// on first use. Contexts are goroutine-local, so no locking.
+func (cx *evalCtx) kstate(cr *compiledRule) *kernelState {
+	if ks, ok := cx.kstates[cr]; ok {
+		return ks
+	}
+	if cx.kstates == nil {
+		cx.kstates = map[*compiledRule]*kernelState{}
+	}
+	ks := newKernelState(cr)
+	cx.kstates[cr] = ks
+	return ks
+}
+
+// kernelRun bundles the per-application parameters of a join-program
+// execution so the recursive step walk passes a single receiver.
+type kernelRun struct {
+	cx      *evalCtx
+	cr      *compiledRule
+	ks      *kernelState
+	head    *store.Relation
+	headTag string
+	collect func(string, store.Tuple)
+}
+
+// applyCompiled executes a rule's join program — the compiled
+// counterpart of applyRule's generic joinBody walk, with identical
+// counter accounting, governor charging, and emit semantics.
+func (cx *evalCtx) applyCompiled(cr *compiledRule, deltaOcc int, deltas map[string]*store.Relation, collect func(string, store.Tuple)) error {
+	e := cx.e
+	ks := cx.kstate(cr)
+	// Resolve each scan's relation: the designated delta occurrence
+	// reads this round's delta, everything else the full relation.
+	for _, st := range cr.steps {
+		switch st.kind {
+		case kScan:
+			ks.rels[st.scanIdx] = e.RelationFor(st.tag)
+		case kNeg:
+			ks.negRels[st.negIdx] = e.RelationFor(st.negTag)
+		}
+	}
+	if deltas != nil && deltaOcc >= 0 && deltaOcc < len(cr.scanForBody) {
+		if si := cr.scanForBody[deltaOcc]; si >= 0 {
+			ks.rels[si] = deltas[cr.steps[cr.scanStep[si]].tag]
+		}
+	}
+	k := kernelRun{
+		cx:      cx,
+		cr:      cr,
+		ks:      ks,
+		head:    e.ensureDerived(cr.rule.Head.Tag(), cr.rule.Head.Arity()),
+		headTag: cr.rule.Head.Tag(),
+		collect: collect,
+	}
+	return k.step(0)
+}
+
+// step executes the join program from step si onward; si == len(steps)
+// emits the head tuple.
+func (k *kernelRun) step(si int) error {
+	cx, ks := k.cx, k.ks
+	// Same deadline discipline as joinBody: the join can churn without
+	// deriving anything new, so tick per step frame, not per derivation.
+	if err := cx.e.opts.Gov.Tick(); err != nil {
+		return err
+	}
+	if si == len(k.cr.steps) {
+		return k.emit()
+	}
+	st := &k.cr.steps[si]
+	switch st.kind {
+	case kScan:
+		rel := ks.rels[st.scanIdx]
+		if rel == nil || rel.Len() == 0 {
+			return nil
+		}
+		cx.counters.Lookups++
+		if st.mask == 0 {
+			// Full scan. Capture the length first: in direct mode the
+			// head relation may be the relation being scanned, and emit
+			// appends to it mid-iteration.
+			n := rel.Len()
+			for ti := 0; ti < n; ti++ {
+				if err := k.scanCandidate(si, st, rel.TupleAt(ti)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		probe := ks.probes[st.scanIdx]
+		for i, c := range st.cols {
+			if c.op == kcolProbe {
+				probe[i] = ks.regs[c.reg]
+			}
+		}
+		// AppendMatches collects (and fully verifies) all match indexes
+		// before we touch any candidate, so emit-inserts into the same
+		// relation cannot invalidate the iteration. The buffer is
+		// stored back to keep its grown capacity.
+		idxs := rel.AppendMatches(st.mask, probe, ks.idxs[st.scanIdx][:0])
+		ks.idxs[st.scanIdx] = idxs
+		for _, j := range idxs {
+			if err := k.scanCandidate(si, st, rel.TupleAt(int(j))); err != nil {
+				return err
+			}
+		}
+		return nil
+	case kTest:
+		cx.counters.BuiltinCalls++
+		ok, err := k.evalTest(st)
+		if err != nil || !ok {
+			return err
+		}
+		return k.step(si + 1)
+	case kAssign:
+		cx.counters.BuiltinCalls++
+		v, err := k.resolveNorm(st.rhs)
+		if err != nil {
+			return err
+		}
+		ks.regs[st.dstReg] = v
+		return k.step(si + 1)
+	case kNeg:
+		cx.counters.Lookups++
+		rel := ks.negRels[st.negIdx]
+		if rel == nil {
+			return k.step(si + 1)
+		}
+		buf := ks.negBufs[st.negIdx]
+		for i, tm := range st.negCols {
+			if tm.reg >= 0 {
+				buf[i] = ks.regs[tm.reg]
+			}
+		}
+		if rel.Contains(buf) {
+			return nil
+		}
+		return k.step(si + 1)
+	}
+	return nil
+}
+
+// scanCandidate binds a scan step's output columns from one candidate
+// tuple (probe columns are already verified) and recurses.
+func (k *kernelRun) scanCandidate(si int, st *kstep, t store.Tuple) error {
+	k.cx.counters.Unifications++
+	regs := k.ks.regs
+	for i, c := range st.cols {
+		switch c.op {
+		case kcolOut:
+			regs[c.reg] = t[i]
+		case kcolChk:
+			if !term.Equal(regs[c.reg], t[i]) {
+				return nil
+			}
+		case kcolConst:
+			// Full-scan steps have no probe verification; indexed steps
+			// arrive pre-verified, making this Equal a cheap pointer /
+			// small-value comparison that short-circuits true.
+			if st.mask == 0 && !term.Equal(c.val, t[i]) {
+				return nil
+			}
+		case kcolProbe:
+			if st.mask == 0 && !term.Equal(regs[c.reg], t[i]) {
+				return nil
+			}
+		}
+	}
+	return k.step(si + 1)
+}
+
+// evalTest evaluates a comparison step over the register frame.
+func (k *kernelRun) evalTest(st *kstep) (bool, error) {
+	switch st.test {
+	case testEq, testNe:
+		// "=" / "\=" over bound sides: normalize (evaluate a side that
+		// is an arithmetic expression — including one sitting in a
+		// register, e.g. from a fact f(1+2)) and compare structurally,
+		// exactly like lang.EvalBuiltin.
+		lv, err := k.resolveNorm(st.lhs)
+		if err != nil {
+			return false, err
+		}
+		rv, err := k.resolveNorm(st.rhs)
+		if err != nil {
+			return false, err
+		}
+		eq := term.Equal(lv, rv)
+		if st.test == testEq {
+			return eq, nil
+		}
+		return !eq, nil
+	}
+	a, err := k.evalArith(st.lhs)
+	if err != nil {
+		return false, err
+	}
+	b, err := k.evalArith(st.rhs)
+	if err != nil {
+		return false, err
+	}
+	switch st.test {
+	case testLt:
+		return a < b, nil
+	case testLe:
+		return a <= b, nil
+	case testGt:
+		return a > b, nil
+	case testGe:
+		return a >= b, nil
+	}
+	return false, nil
+}
+
+// resolveNorm produces a template's term value with "=" normalization:
+// arithmetic expressions (static or dynamic) evaluate to their integer
+// value, everything else passes through.
+func (k *kernelRun) resolveNorm(t tmpl) (term.Term, error) {
+	if t.args != nil {
+		v, err := k.evalArith(t)
+		return v, err
+	}
+	var v term.Term
+	if t.reg >= 0 {
+		v = k.ks.regs[t.reg]
+	} else {
+		v = t.lit
+	}
+	return lang.NormalizeEqSide(v)
+}
+
+// evalArith evaluates a template as an arithmetic expression over the
+// register frame, without constructing term.Comp nodes for the
+// variable-bearing expressions the compiler broke into sub-templates.
+func (k *kernelRun) evalArith(t tmpl) (term.Int, error) {
+	if t.args == nil {
+		if t.reg >= 0 {
+			return lang.EvalArith(k.ks.regs[t.reg])
+		}
+		return lang.EvalArith(t.lit)
+	}
+	a, err := k.evalArith(t.args[0])
+	if err != nil {
+		return 0, err
+	}
+	if len(t.args) == 1 {
+		return lang.ApplyArith1(t.functor, a)
+	}
+	b, err := k.evalArith(t.args[1])
+	if err != nil {
+		return 0, err
+	}
+	return lang.ApplyArith2(t.functor, a, b)
+}
+
+// emit materializes the head tuple from the register frame into the
+// reusable head buffer and inserts or buffers it — the compiled twin
+// of applyRule's emit closure. The compiler guarantees groundness
+// (registers only ever hold ground values), so no per-arg check.
+func (k *kernelRun) emit() error {
+	cx, ks := k.cx, k.ks
+	for i, c := range k.cr.head {
+		if c.op == kcolProbe {
+			ks.headBuf[i] = ks.regs[c.reg]
+		}
+	}
+	t := ks.headBuf
+	if cx.buf != nil {
+		// Frozen mode: dedup against the (stable) head snapshot, buffer
+		// the rest. InsertCopy clones only genuinely new tuples, so the
+		// shared buffer never aliases the reusable frame.
+		if k.head.Contains(t) {
+			return nil
+		}
+		added, err := cx.buf.InsertCopy(t)
+		if err != nil || !added {
+			return err
+		}
+		return cx.recordBuffered()
+	}
+	added, err := k.head.InsertCopy(t)
+	if err != nil {
+		return err
+	}
+	if !added {
+		return nil
+	}
+	return cx.recordInserted(k.headTag, k.head.TupleAt(k.head.Len()-1), k.collect)
+}

@@ -72,6 +72,11 @@ type Options struct {
 	// relations and delta sets are pre-sized from them so fixpoint runs
 	// avoid rehash growth. Missing entries cost nothing.
 	SizeHints map[string]int
+	// DisableKernels turns off the compiled join-kernel path
+	// (compile.go), forcing every rule through the generic joinBody
+	// interpreter. The zero value — kernels on — is the default; the
+	// flag exists for A/B verification and as an escape hatch.
+	DisableKernels bool
 	// Gov, when non-nil, meters the evaluation at tuple/iteration
 	// granularity: derived tuples, fixpoint rounds, and wall-clock
 	// deadlines/cancellation all charge against it, and a violation
@@ -236,11 +241,12 @@ func (e *Engine) newDeltas(c *depgraph.Clique) map[string]*store.Relation {
 // evalClique runs the sequential fixpoint for one clique.
 func (e *Engine) evalClique(c *depgraph.Clique) error {
 	rules, method := e.cliqueRules(c)
+	crs := e.compileRules(rules)
 	cx := &evalCtx{e: e, counters: &e.Counters}
 	if !c.Recursive {
 		// Single pass suffices: dependencies are already computed.
-		for _, r := range rules {
-			if err := cx.applyRule(r, -1, nil, nil); err != nil {
+		for i, r := range rules {
+			if err := cx.applyRule(r, crs[i], -1, nil, nil); err != nil {
 				return err
 			}
 		}
@@ -255,8 +261,8 @@ func (e *Engine) evalClique(c *depgraph.Clique) error {
 		head := e.derived[tag]
 		deltas[tag].InsertFrom(head, head.Len()-1)
 	}
-	for _, r := range rules {
-		if err := cx.applyRule(r, -1, nil, collect); err != nil {
+	for i, r := range rules {
+		if err := cx.applyRule(r, crs[i], -1, nil, collect); err != nil {
 			return err
 		}
 	}
@@ -285,12 +291,12 @@ func (e *Engine) evalClique(c *depgraph.Clique) error {
 			head := e.derived[tag]
 			next[tag].InsertFrom(head, head.Len()-1)
 		}
-		for _, r := range rules {
+		for i, r := range rules {
 			switch method {
 			case Naive:
 				// Recompute from full relations; novelty filtering in
 				// applyRule keeps only new tuples.
-				if err := cx.applyRule(r, -1, nil, collectNext); err != nil {
+				if err := cx.applyRule(r, crs[i], -1, nil, collectNext); err != nil {
 					return err
 				}
 			case SemiNaive:
@@ -300,7 +306,7 @@ func (e *Engine) evalClique(c *depgraph.Clique) error {
 					if l.Neg || lang.IsBuiltin(l.Pred) || !c.Contains(l.Tag()) {
 						continue
 					}
-					if err := cx.applyRule(r, bi, deltas, collectNext); err != nil {
+					if err := cx.applyRule(r, crs[i], bi, deltas, collectNext); err != nil {
 						return err
 					}
 				}
@@ -325,14 +331,59 @@ type evalCtx struct {
 	// backstop.
 	buf  *store.Relation
 	bufN int
+	// kstates caches one reusable kernel execution state per compiled
+	// rule this context has run (register frame, probe and match
+	// buffers), created lazily by kstate.
+	kstates map[*compiledRule]*kernelState
+}
+
+// recordBuffered charges one frozen-mode buffered head tuple against
+// the runaway backstop and the governor. The budget is charged at
+// materialization time: a buffered tuple is real work (and real
+// memory) even if another variant derives it too and the merge dedups
+// it.
+func (cx *evalCtx) recordBuffered() error {
+	e := cx.e
+	cx.bufN++
+	if int(e.derivedN.Load())+cx.bufN > e.opts.MaxTuples {
+		return fmt.Errorf("%w: more than %d tuples", ErrRunaway, e.opts.MaxTuples)
+	}
+	return e.opts.Gov.AddTuples(1)
+}
+
+// recordInserted does the bookkeeping for a direct-mode head insert
+// that was genuinely new: counters, the runaway backstop, the
+// governor, and the delta-collect callback.
+func (cx *evalCtx) recordInserted(tag string, t store.Tuple, collect func(string, store.Tuple)) error {
+	e := cx.e
+	cx.counters.TuplesDerived++
+	// The runaway backstop reads the shared atomic mirror, not the
+	// context-local counter: parallel cliques run direct-mode contexts
+	// whose counters reset per round, and only the global total is a
+	// meaningful bound.
+	if int(e.derivedN.Add(1)) > e.opts.MaxTuples {
+		return fmt.Errorf("%w: more than %d tuples", ErrRunaway, e.opts.MaxTuples)
+	}
+	if err := e.opts.Gov.AddTuples(1); err != nil {
+		return err
+	}
+	if collect != nil {
+		collect(tag, t)
+	}
+	return nil
 }
 
 // applyRule evaluates one rule body left-to-right; every newly derived
 // head tuple is inserted into the head relation (direct mode) or
 // buffered (frozen mode), and passed to collect (if non-nil).
 // deltaOcc, when >= 0, makes body literal deltaOcc read from
-// deltas[tag] instead of the full relation.
-func (cx *evalCtx) applyRule(r lang.Rule, deltaOcc int, deltas map[string]*store.Relation, collect func(string, store.Tuple)) error {
+// deltas[tag] instead of the full relation. A non-nil cr routes the
+// application through the rule's compiled join kernel; nil runs the
+// generic interpreter below.
+func (cx *evalCtx) applyRule(r lang.Rule, cr *compiledRule, deltaOcc int, deltas map[string]*store.Relation, collect func(string, store.Tuple)) error {
+	if cr != nil {
+		return cx.applyCompiled(cr, deltaOcc, deltas, collect)
+	}
 	e := cx.e
 	head := e.ensureDerived(r.Head.Tag(), r.Head.Arity())
 	emit := func(s term.Subst) error {
@@ -354,38 +405,33 @@ func (cx *evalCtx) applyRule(r lang.Rule, deltaOcc int, deltas map[string]*store
 			if err != nil || !added {
 				return err
 			}
-			cx.bufN++
-			if int(e.derivedN.Load())+cx.bufN > e.opts.MaxTuples {
-				return fmt.Errorf("%w: more than %d tuples", ErrRunaway, e.opts.MaxTuples)
-			}
-			// The budget is charged at materialization time: a buffered
-			// tuple is real work (and real memory) even if another
-			// variant derives it too and the merge dedups it.
-			return e.opts.Gov.AddTuples(1)
+			return cx.recordBuffered()
 		}
 		added, err := head.Insert(t)
 		if err != nil {
 			return err
 		}
-		if added {
-			cx.counters.TuplesDerived++
-			// The runaway backstop reads the shared atomic mirror, not the
-			// context-local counter: parallel cliques run direct-mode
-			// contexts whose counters reset per round, and only the global
-			// total is a meaningful bound.
-			if int(e.derivedN.Add(1)) > e.opts.MaxTuples {
-				return fmt.Errorf("%w: more than %d tuples", ErrRunaway, e.opts.MaxTuples)
-			}
-			if err := e.opts.Gov.AddTuples(1); err != nil {
-				return err
-			}
-			if collect != nil {
-				collect(r.Head.Tag(), t)
-			}
+		if !added {
+			return nil
 		}
-		return nil
+		return cx.recordInserted(r.Head.Tag(), t, collect)
 	}
 	return cx.joinBody(r.Body, 0, deltaOcc, deltas, term.NewSubst(), nil, emit)
+}
+
+// compileRules compiles each rule of a clique to its join kernel (nil
+// entries fall back to the generic interpreter), once per clique
+// evaluation — every fixpoint round and every semi-naive delta variant
+// shares the same program.
+func (e *Engine) compileRules(rules []lang.Rule) []*compiledRule {
+	crs := make([]*compiledRule, len(rules))
+	if e.opts.DisableKernels {
+		return crs
+	}
+	for i, r := range rules {
+		crs[i] = compileRule(r)
+	}
+	return crs
 }
 
 // joinBody enumerates the substitutions satisfying body[i:], carrying

@@ -35,9 +35,13 @@ import (
 
 // variant is one unit of parallel work inside a fixpoint round: a rule
 // application with a designated delta occurrence (-1 = read full
-// relations everywhere).
+// relations everywhere). cr is the rule's compiled join kernel (nil =
+// generic interpreter); the compiledRule is immutable, so every delta
+// variant and every worker shares one program, each with its own
+// kernelState.
 type variant struct {
 	rule     lang.Rule
+	cr       *compiledRule
 	deltaOcc int
 }
 
@@ -85,10 +89,11 @@ func (e *Engine) runParallel() error {
 // evalCliqueParallel is evalClique with the per-round rule fan-out.
 func (e *Engine) evalCliqueParallel(c *depgraph.Clique) error {
 	rules, method := e.cliqueRules(c)
+	crs := e.compileRules(rules)
 	if !c.Recursive {
 		vs := make([]variant, len(rules))
 		for i, r := range rules {
-			vs[i] = variant{rule: r, deltaOcc: -1}
+			vs[i] = variant{rule: r, cr: crs[i], deltaOcc: -1}
 		}
 		_, err := e.runRound(vs, nil, nil)
 		return err
@@ -96,7 +101,7 @@ func (e *Engine) evalCliqueParallel(c *depgraph.Clique) error {
 	deltas := e.newDeltas(c)
 	seed := make([]variant, len(rules))
 	for i, r := range rules {
-		seed[i] = variant{rule: r, deltaOcc: -1}
+		seed[i] = variant{rule: r, cr: crs[i], deltaOcc: -1}
 	}
 	if _, err := e.runRound(seed, nil, deltas); err != nil {
 		return err
@@ -121,16 +126,16 @@ func (e *Engine) evalCliqueParallel(c *depgraph.Clique) error {
 			return nil
 		}
 		var vs []variant
-		for _, r := range rules {
+		for i, r := range rules {
 			switch method {
 			case Naive:
-				vs = append(vs, variant{rule: r, deltaOcc: -1})
+				vs = append(vs, variant{rule: r, cr: crs[i], deltaOcc: -1})
 			case SemiNaive:
 				for bi, l := range r.Body {
 					if l.Neg || lang.IsBuiltin(l.Pred) || !c.Contains(l.Tag()) {
 						continue
 					}
-					vs = append(vs, variant{rule: r, deltaOcc: bi})
+					vs = append(vs, variant{rule: r, cr: crs[i], deltaOcc: bi})
 				}
 			}
 		}
@@ -166,7 +171,7 @@ func (e *Engine) runRound(vs []variant, deltas, newDeltas map[string]*store.Rela
 				newDeltas[tag].InsertFrom(head, head.Len()-1)
 			}
 		}
-		err := cx.applyRule(vs[0].rule, vs[0].deltaOcc, deltas, collect)
+		err := cx.applyRule(vs[0].rule, vs[0].cr, vs[0].deltaOcc, deltas, collect)
 		e.mu.Lock()
 		e.Counters.add(&local)
 		e.mu.Unlock()
@@ -185,16 +190,21 @@ func (e *Engine) runRound(vs []variant, deltas, newDeltas map[string]*store.Rela
 		go func() {
 			defer wg.Done()
 			// Worker-local counters keep the hot loop free of shared
-			// writes; merged under the engine lock at the end.
+			// writes; merged under the engine lock at the end. The
+			// kernel-state cache is hoisted per worker goroutine so
+			// repeated variants of the same compiled rule reuse their
+			// register frames and probe buffers across jobs (a worker
+			// runs one job at a time, so the states are never shared).
 			var local Counters
+			kstates := map[*compiledRule]*kernelState{}
 			for i := range jobs {
 				if e.aborted.Load() {
 					continue
 				}
 				v := vs[i]
 				buf := store.NewRelation(v.rule.Head.Tag()+"◦", v.rule.Head.Arity())
-				cx := &evalCtx{e: e, counters: &local, buf: buf}
-				if err := cx.applyRule(v.rule, v.deltaOcc, deltas, nil); err != nil {
+				cx := &evalCtx{e: e, counters: &local, buf: buf, kstates: kstates}
+				if err := cx.applyRule(v.rule, v.cr, v.deltaOcc, deltas, nil); err != nil {
 					errs[i] = err
 					e.aborted.Store(true)
 					continue

@@ -44,6 +44,57 @@ func IsArithExpr(t term.Term) bool {
 	return ok && len(c.Args) == n
 }
 
+// ArithArity returns the operand count of an arithmetic function
+// symbol, and whether functor names one at all. Compiled join kernels
+// use it to pre-classify expression templates.
+func ArithArity(functor string) (int, bool) {
+	n, ok := arithOps[functor]
+	return n, ok
+}
+
+// ApplyArith1 applies the unary arithmetic operator named functor.
+func ApplyArith1(functor string, a term.Int) (term.Int, error) {
+	if functor != "neg" {
+		return 0, fmt.Errorf("lang: %s/1 is not an arithmetic operator", functor)
+	}
+	return -a, nil
+}
+
+// ApplyArith2 applies the binary arithmetic operator named functor to
+// already-evaluated operands. It is the shared core of EvalArith,
+// exported so compiled kernels can evaluate expressions over register
+// values without constructing term.Comp nodes.
+func ApplyArith2(functor string, a, b term.Int) (term.Int, error) {
+	switch functor {
+	case "+":
+		return a + b, nil
+	case "-":
+		return a - b, nil
+	case "*":
+		return a * b, nil
+	case "/":
+		if b == 0 {
+			return 0, fmt.Errorf("lang: division by zero")
+		}
+		return a / b, nil
+	case "mod":
+		if b == 0 {
+			return 0, fmt.Errorf("lang: mod by zero")
+		}
+		return a % b, nil
+	case "^":
+		if b < 0 {
+			return 0, fmt.Errorf("lang: negative exponent %d", b)
+		}
+		r := term.Int(1)
+		for i := term.Int(0); i < b; i++ {
+			r *= a
+		}
+		return r, nil
+	}
+	return 0, fmt.Errorf("lang: %s/2 is not an arithmetic operator", functor)
+}
+
 // EvalArith evaluates a ground arithmetic expression to an integer.
 // Non-arithmetic leaves must be Int constants.
 func EvalArith(t term.Term) (term.Int, error) {
@@ -61,42 +112,22 @@ func EvalArith(t term.Term) (term.Int, error) {
 		if err != nil {
 			return 0, err
 		}
-		if n == 1 { // neg
-			return -a, nil
+		if n == 1 {
+			return ApplyArith1(x.Functor, a)
 		}
 		b, err := EvalArith(x.Args[1])
 		if err != nil {
 			return 0, err
 		}
-		switch x.Functor {
-		case "+":
-			return a + b, nil
-		case "-":
-			return a - b, nil
-		case "*":
-			return a * b, nil
-		case "/":
-			if b == 0 {
-				return 0, fmt.Errorf("lang: division by zero")
-			}
-			return a / b, nil
-		case "mod":
-			if b == 0 {
-				return 0, fmt.Errorf("lang: mod by zero")
-			}
-			return a % b, nil
-		case "^":
-			if b < 0 {
-				return 0, fmt.Errorf("lang: negative exponent %d", b)
-			}
-			r := term.Int(1)
-			for i := term.Int(0); i < b; i++ {
-				r *= a
-			}
-			return r, nil
-		}
+		return ApplyArith2(x.Functor, a, b)
 	}
 	return 0, fmt.Errorf("lang: cannot evaluate %s arithmetically", t)
+}
+
+// NormalizeEqSide evaluates a top-level arithmetic expression; plain
+// terms pass through so "=" can unify complex terms structurally.
+func NormalizeEqSide(t term.Term) (term.Term, error) {
+	return normalizeEqSide(t)
 }
 
 // sideBound reports whether every variable of t is in bound.

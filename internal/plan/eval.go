@@ -94,24 +94,44 @@ func (ev *evaluator) evalNode(n *Node, in []term.Subst) (*Rows, error) {
 			if rel == nil {
 				continue
 			}
-			for _, t := range rel.Tuples() {
-				if err := gov.Tick(); err != nil {
-					return nil, err
+			// Probe pushdown: ground argument positions become an
+			// indexed probe instead of a full scan, so a selective scan
+			// node touches only its matching tuples. Scan collects
+			// match indexes before yielding, so the iteration is stable
+			// regardless of what the caller does with the rows.
+			resolved := s.ResolveAll(n.Lit.Args)
+			var mask uint32
+			probe := make(store.Tuple, len(resolved))
+			for ai, a := range resolved {
+				if term.Ground(a) {
+					mask |= 1 << uint(ai)
+					probe[ai] = a
 				}
-				s2, ok := term.UnifyAll(s.ResolveAll(n.Lit.Args), []term.Term(t), s.Clone())
+			}
+			var scanErr error
+			rel.Scan(mask, probe, func(t store.Tuple) bool {
+				if scanErr = gov.Tick(); scanErr != nil {
+					return false
+				}
+				s2, ok := term.UnifyAll(resolved, []term.Term(t), s.Clone())
 				if !ok {
-					continue
+					return true
 				}
 				keep, err := applyFilters(n.Filters, s2)
 				if err != nil {
-					return nil, err
+					scanErr = err
+					return false
 				}
 				if keep {
-					if err := gov.AddTuples(1); err != nil {
-						return nil, err
+					if scanErr = gov.AddTuples(1); scanErr != nil {
+						return false
 					}
 					out = append(out, s2)
 				}
+				return true
+			})
+			if scanErr != nil {
+				return nil, scanErr
 			}
 		}
 	case KindBuiltin:

@@ -7,3 +7,7 @@ import "ldl/internal/term"
 // debugCheckInsert is compiled away outside the ldldebug build tag; the
 // release insert path pays nothing for the invariant checks.
 func debugCheckInsert(r *Relation, t Tuple, ids []term.ID) {}
+
+// debugBorrow is the identity in release builds; under ldldebug it
+// cap-clamps borrowed views so append-past-snapshot misuse panics.
+func debugBorrow(ts []Tuple) []Tuple { return ts }

@@ -16,6 +16,15 @@ import (
 	"ldl/internal/term"
 )
 
+// debugBorrow clamps a borrowed slice's capacity to its length, so a
+// caller of the cols==0 Lookup borrow that appends through the live
+// backing array — or indexes past its snapshot length after inserting
+// into the same relation mid-iteration — panics here instead of
+// silently corrupting the relation.
+func debugBorrow(ts []Tuple) []Tuple {
+	return ts[:len(ts):len(ts)]
+}
+
 func debugCheckInsert(r *Relation, t Tuple, ids []term.ID) {
 	for i, x := range t {
 		if !term.Ground(x) {

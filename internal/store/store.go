@@ -10,13 +10,15 @@
 // display and debugging only — no hot-path operation serializes terms.
 //
 // Concurrency contract: a Relation supports any number of concurrent
-// readers (Contains, Lookup, Tuples, Snapshot, Sorted, Distinct) —
-// including the lazy index build inside Lookup, which publishes
-// atomically — but writers (Insert, BuildIndex) must be externally
-// serialized and must not run concurrently with readers of the same
-// relation. The parallel evaluator relies on exactly this: relations
-// are frozen while worker goroutines read them and mutated only at
-// single-threaded merge points.
+// readers (Contains, Lookup, Scan, AppendMatches, Tuples, TupleAt,
+// Snapshot, Sorted, Distinct) — including the lazy index and
+// distinct-count builds inside Lookup/Scan/Distinct, which publish
+// atomically — but writers (Insert, InsertCopy, InsertFrom,
+// BuildIndex) must be externally serialized and must not run
+// concurrently with readers of the same relation. The parallel
+// evaluator relies on exactly this: relations are frozen while worker
+// goroutines read them and mutated only at single-threaded merge
+// points.
 package store
 
 import (
@@ -200,7 +202,21 @@ type Relation struct {
 	indexes atomic.Pointer[map[uint32]*colIndex]
 	buildMu sync.Mutex
 
+	// distincts caches per-column distinct-value sets, built lazily on
+	// the first Distinct(i) call (the optimizer's stats path hits it per
+	// literal) and kept current incrementally by the insert path.
+	// Published atomically under the same discipline as indexes: readers
+	// may build missing columns concurrently; writers update the sets in
+	// place, which is safe because writers are never concurrent with
+	// readers.
+	distincts atomic.Pointer[[]*distinctSet]
+
 	scratch []term.ID // per-insert ID buffer, reused
+}
+
+// distinctSet is the cached distinct-value set of one column.
+type distinctSet struct {
+	seen map[term.ID]struct{}
 }
 
 // NewRelation creates an empty relation.
@@ -328,7 +344,21 @@ func (r *Relation) growSet() {
 // Insert adds a tuple, returning true if it was new. It rejects tuples
 // of the wrong arity or containing variables. Every admitted term is
 // interned, so stored tuples carry canonical, immutable ground terms.
+// The relation retains t's backing array; callers must not mutate it
+// afterwards.
 func (r *Relation) Insert(t Tuple) (bool, error) {
+	return r.insert(t, false)
+}
+
+// InsertCopy is Insert for callers that reuse t's backing array (the
+// compiled kernels' head buffer): the relation stores an independent
+// copy, and only pays for it when the tuple is actually new —
+// duplicate derivations stay allocation-free.
+func (r *Relation) InsertCopy(t Tuple) (bool, error) {
+	return r.insert(t, true)
+}
+
+func (r *Relation) insert(t Tuple, copyOnAdd bool) (bool, error) {
 	if len(t) != r.Arity {
 		return false, fmt.Errorf("store: %s: inserting arity %d tuple into arity %d relation", r.Name, len(t), r.Arity)
 	}
@@ -346,6 +376,9 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 	if r.findByIDs(h, r.scratch) >= 0 {
 		return false, nil
 	}
+	if copyOnAdd {
+		t = t.Clone()
+	}
 	idx := len(r.tuples)
 	r.tuples = append(r.tuples, t)
 	r.ids = append(r.ids, r.scratch...)
@@ -354,6 +387,7 @@ func (r *Relation) Insert(t Tuple) (bool, error) {
 	for cols, ci := range *r.indexes.Load() {
 		ci.insert(maskedHash(t, cols), idx)
 	}
+	r.noteDistinct(r.ids[idx*r.Arity : (idx+1)*r.Arity])
 	return true, nil
 }
 
@@ -378,6 +412,7 @@ func (r *Relation) InsertFrom(src *Relation, i int) (bool, error) {
 	for cols, ci := range *r.indexes.Load() {
 		ci.insert(maskedHash(t, cols), idx)
 	}
+	r.noteDistinct(r.ids[idx*r.Arity : (idx+1)*r.Arity])
 	return true, nil
 }
 
@@ -455,9 +490,21 @@ func (r *Relation) ensureIndex(cols uint32) *colIndex {
 // corresponding values of probe (only probe positions with the bit set
 // are consulted). It uses an index when available, building one on
 // first use otherwise — modelling a database that adapts access paths.
+//
+// BORROW WARNING for cols == 0: the returned slice is the relation's
+// live internal tuple slice, not a copy — that is what makes the
+// full-scan path allocation-free. Callers that insert into the same
+// relation while iterating (the sequential engine's direct mode does)
+// must capture len() before the loop and never index past it: append
+// may extend the backing array in place, but existing elements never
+// move or change, so iterating the pre-insert prefix is always safe.
+// The ldldebug build tag clamps the returned slice's capacity so any
+// append-through or past-snapshot access panics at the point of
+// violation. Use Snapshot for an independent copy, or Scan, which
+// collects match indexes up front and is insert-during-yield safe.
 func (r *Relation) Lookup(cols uint32, probe Tuple) []Tuple {
 	if cols == 0 {
-		return r.tuples
+		return debugBorrow(r.tuples)
 	}
 	if len(r.tuples) == 0 {
 		return nil
@@ -485,17 +532,121 @@ func (r *Relation) Lookup(cols uint32, probe Tuple) []Tuple {
 	return out
 }
 
-// Distinct counts the distinct values in column i — exact, via interned
-// IDs.
+// AppendMatches appends to dst the row indexes whose projection on
+// cols matches probe, fully verified (not just hash-matched), and
+// returns the extended slice. cols must be non-zero. Passing a reused
+// buffer as dst keeps steady-state probes allocation-free — this is
+// the compiled join kernels' probe primitive. Because the matches are
+// collected before the caller sees any of them, it is safe to insert
+// into the relation while consuming the result (row indexes stay valid
+// forever; relations only grow).
+func (r *Relation) AppendMatches(cols uint32, probe Tuple, dst []int32) []int32 {
+	if len(r.tuples) == 0 {
+		return dst
+	}
+	ci := r.ensureIndex(cols)
+	base := len(dst)
+	dst = ci.lookup(maskedHash(probe, cols), dst)
+	// Verify candidates column-wise, compacting in place: hash collisions
+	// between distinct probe values share a slot cluster.
+	keep := base
+	for _, j := range dst[base:] {
+		cand := r.tuples[j]
+		ok := true
+		for c := range cand {
+			if cols&(1<<uint(c)) != 0 && !term.Equal(probe[c], cand[c]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			dst[keep] = j
+			keep++
+		}
+	}
+	return dst[:keep]
+}
+
+// Scan calls yield for every tuple whose projection on cols matches
+// probe, stopping early if yield returns false. Unlike Lookup it never
+// materializes a []Tuple result, and unlike the cols==0 Lookup borrow
+// it is safe to insert into the relation from inside yield: the
+// full-scan path captures the length up front and the indexed path
+// collects match indexes before yielding.
+func (r *Relation) Scan(cols uint32, probe Tuple, yield func(Tuple) bool) {
+	if cols == 0 {
+		n := len(r.tuples)
+		for i := 0; i < n; i++ {
+			if !yield(r.tuples[i]) {
+				return
+			}
+		}
+		return
+	}
+	var stack [16]int32
+	for _, j := range r.AppendMatches(cols, probe, stack[:0]) {
+		if !yield(r.tuples[j]) {
+			return
+		}
+	}
+}
+
+// TupleAt returns the tuple at row index i. Row indexes are stable:
+// relations only grow and rows never move.
+func (r *Relation) TupleAt(i int) Tuple { return r.tuples[i] }
+
+// Distinct counts the distinct values in column i — exact, via
+// interned IDs. The count is served from a per-column cache built on
+// first call and maintained incrementally by inserts, so the
+// optimizer's stats path pays O(1) per call instead of a fresh map
+// over all tuples.
 func (r *Relation) Distinct(i int) int {
 	if i < 0 || i >= r.Arity {
 		return 0
 	}
-	set := make(map[term.ID]struct{}, len(r.tuples))
-	for idx := range r.tuples {
-		set[r.ids[idx*r.Arity+i]] = struct{}{}
+	if dp := r.distincts.Load(); dp != nil {
+		if ds := (*dp)[i]; ds != nil {
+			return len(ds.seen)
+		}
 	}
-	return len(set)
+	return len(r.ensureDistinct(i).seen)
+}
+
+// ensureDistinct builds and atomically publishes the distinct cache for
+// column i, under the same copy-on-write discipline as ensureIndex.
+func (r *Relation) ensureDistinct(i int) *distinctSet {
+	r.buildMu.Lock()
+	defer r.buildMu.Unlock()
+	var cur []*distinctSet
+	if dp := r.distincts.Load(); dp != nil {
+		if ds := (*dp)[i]; ds != nil {
+			return ds
+		}
+		cur = append([]*distinctSet(nil), (*dp)...)
+	} else {
+		cur = make([]*distinctSet, r.Arity)
+	}
+	ds := &distinctSet{seen: make(map[term.ID]struct{}, len(r.tuples))}
+	for idx := range r.tuples {
+		ds.seen[r.ids[idx*r.Arity+i]] = struct{}{}
+	}
+	cur[i] = ds
+	r.distincts.Store(&cur)
+	return ds
+}
+
+// noteDistinct folds a newly inserted row's IDs into whichever
+// per-column distinct sets exist. Writer-side (insert) only.
+func (r *Relation) noteDistinct(ids []term.ID) {
+	dp := r.distincts.Load()
+	if dp == nil {
+		return
+	}
+	for c, ds := range *dp {
+		if ds != nil {
+			ds.seen[ids[c]] = struct{}{}
+		}
+	}
 }
 
 // Sorted returns the tuples in canonical order — handy for
@@ -585,7 +736,8 @@ func (db *Database) Clone() *Database {
 	return c
 }
 
-// clone copies the relation's tuple store and dedup set (not indexes).
+// clone copies the relation's tuple store and dedup set (not indexes
+// or the distinct cache; both rebuild lazily on first use).
 func (r *Relation) clone() *Relation {
 	nr := &Relation{Name: r.Name, Arity: r.Arity}
 	nr.tuples = append([]Tuple(nil), r.tuples...)

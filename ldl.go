@@ -185,10 +185,11 @@ func (s *System) sizeHints() map[string]int {
 type Option func(*options)
 
 type options struct {
-	strategy Strategy
-	seed     int64
-	flatten  bool
-	parallel int
+	strategy  Strategy
+	seed      int64
+	flatten   bool
+	parallel  int
+	noKernels bool
 
 	// Resource governor configuration. Zero values mean "no limit";
 	// with everything zero no governor is built and the hot paths pay
@@ -260,6 +261,17 @@ func WithOptimizerBudget(n int) Option { return func(o *options) { o.optStates =
 // but Iterations may differ from the sequential engine's because
 // parallel rounds see derivations one barrier later.
 func WithParallel(n int) Option { return func(o *options) { o.parallel = n } }
+
+// WithCompiledKernels controls the compiled join-kernel execution path
+// (on by default). When on, each rule whose body fits the positional
+// register-frame representation is compiled once per recursive clique
+// into a join program — constants, bound-variable probes and repeated-
+// variable checks resolved per column at compile time — and executed
+// without substitution maps or per-candidate allocation; rules needing
+// real unification (non-ground compound arguments, constructed heads)
+// automatically use the generic interpreter. Answers are identical
+// either way; WithCompiledKernels(false) is the A/B escape hatch.
+func WithCompiledKernels(on bool) Option { return func(o *options) { o.noKernels = !on } }
 
 // WithFlattening enables the §8.3 rescue: when a query form has no
 // safe execution, non-recursive single-rule predicates are unfolded
@@ -389,7 +401,8 @@ func (p *Plan) ExecuteStats() (_ [][]string, es ExecStats, err error) {
 		Method: eval.SemiNaive, MethodFor: methodFor,
 		MaxTuples: 5_000_000, MaxIterations: 200_000,
 		Parallel: p.opts.parallel, SizeHints: p.sys.sizeHints(),
-		Gov: p.opts.governor(),
+		DisableKernels: p.opts.noKernels,
+		Gov:            p.opts.governor(),
 	})
 	if err != nil {
 		return nil, es, err
@@ -484,7 +497,8 @@ func (s *System) EvaluateUnoptimized(goal string, opts ...Option) (_ [][]string,
 	}
 	e, err := eval.New(s.prog, s.db, eval.Options{
 		Method: eval.SemiNaive, Parallel: o.parallel,
-		SizeHints: s.sizeHints(), Gov: o.governor(),
+		SizeHints: s.sizeHints(), DisableKernels: o.noKernels,
+		Gov: o.governor(),
 	})
 	if err != nil {
 		return nil, es, err

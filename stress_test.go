@@ -65,7 +65,10 @@ func TestSharedDatabaseStress(t *testing.T) {
 				var got [][]string
 				var want [][]string
 				var err error
-				switch (g + r) % 4 {
+				// Six arms cover {compiled, generic} × {sequential,
+				// parallel} bottom-up plus the optimized and top-down
+				// paths, all racing over one shared database.
+				switch (g + r) % 6 {
 				case 0:
 					got, err = sys.Query("sg(a, Y)")
 					want = wantSG
@@ -77,6 +80,12 @@ func TestSharedDatabaseStress(t *testing.T) {
 					want = wantTC
 				case 3:
 					got, _, err = sys.EvaluateTopDown("tc(1, Y)")
+					want = wantTC
+				case 4:
+					got, _, err = sys.EvaluateUnoptimized("tc(1, Y)", WithCompiledKernels(false))
+					want = wantTC
+				case 5:
+					got, _, err = sys.EvaluateUnoptimized("tc(1, Y)", WithParallel(4), WithCompiledKernels(false))
 					want = wantTC
 				}
 				if err != nil {
