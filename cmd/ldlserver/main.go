@@ -1,0 +1,212 @@
+// Command ldlserver exposes a loaded LDL program over a line protocol,
+// on TCP or stdin. It is the network front end of the query service:
+// every request flows through admission control (bounded concurrency,
+// bounded queue, load shedding) and a per-request deadline wired into
+// the resource governor, and every query is answered from the
+// prepared-plan cache when its adorned form has been seen before.
+//
+// Protocol (one request per line, responses terminated by a blank line
+// is NOT used — the first token tells the client how much to read):
+//
+//	QUERY <goal>          -> OK <n> \n <n data lines, comma-separated>
+//	LOAD <facts>          -> OK <added> epoch=<e>
+//	STATS                 -> OK <n> \n <n key=value lines>
+//	PING                  -> OK 0
+//	anything else         -> ERR <message>
+//
+// Overload is reported as "ERR overloaded: ..." so clients can back
+// off and retry.
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ldl"
+	"ldl/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "", "TCP listen address (e.g. :7654); empty serves stdin/stdout")
+		program = flag.String("program", "", "LDL program file to load (required)")
+		timeout = flag.Duration("timeout", 10*time.Second, "per-request deadline (0 = none)")
+		workers = flag.Int("max-concurrent", 8, "max queries executing at once")
+		queue   = flag.Int("max-queue", 16, "max queries waiting for a slot")
+		plans   = flag.Int("max-plans", 128, "prepared-plan cache capacity")
+	)
+	flag.Parse()
+	if *program == "" {
+		log.Fatal("ldlserver: -program is required")
+	}
+	src, err := os.ReadFile(*program)
+	if err != nil {
+		log.Fatalf("ldlserver: %v", err)
+	}
+	sys, err := ldl.Load(string(src))
+	if err != nil {
+		log.Fatalf("ldlserver: load: %v", err)
+	}
+	srv := newServer(sys, service.Config{
+		MaxPlans:       *plans,
+		MaxConcurrent:  *workers,
+		MaxQueue:       *queue,
+		DefaultTimeout: *timeout,
+	})
+	if *addr == "" {
+		srv.handle(os.Stdin, os.Stdout)
+		return
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("ldlserver: %v", err)
+	}
+	log.Printf("ldlserver: serving on %s", l.Addr())
+	log.Fatal(srv.serve(l))
+}
+
+// server binds the service to the line protocol.
+type server struct {
+	svc *service.Service
+}
+
+func newServer(sys *ldl.System, cfg service.Config) *server {
+	return &server{svc: service.New(sys, cfg)}
+}
+
+// serve accepts connections until the listener closes, one goroutine
+// per connection. Concurrency is bounded by the service's admission
+// control, not by the accept loop.
+func (s *server) serve(l net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			s.handle(conn, conn)
+		}()
+	}
+}
+
+// handle runs the request loop on one stream. Malformed input produces
+// an ERR line and the loop continues; only EOF or a write error ends
+// it.
+func (s *server) handle(r io.Reader, w io.Writer) {
+	in := bufio.NewScanner(r)
+	in.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	out := bufio.NewWriter(w)
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		for _, resp := range s.handleLine(line) {
+			if _, err := out.WriteString(resp); err != nil {
+				return
+			}
+			if err := out.WriteByte('\n'); err != nil {
+				return
+			}
+		}
+		if err := out.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handleLine executes one request and returns the response lines.
+func (s *server) handleLine(line string) []string {
+	verb, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch strings.ToUpper(verb) {
+	case "PING":
+		return []string{"OK 0"}
+	case "STATS":
+		return statsLines(s.svc.Stats())
+	case "QUERY":
+		if rest == "" {
+			return []string{"ERR QUERY needs a goal"}
+		}
+		resp, err := s.svc.Query(context.Background(), strings.TrimSuffix(rest, "?"))
+		if err != nil {
+			return []string{"ERR " + errLine(err)}
+		}
+		lines := make([]string, 0, len(resp.Rows)+1)
+		lines = append(lines, fmt.Sprintf("OK %d", len(resp.Rows)))
+		for _, row := range resp.Rows {
+			lines = append(lines, strings.Join(row, ","))
+		}
+		return lines
+	case "LOAD":
+		if rest == "" {
+			return []string{"ERR LOAD needs facts"}
+		}
+		added, epoch, err := s.svc.Load(context.Background(), rest)
+		if err != nil {
+			return []string{"ERR " + errLine(err)}
+		}
+		return []string{fmt.Sprintf("OK %d epoch=%d", added, epoch)}
+	default:
+		return []string{"ERR unknown command " + verb}
+	}
+}
+
+// errLine flattens an error to a single protocol-safe line.
+func errLine(err error) string {
+	msg := strings.ReplaceAll(err.Error(), "\n", " ")
+	if errors.Is(err, service.ErrOverloaded) {
+		return "overloaded: " + msg
+	}
+	return msg
+}
+
+// statsLines renders the STATS response: a count line then sorted
+// key=value lines.
+func statsLines(st service.Stats) []string {
+	kv := map[string]int64{
+		"epoch":         int64(st.Epoch),
+		"plans":         int64(st.PlanCacheSize),
+		"hits":          st.Hits,
+		"misses":        st.Misses,
+		"evictions":     st.Evictions,
+		"invalidations": st.Invalidations,
+		"queries":       st.Queries,
+		"loads":         st.Loads,
+		"errors":        st.Errors,
+		"active":        st.Admission.Active,
+		"queued":        st.Admission.Queued,
+		"admitted":      st.Admission.Admitted,
+		"rejected":      st.Admission.Rejected,
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := make([]string, 0, len(kv)+1)
+	lines = append(lines, fmt.Sprintf("OK %d", len(keys)))
+	for _, k := range keys {
+		lines = append(lines, fmt.Sprintf("%s=%d", k, kv[k]))
+	}
+	return lines
+}

@@ -133,6 +133,26 @@ type compiledRule struct {
 	scanStep []int
 }
 
+// ProgramKernels is the once-per-program compiled kernel set: one join
+// program (or nil, for generic-interpreter rules) per rule of the
+// program, indexed by global rule index. It is immutable and safely
+// shared across engines and goroutines — the serving layer compiles a
+// prepared query form's program once and every subsequent execution
+// reuses the same kernels, paying zero compilation.
+type ProgramKernels struct {
+	prog  *lang.Program
+	rules []*compiledRule
+}
+
+// CompileProgram compiles every rule of prog to its join kernel.
+func CompileProgram(prog *lang.Program) *ProgramKernels {
+	pk := &ProgramKernels{prog: prog, rules: make([]*compiledRule, len(prog.Rules))}
+	for i, r := range prog.Rules {
+		pk.rules[i] = compileRule(r)
+	}
+	return pk
+}
+
 // compileRule compiles r to a join program, or returns nil when the
 // rule needs the generic interpreter: a non-ground compound argument
 // anywhere the kernel would have to unify or construct terms, a head

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -77,6 +78,18 @@ type Options struct {
 	// interpreter. The zero value — kernels on — is the default; the
 	// flag exists for A/B verification and as an escape hatch.
 	DisableKernels bool
+	// Kernels, when non-nil, supplies precompiled join kernels for the
+	// program (built once with CompileProgram over the same *Program
+	// this engine evaluates). The engine then performs zero kernel
+	// compilation — the prepared-plan serving fast path. Ignored when
+	// DisableKernels is set or when the kernel set was compiled for a
+	// different program value.
+	Kernels *ProgramKernels
+	// Graph, when non-nil, supplies the precomputed dependency analysis
+	// of the program (depgraph.Analyze over the same *Program),
+	// skipping re-analysis per execution. The graph is read-only during
+	// evaluation and safely shared across engines.
+	Graph *depgraph.Graph
 	// Gov, when non-nil, meters the evaluation at tuple/iteration
 	// granularity: derived tuples, fixpoint rounds, and wall-clock
 	// deadlines/cancellation all charge against it, and a violation
@@ -107,6 +120,10 @@ type Counters struct {
 	Unifications  int64 // head/body unification attempts
 	Lookups       int64 // relation probe operations
 	BuiltinCalls  int64
+	// KernelCompiles counts rules compiled to join kernels by this
+	// engine. Zero when Options.Kernels supplied every clique's
+	// programs — the assertion the prepared-plan cache tests make.
+	KernelCompiles int
 }
 
 func (c *Counters) add(o *Counters) {
@@ -115,6 +132,7 @@ func (c *Counters) add(o *Counters) {
 	c.Unifications += o.Unifications
 	c.Lookups += o.Lookups
 	c.BuiltinCalls += o.BuiltinCalls
+	c.KernelCompiles += o.KernelCompiles
 }
 
 // Engine evaluates one program against one database.
@@ -142,11 +160,28 @@ type Engine struct {
 // modified; derived relations live in the engine.
 func New(prog *lang.Program, db *store.Database, opts Options) (*Engine, error) {
 	opts.norm()
-	g, err := depgraph.Analyze(prog)
-	if err != nil {
-		return nil, err
+	g := opts.Graph
+	if g == nil {
+		var err error
+		g, err = depgraph.Analyze(prog)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &Engine{Prog: prog, DB: db, Graph: g, opts: opts, derived: map[string]*store.Relation{}}, nil
+}
+
+// DerivedTags returns the tags of every derived relation this engine
+// materialized, in sorted order — the serving layer walks them after a
+// run to record observed extensions (live cardinality and distinct
+// counts) back into the statistics catalog.
+func (e *Engine) DerivedTags() []string {
+	out := make([]string, 0, len(e.derived))
+	for t := range e.derived {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // RelationFor returns the relation holding tag's tuples: the derived
@@ -241,7 +276,7 @@ func (e *Engine) newDeltas(c *depgraph.Clique) map[string]*store.Relation {
 // evalClique runs the sequential fixpoint for one clique.
 func (e *Engine) evalClique(c *depgraph.Clique) error {
 	rules, method := e.cliqueRules(c)
-	crs := e.compileRules(rules)
+	crs := e.compileRules(c, rules)
 	cx := &evalCtx{e: e, counters: &e.Counters}
 	if !c.Recursive {
 		// Single pass suffices: dependencies are already computed.
@@ -419,18 +454,30 @@ func (cx *evalCtx) applyRule(r lang.Rule, cr *compiledRule, deltaOcc int, deltas
 	return cx.joinBody(r.Body, 0, deltaOcc, deltas, term.NewSubst(), nil, emit)
 }
 
-// compileRules compiles each rule of a clique to its join kernel (nil
-// entries fall back to the generic interpreter), once per clique
-// evaluation — every fixpoint round and every semi-naive delta variant
-// shares the same program.
-func (e *Engine) compileRules(rules []lang.Rule) []*compiledRule {
+// compileRules resolves each rule of a clique to its join kernel (nil
+// entries fall back to the generic interpreter). With precompiled
+// Options.Kernels for this program the lookup is free; otherwise rules
+// are compiled once per clique evaluation — every fixpoint round and
+// every semi-naive delta variant shares the same program either way.
+// Safe from concurrent clique goroutines: the KernelCompiles merge
+// takes the engine lock.
+func (e *Engine) compileRules(c *depgraph.Clique, rules []lang.Rule) []*compiledRule {
 	crs := make([]*compiledRule, len(rules))
 	if e.opts.DisableKernels {
+		return crs
+	}
+	if pk := e.opts.Kernels; pk != nil && pk.prog == e.Prog {
+		for i, ri := range c.Rules {
+			crs[i] = pk.rules[ri]
+		}
 		return crs
 	}
 	for i, r := range rules {
 		crs[i] = compileRule(r)
 	}
+	e.mu.Lock()
+	e.Counters.KernelCompiles += len(rules)
+	e.mu.Unlock()
 	return crs
 }
 

@@ -89,7 +89,7 @@ func (e *Engine) runParallel() error {
 // evalCliqueParallel is evalClique with the per-round rule fan-out.
 func (e *Engine) evalCliqueParallel(c *depgraph.Clique) error {
 	rules, method := e.cliqueRules(c)
-	crs := e.compileRules(rules)
+	crs := e.compileRules(c, rules)
 	if !c.Recursive {
 		vs := make([]variant, len(rules))
 		for i, r := range rules {

@@ -12,6 +12,7 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"ldl/internal/adorn"
@@ -172,11 +173,36 @@ func (n *Node) Walk(visit func(*Node)) {
 
 // Render draws the processing tree in the style of Figure 4-1: squares
 // for materialized nodes, triangles for pipelined ones, CC labels for
-// contracted cliques.
+// contracted cliques. The rendering is canonical: children of Union and
+// Fix nodes — whose order carries no execution semantics, unlike a
+// Join's — are rendered in sorted order, so the same logical plan
+// always renders to the same text regardless of the construction order
+// the (possibly concurrent) optimizer and scheduler produced. Cached-
+// plan explains are therefore stable across runs and across serving
+// processes.
 func (n *Node) Render() string {
 	var b strings.Builder
 	n.render(&b, "", true)
 	return b.String()
+}
+
+// orderedKids returns the children in rendering order: execution order
+// for Join nodes (the permutation is the plan), canonical sorted order
+// for Union and Fix nodes (their children are alternatives/side
+// computations whose sequence is an artifact of search order).
+func (n *Node) orderedKids() []*Node {
+	if n.Kind != KindUnion && n.Kind != KindFix || len(n.Kids) < 2 {
+		return n.Kids
+	}
+	kids := append([]*Node(nil), n.Kids...)
+	key := make([]string, len(kids))
+	for i, k := range kids {
+		var kb strings.Builder
+		k.render(&kb, "", true)
+		key[i] = kb.String()
+	}
+	sort.SliceStable(kids, func(i, j int) bool { return key[i] < key[j] })
+	return kids
 }
 
 func (n *Node) render(b *strings.Builder, prefix string, last bool) {
@@ -200,8 +226,9 @@ func (n *Node) render(b *strings.Builder, prefix string, last bool) {
 	b.WriteByte(' ')
 	b.WriteString(n.describe())
 	b.WriteByte('\n')
-	for i, k := range n.Kids {
-		k.render(b, childPrefix, i == len(n.Kids)-1)
+	kids := n.orderedKids()
+	for i, k := range kids {
+		k.render(b, childPrefix, i == len(kids)-1)
 	}
 }
 

@@ -380,6 +380,29 @@ func TestRender(t *testing.T) {
 	}
 }
 
+// TestRenderDeterministic checks the canonicalization contract: Union
+// (and Fix) children are rendered in sorted order, so two trees that
+// differ only in the construction order of their OR branches render
+// identically, while Join children stay in execution order — a Join's
+// permutation is the plan itself.
+func TestRenderDeterministic(t *testing.T) {
+	branch := func(p string) *Node { return Scan(lang.Lit(p, v("X"), v("Y"))) }
+	u1 := Union(lang.Lit("p", v("X"), v("Y")), branch("b"), branch("a"), branch("c"))
+	u2 := Union(lang.Lit("p", v("X"), v("Y")), branch("c"), branch("b"), branch("a"))
+	if u1.Render() != u2.Render() {
+		t.Errorf("union render depends on child order:\n%s\nvs\n%s", u1.Render(), u2.Render())
+	}
+	lines := strings.Split(strings.TrimSpace(u1.Render()), "\n")
+	if len(lines) != 4 || !strings.Contains(lines[1], "scan a") || !strings.Contains(lines[3], "scan c") {
+		t.Errorf("union children not sorted:\n%s", u1.Render())
+	}
+	j := Join(branch("b"), branch("a"))
+	jl := strings.Split(strings.TrimSpace(j.Render()), "\n")
+	if !strings.Contains(jl[1], "scan b") || !strings.Contains(jl[2], "scan a") {
+		t.Errorf("join children reordered — execution order must be preserved:\n%s", j.Render())
+	}
+}
+
 // TestFig41Contraction reproduces Figure 4-1's point: the recursive
 // clique appears as a single contracted CC node (the processing graph
 // is acyclic/a tree), rendered with its method and adornment labels,

@@ -1,0 +1,120 @@
+package resource
+
+// Admission control: the serving-layer complement of the per-query
+// governor. A Governor bounds how much work one admitted query may do;
+// an Admission bounds how many queries are doing work at once. Under
+// overload the correct behavior for a query server is load shedding —
+// reject excess requests immediately with a typed error the client can
+// back off on — rather than queueing without bound until every request
+// times out (the classic congestion-collapse failure mode).
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by Admission.Acquire when the concurrency
+// limit is reached and the wait queue is full. Callers (the network
+// front end) translate it into a retryable "server busy" response.
+var ErrOverloaded = errors.New("server overloaded: admission queue full")
+
+// Admission is a concurrency limiter with a bounded wait queue. At most
+// MaxConcurrent acquisitions are outstanding; up to MaxQueue further
+// callers wait their turn; everyone else is shed with ErrOverloaded.
+// The zero limits mean "unlimited" (a nil *Admission admits everyone
+// for free, like the nil Governor).
+type Admission struct {
+	sem      chan struct{}
+	maxQueue int64
+
+	queued   atomic.Int64
+	active   atomic.Int64
+	admitted atomic.Int64
+	rejected atomic.Int64
+}
+
+// AdmissionStats is a snapshot of the limiter for the STATS command.
+type AdmissionStats struct {
+	Active   int64 // currently admitted (holding a slot)
+	Queued   int64 // currently waiting for a slot
+	Admitted int64 // total successful Acquires
+	Rejected int64 // total load-shed or canceled Acquires
+}
+
+// NewAdmission builds a limiter admitting maxConcurrent requests at
+// once with at most maxQueue waiters. maxConcurrent <= 0 disables
+// limiting entirely (returns nil); maxQueue <= 0 means "no waiting":
+// the limiter sheds the instant every slot is busy.
+func NewAdmission(maxConcurrent, maxQueue int) *Admission {
+	if maxConcurrent <= 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Admission{
+		sem:      make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// Acquire claims a slot, waiting in the bounded queue if all slots are
+// busy. It returns a release func that must be called exactly once when
+// the request finishes, or an error: ErrOverloaded when the queue is
+// full (load shedding), or the ctx error if the caller gave up while
+// queued. A nil Admission admits immediately.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	// Fast path: a slot is free right now.
+	select {
+	case a.sem <- struct{}{}:
+		return a.admit(), nil
+	default:
+	}
+	// All slots busy — join the bounded queue or shed.
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		a.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+	defer a.queued.Add(-1)
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case a.sem <- struct{}{}:
+		return a.admit(), nil
+	case <-done:
+		a.rejected.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+func (a *Admission) admit() func() {
+	a.active.Add(1)
+	a.admitted.Add(1)
+	var released atomic.Bool
+	return func() {
+		if released.CompareAndSwap(false, true) {
+			a.active.Add(-1)
+			<-a.sem
+		}
+	}
+}
+
+// Stats snapshots the limiter counters.
+func (a *Admission) Stats() AdmissionStats {
+	if a == nil {
+		return AdmissionStats{}
+	}
+	return AdmissionStats{
+		Active:   a.active.Load(),
+		Queued:   a.queued.Load(),
+		Admitted: a.admitted.Load(),
+		Rejected: a.rejected.Load(),
+	}
+}

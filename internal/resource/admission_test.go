@@ -1,0 +1,173 @@
+package resource
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionNilAdmitsEveryone(t *testing.T) {
+	var a *Admission
+	for i := 0; i < 100; i++ {
+		rel, err := a.Acquire(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel()
+	}
+	if s := a.Stats(); s != (AdmissionStats{}) {
+		t.Errorf("nil stats = %+v", s)
+	}
+	if NewAdmission(0, 5) != nil {
+		t.Error("maxConcurrent<=0 should disable limiting")
+	}
+}
+
+func TestAdmissionShedsWhenFull(t *testing.T) {
+	a := NewAdmission(2, 1)
+	r1, err := a.Acquire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.Acquire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slots full; one waiter fits in the queue.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	waitErr := make(chan error, 1)
+	go func() {
+		rel, err := a.Acquire(ctx)
+		if err == nil {
+			rel()
+		}
+		waitErr <- err
+	}()
+	// Give the waiter time to enqueue, then the next Acquire must shed.
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := a.Acquire(nil); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("queue-full Acquire: err = %v, want ErrOverloaded", err)
+	}
+	// Releasing a slot admits the waiter.
+	r1()
+	if err := <-waitErr; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	r2()
+	s := a.Stats()
+	if s.Admitted != 3 || s.Rejected != 1 {
+		t.Errorf("stats = %+v, want Admitted=3 Rejected=1", s)
+	}
+	if s.Active != 0 || s.Queued != 0 {
+		t.Errorf("limiter not drained: %+v", s)
+	}
+}
+
+func TestAdmissionCanceledWhileQueued(t *testing.T) {
+	a := NewAdmission(1, 4)
+	rel, err := a.Acquire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Acquire(ctx)
+		errc <- err
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: err = %v", err)
+	}
+	rel()
+	if s := a.Stats(); s.Rejected != 1 || s.Active != 0 || s.Queued != 0 {
+		t.Errorf("stats after cancel = %+v", s)
+	}
+}
+
+func TestAdmissionDoubleReleaseIsSafe(t *testing.T) {
+	a := NewAdmission(1, 0)
+	rel, err := a.Acquire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // second call must be a no-op, not free a phantom slot
+	if s := a.Stats(); s.Active != 0 {
+		t.Errorf("active = %d after double release", s.Active)
+	}
+	r2, err := a.Acquire(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Acquire(nil); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("phantom slot freed by double release: err = %v", err)
+	}
+	r2()
+}
+
+// TestAdmissionConcurrentStress hammers the limiter from many
+// goroutines and checks the invariant that active never exceeds the
+// limit and all counters balance. Run with -race in CI.
+func TestAdmissionConcurrentStress(t *testing.T) {
+	const limit = 4
+	a := NewAdmission(limit, 8)
+	var wg sync.WaitGroup
+	var admitted, rejected atomic64
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rel, err := a.Acquire(context.Background())
+				if err != nil {
+					if !errors.Is(err, ErrOverloaded) {
+						t.Errorf("unexpected err: %v", err)
+					}
+					rejected.add(1)
+					continue
+				}
+				if act := a.Stats().Active; act > limit {
+					t.Errorf("active = %d > limit %d", act, limit)
+				}
+				admitted.add(1)
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	s := a.Stats()
+	if s.Active != 0 || s.Queued != 0 {
+		t.Errorf("limiter not drained: %+v", s)
+	}
+	if s.Admitted != admitted.load() || s.Rejected != rejected.load() {
+		t.Errorf("counter mismatch: stats=%+v local admitted=%d rejected=%d",
+			s, admitted.load(), rejected.load())
+	}
+}
+
+// atomic64 avoids importing sync/atomic twice in the test file under an
+// alias; tiny wrapper for tallying across goroutines.
+type atomic64 struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.n }

@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions skip under it because instrumentation skews the ratios
+// they measure.
+const raceEnabled = true

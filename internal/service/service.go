@@ -1,0 +1,318 @@
+// Package service is the concurrent query service: the layer that
+// turns the library's Systems and Plans into something a server can
+// expose. It owns three mechanisms:
+//
+//   - A prepared-plan cache. Incoming goals are canonicalized to their
+//     adorned form (predicate + binding pattern + constant positions,
+//     ldl.QueryForm); the Optimize→rewrite→compile-kernels pipeline runs
+//     once per form, and subsequent queries of the same form bind their
+//     constants into the cached register-frame programs. The cache is a
+//     size-capped LRU with hit/miss/eviction counters; entries are
+//     invalidated when the fact base advances past the epoch they were
+//     optimized under, or when the program is reloaded.
+//
+//   - Snapshot-isolated serving. Readers execute against immutable
+//     epoch snapshots of the store while the single writer applies fact
+//     batches and atomically publishes new epochs (the System's epoch
+//     discipline); a query's answers are always exactly the fixpoint of
+//     some published epoch, never a torn mix of two.
+//
+//   - Admission control. A bounded concurrency limiter with a bounded
+//     wait queue sheds excess load with resource.ErrOverloaded instead
+//     of queueing without bound, and per-request deadlines ride the
+//     resource governor into the optimizer and engines.
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldl"
+	"ldl/internal/resource"
+)
+
+// ErrOverloaded is re-exported so servers can match load shedding
+// without importing internal/resource directly.
+var ErrOverloaded = resource.ErrOverloaded
+
+// Config sizes the service. Zero values select the defaults noted on
+// each field.
+type Config struct {
+	// MaxPlans caps the prepared-plan cache (default 128).
+	MaxPlans int
+	// MaxConcurrent bounds queries executing at once (default 8);
+	// negative disables admission control entirely.
+	MaxConcurrent int
+	// MaxQueue bounds queries waiting for a slot (default
+	// 2×MaxConcurrent); negative means no queue — shed the instant
+	// every slot is busy.
+	MaxQueue int
+	// DefaultTimeout bounds each request's wall clock via the resource
+	// governor (default 0 = no per-request deadline).
+	DefaultTimeout time.Duration
+	// Options are applied to every Prepare/Optimize and Execute.
+	Options []ldl.Option
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPlans <= 0 {
+		c.MaxPlans = 128
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = 8
+	}
+	switch {
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	case c.MaxQueue == 0:
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	return c
+}
+
+// Stats is the service-wide counter snapshot the STATS command renders.
+type Stats struct {
+	Epoch         uint64
+	PlanCacheSize int
+	Hits          int64
+	Misses        int64
+	Evictions     int64
+	Invalidations int64
+	Queries       int64
+	Loads         int64
+	Errors        int64
+	Admission     resource.AdmissionStats
+}
+
+// Response is one query's answer set plus provenance: which epoch it
+// saw, whether the plan came from the cache, and the work counters.
+type Response struct {
+	Rows     [][]string
+	Stats    ldl.ExecStats
+	CacheHit bool
+}
+
+// Service serves queries against one System. All methods are safe for
+// concurrent use; Load and Reload serialize internally (single-writer
+// epoch discipline).
+type Service struct {
+	cfg Config
+	adm *resource.Admission
+
+	// sys is swapped atomically by Reload; everything else observes it
+	// through it.
+	sys atomic.Pointer[ldl.System]
+
+	mu      sync.Mutex
+	entries map[string]*list.Element // key -> element whose Value is *entry
+	lru     *list.List               // front = most recent
+
+	hits, misses, evictions, invalidations atomic.Int64
+	queries, loads, errs                   atomic.Int64
+}
+
+// entry is one cached prepared form.
+type entry struct {
+	key string
+	p   *ldl.Prepared
+}
+
+// New builds a service around sys. The execution→cost-model feedback
+// loop is enabled: observed derived-extension statistics sharpen the
+// cardinality estimates of later plans.
+func New(sys *ldl.System, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	sys.EnableStatsFeedback(true)
+	s := &Service{
+		cfg:     cfg,
+		adm:     resource.NewAdmission(cfg.MaxConcurrent, cfg.MaxQueue),
+		entries: map[string]*list.Element{},
+		lru:     list.New(),
+	}
+	s.sys.Store(sys)
+	return s
+}
+
+// System returns the currently served System.
+func (s *Service) System() *ldl.System { return s.sys.Load() }
+
+// Query answers one goal. The plan comes from the prepared-plan cache
+// when the goal's canonical form is cached and fresh; otherwise the
+// form is prepared (optimized + compiled) and cached. Goals the
+// parameterized path cannot canonicalize (compound arguments) fall
+// back to one-shot Optimize+Execute. Under overload Query returns
+// ErrOverloaded without doing any work.
+func (s *Service) Query(ctx context.Context, goal string) (*Response, error) {
+	release, err := s.adm.Acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	s.queries.Add(1)
+	resp, err := s.query(ctx, goal)
+	if err != nil {
+		s.errs.Add(1)
+	}
+	return resp, err
+}
+
+func (s *Service) query(ctx context.Context, goal string) (*Response, error) {
+	sys := s.sys.Load()
+	opts := s.execOptions(ctx)
+	key, err := ldl.QueryForm(goal)
+	if errors.Is(err, ldl.ErrNotPreparable) {
+		return s.queryOneShot(sys, goal, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	p, hit := s.lookup(sys, key)
+	if !hit {
+		// Prepare outside the cache lock: optimization can be slow and
+		// must not serialize unrelated queries. Two racing misses on
+		// the same form both prepare; the second insert wins — wasted
+		// work once, never wrong answers.
+		p, err = sys.Prepare(goal, s.cfg.Options...)
+		if err != nil {
+			return nil, err
+		}
+		s.insert(key, p)
+	}
+	rows, es, err := p.ExecuteStats(goal, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Rows: rows, Stats: es, CacheHit: hit}, nil
+}
+
+// queryOneShot is the uncacheable path: full Optimize+Execute.
+func (s *Service) queryOneShot(sys *ldl.System, goal string, opts []ldl.Option) (*Response, error) {
+	s.misses.Add(1)
+	plan, err := sys.Optimize(goal, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if !plan.Safe() {
+		return nil, errors.New("unsafe query: " + plan.Reason())
+	}
+	rows, es, err := plan.ExecuteStats()
+	if err != nil {
+		return nil, err
+	}
+	return &Response{Rows: rows, Stats: es}, nil
+}
+
+func (s *Service) execOptions(ctx context.Context) []ldl.Option {
+	opts := append([]ldl.Option(nil), s.cfg.Options...)
+	if s.cfg.DefaultTimeout > 0 {
+		opts = append(opts, ldl.WithTimeout(s.cfg.DefaultTimeout))
+	}
+	if ctx != nil {
+		opts = append(opts, ldl.WithContext(ctx))
+	}
+	return opts
+}
+
+// lookup returns the cached prepared form for key if present and fresh.
+// A cached entry prepared under an older epoch is dropped (its plan was
+// optimized with stale statistics) and counts as an invalidation plus a
+// miss.
+func (s *Service) lookup(sys *ldl.System, key string) (*ldl.Prepared, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	ent := el.Value.(*entry)
+	if ent.p.Epoch() != sys.Epoch() {
+		s.lru.Remove(el)
+		delete(s.entries, key)
+		s.invalidations.Add(1)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	s.hits.Add(1)
+	return ent.p, true
+}
+
+// insert caches a prepared form, evicting from the LRU tail past the
+// size cap.
+func (s *Service) insert(key string, p *ldl.Prepared) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		// A racing prepare beat us; keep the newer plan.
+		el.Value = &entry{key: key, p: p}
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.lru.PushFront(&entry{key: key, p: p})
+	for s.lru.Len() > s.cfg.MaxPlans {
+		tail := s.lru.Back()
+		s.lru.Remove(tail)
+		delete(s.entries, tail.Value.(*entry).key)
+		s.evictions.Add(1)
+	}
+}
+
+// Load applies a batch of facts and publishes a new epoch. Cached plans
+// are invalidated lazily: their epoch no longer matches, so the next
+// lookup re-prepares under the new statistics.
+func (s *Service) Load(ctx context.Context, facts string) (added int, epoch uint64, err error) {
+	release, err := s.adm.Acquire(ctx)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer release()
+	s.loads.Add(1)
+	added, epoch, err = s.sys.Load().InsertFacts(facts)
+	if err != nil {
+		s.errs.Add(1)
+	}
+	return added, epoch, err
+}
+
+// Reload replaces the entire program (rules and facts) and purges the
+// plan cache.
+func (s *Service) Reload(src string) error {
+	sys, err := ldl.Load(src)
+	if err != nil {
+		s.errs.Add(1)
+		return err
+	}
+	sys.EnableStatsFeedback(true)
+	s.mu.Lock()
+	s.sys.Store(sys)
+	n := int64(s.lru.Len())
+	s.entries = map[string]*list.Element{}
+	s.lru = list.New()
+	s.invalidations.Add(n)
+	s.mu.Unlock()
+	return nil
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	size := s.lru.Len()
+	s.mu.Unlock()
+	return Stats{
+		Epoch:         s.sys.Load().Epoch(),
+		PlanCacheSize: size,
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Evictions:     s.evictions.Load(),
+		Invalidations: s.invalidations.Load(),
+		Queries:       s.queries.Load(),
+		Loads:         s.loads.Load(),
+		Errors:        s.errs.Load(),
+		Admission:     s.adm.Stats(),
+	}
+}

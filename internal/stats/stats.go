@@ -90,20 +90,61 @@ func (c *Catalog) Tags() []string {
 	return out
 }
 
+// Clone returns an independent copy of the catalog (its per-relation
+// map is copied; RelStats values are immutable in practice).
+func (c *Catalog) Clone() *Catalog {
+	n := &Catalog{
+		rels:           make(map[string]RelStats, len(c.rels)),
+		Default:        c.Default,
+		RecursionDepth: c.RecursionDepth,
+	}
+	for t, s := range c.rels {
+		n.rels[t] = s
+	}
+	return n
+}
+
 // Gather computes exact statistics for every relation in db, including
 // the acyclicity of each relation's first-two-column digraph.
 func Gather(db *store.Database) *Catalog {
 	c := NewCatalog()
 	for _, tag := range db.Tags() {
-		r := db.Relation(tag)
-		s := RelStats{Card: float64(r.Len()), Distinct: make([]float64, r.Arity)}
-		for i := 0; i < r.Arity; i++ {
-			s.Distinct[i] = float64(r.Distinct(i))
-		}
-		s.Acyclic = acyclic(r)
-		c.Set(tag, s)
+		c.Set(tag, GatherOne(db.Relation(tag)))
 	}
 	return c
+}
+
+// Update derives the catalog for a new epoch from the previous epoch's
+// catalog: relations in touched (plus relations the old catalog never
+// saw) are re-gathered from the live store — cardinality and per-column
+// distinct counts read from the relation's incrementally maintained
+// exact counters — while untouched relations keep their previous
+// statistics. This is the fact-ingest fast path: a batch touching k of
+// n relations costs O(k·|touched relations|) for the acyclicity
+// recheck, not O(database).
+func Update(prev *Catalog, db *store.Database, touched map[string]bool) *Catalog {
+	if prev == nil {
+		return Gather(db)
+	}
+	c := prev.Clone()
+	for _, tag := range db.Tags() {
+		if !touched[tag] && prev.Has(tag) {
+			continue
+		}
+		c.Set(tag, GatherOne(db.Relation(tag)))
+	}
+	return c
+}
+
+// GatherOne reads one relation's exact statistics from its live
+// counters.
+func GatherOne(r *store.Relation) RelStats {
+	s := RelStats{Card: float64(r.Len()), Distinct: make([]float64, r.Arity)}
+	for i := 0; i < r.Arity; i++ {
+		s.Distinct[i] = float64(r.Distinct(i))
+	}
+	s.Acyclic = acyclic(r)
+	return s
 }
 
 // acyclic reports whether the digraph over the relation's first two

@@ -679,8 +679,24 @@ func (r *Relation) String() string {
 }
 
 // Database maps predicate tags ("name/arity") to relations.
+//
+// Epoch discipline: a serving process keeps one immutable Database per
+// epoch. Readers execute against the epoch they captured; the (single)
+// writer never mutates a published epoch — it calls Fork, obtains
+// writable relations through EnsureOwned (which copies a shared
+// relation the first time the fork writes to it), inserts the batch,
+// and atomically publishes the fork as the next epoch. Untouched
+// relations are shared by pointer across every epoch, so publication
+// costs O(touched relations), not O(database). Concurrent readers of a
+// published epoch are safe — including the lazy index and
+// distinct-count builds, which publish atomically (see the Relation
+// concurrency contract above).
 type Database struct {
 	rels map[string]*Relation
+	// shared marks relations borrowed from a parent Fork: they may be
+	// visible to concurrent readers of other epochs and must be copied
+	// before the first write (EnsureOwned does).
+	shared map[string]bool
 }
 
 // NewDatabase creates an empty database.
@@ -704,6 +720,40 @@ func (db *Database) Ensure(tag string, arity int) *Relation {
 	return r
 }
 
+// Fork returns a database sharing every relation of db by pointer.
+// The fork is the writable side of the epoch discipline: reads see the
+// parent's relations at zero cost, and the first write to any relation
+// must go through EnsureOwned (LoadFacts does), which copies it so the
+// parent — possibly serving concurrent readers — is never mutated.
+func (db *Database) Fork() *Database {
+	c := &Database{
+		rels:   make(map[string]*Relation, len(db.rels)),
+		shared: make(map[string]bool, len(db.rels)),
+	}
+	for tag, r := range db.rels {
+		c.rels[tag] = r
+		c.shared[tag] = true
+	}
+	return c
+}
+
+// EnsureOwned returns a relation for tag that is safe to insert into:
+// the existing relation if this database already owns it, a
+// copy-on-write clone if it is shared with a parent fork, or a fresh
+// relation if the tag is new. Writers in the epoch discipline must use
+// it (not Ensure) before every insert.
+func (db *Database) EnsureOwned(tag string, arity int) *Relation {
+	if r, ok := db.rels[tag]; ok {
+		if db.shared[tag] {
+			r = r.clone()
+			db.rels[tag] = r
+			delete(db.shared, tag)
+		}
+		return r
+	}
+	return db.Ensure(tag, arity)
+}
+
 // Tags returns the sorted relation tags.
 func (db *Database) Tags() []string {
 	out := make([]string, 0, len(db.rels))
@@ -714,10 +764,12 @@ func (db *Database) Tags() []string {
 	return out
 }
 
-// LoadFacts inserts every fact of the program into the database.
+// LoadFacts inserts every fact of the program into the database. It
+// acquires relations through EnsureOwned, so loading into a Fork never
+// mutates relations shared with the parent.
 func (db *Database) LoadFacts(prog *lang.Program) error {
 	for _, f := range prog.Facts {
-		r := db.Ensure(f.Head.Tag(), f.Head.Arity())
+		r := db.EnsureOwned(f.Head.Tag(), f.Head.Arity())
 		if _, err := r.Insert(Tuple(f.Head.Args)); err != nil {
 			return err
 		}

@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ldl/internal/core"
@@ -111,13 +113,66 @@ func (s Strategy) impl(seed int64) (core.Strategy, error) {
 }
 
 // System is a loaded knowledge base: rule base, fact base and gathered
-// statistics.
+// statistics. The fact base is versioned into epochs: every update
+// (InsertFacts, SetStats) builds a new immutable epoch and publishes it
+// atomically, so any number of concurrent readers (Execute, Prepared
+// executions) run against a consistent snapshot while exactly one
+// writer at a time advances the state. An epoch is never mutated after
+// publication — executions fork it copy-on-write for their transient
+// seed facts.
 type System struct {
 	prog    *lang.Program
-	db      *store.Database
-	cat     *stats.Catalog
 	queries []lang.Query
+
+	// writeMu serializes epoch publication; epoch is the atomically
+	// published current snapshot.
+	writeMu sync.Mutex
+	epoch   atomic.Pointer[epochState]
+
+	// observed holds derived-extension statistics recorded after
+	// materializing executions (exact cardinality and live per-column
+	// distinct counts of fully computed derived predicates). When
+	// feedback is enabled they overlay the catalog at Optimize/Prepare
+	// time, replacing the optimizer's static analytic estimates. Kept
+	// outside the epoch so recording an observation does not advance the
+	// epoch (which would invalidate prepared-plan caches keyed on it).
+	obsMu    sync.Mutex
+	observed map[string]stats.RelStats
+	feedback atomic.Bool
 }
+
+// epochState is one immutable published version of the fact base: the
+// database, its statistics catalog, and the evaluator pre-sizing hints
+// derived from the catalog.
+type epochState struct {
+	id    uint64
+	db    *store.Database
+	cat   *stats.Catalog
+	hints map[string]int
+}
+
+// newEpoch assembles an epoch, deriving the size hints: base predicates
+// get their exact cardinality so derived relations seeded from base
+// facts skip every rehash growth step up to that size.
+func newEpoch(id uint64, db *store.Database, cat *stats.Catalog) *epochState {
+	hints := make(map[string]int)
+	for _, tag := range cat.Tags() {
+		if c := cat.Stats(tag).Card; c > 0 {
+			hints[tag] = int(c)
+		}
+	}
+	return &epochState{id: id, db: db, cat: cat, hints: hints}
+}
+
+// snapshot returns the current epoch. The returned state is immutable;
+// callers may read it for as long as they like regardless of concurrent
+// writers.
+func (s *System) snapshot() *epochState { return s.epoch.Load() }
+
+// Epoch returns the identifier of the currently published fact-base
+// version. It increases by one per update; two executions reporting the
+// same epoch saw the same facts.
+func (s *System) Epoch() uint64 { return s.snapshot().id }
 
 // Load parses LDL source text (rules, facts and optional "goal?" query
 // forms), loads the facts and gathers exact statistics.
@@ -137,7 +192,124 @@ func Load(src string) (_ *System, err error) {
 	if err := db.LoadFacts(prog); err != nil {
 		return nil, err
 	}
-	return &System{prog: prog, db: db, cat: stats.Gather(db), queries: queries}, nil
+	s := &System{prog: prog, queries: queries, observed: map[string]stats.RelStats{}}
+	s.epoch.Store(newEpoch(1, db, stats.Gather(db)))
+	return s, nil
+}
+
+// InsertFacts parses src — which must contain only facts — and
+// publishes a new epoch containing them. The current epoch is forked
+// copy-on-write: only the relations the batch touches are duplicated,
+// and only their statistics are re-gathered (from the store's
+// incrementally maintained exact counters), so the cost of an update is
+// proportional to the touched relations, not the database. Concurrent
+// readers keep their snapshots; the new facts are visible to executions
+// that start after InsertFacts returns. It returns the number of
+// genuinely new tuples and the new epoch id.
+func (s *System) InsertFacts(src string) (added int, epoch uint64, err error) {
+	defer guard(&err)
+	prog, queries, err := parser.ParseProgram(src)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(queries) > 0 {
+		return 0, 0, fmt.Errorf("ldl: InsertFacts: source contains a query form")
+	}
+	if len(prog.Rules) > 0 {
+		return 0, 0, fmt.Errorf("ldl: InsertFacts: %s is a rule, not a fact", prog.Rules[0].Head)
+	}
+	touched := map[string]bool{}
+	for _, c := range prog.Facts {
+		if s.prog.IsDerived(c.Head.Tag()) {
+			return 0, 0, fmt.Errorf("ldl: InsertFacts: %s is a derived predicate", c.Head.Tag())
+		}
+		touched[c.Head.Tag()] = true
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	ep := s.snapshot()
+	db2 := ep.db.Fork()
+	before := 0
+	for tag := range touched {
+		if r := db2.Relation(tag); r != nil {
+			before += r.Len()
+		}
+	}
+	if err := db2.LoadFacts(prog); err != nil {
+		return 0, 0, err
+	}
+	after := 0
+	for tag := range touched {
+		after += db2.Relation(tag).Len()
+	}
+	next := newEpoch(ep.id+1, db2, stats.Update(ep.cat, db2, touched))
+	s.epoch.Store(next)
+	return after - before, next.id, nil
+}
+
+// EnableStatsFeedback turns on the execution→cost-model feedback loop:
+// after each materializing execution the exact cardinality and live
+// per-column distinct counts of every fully computed derived predicate
+// are recorded, and later Optimize/Prepare calls use them in place of
+// the static analytic estimates. Off by default so that plan choice is
+// a pure function of the loaded facts (the reproducibility property the
+// optimizer tests rely on); the serving layer turns it on.
+func (s *System) EnableStatsFeedback(on bool) { s.feedback.Store(on) }
+
+// effectiveCat returns the epoch catalog, overlaid with the observed
+// derived-extension statistics when feedback is enabled.
+func (s *System) effectiveCat(ep *epochState) *stats.Catalog {
+	if !s.feedback.Load() {
+		return ep.cat
+	}
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	if len(s.observed) == 0 {
+		return ep.cat
+	}
+	cat := ep.cat.Clone()
+	for tag, st := range s.observed {
+		cat.Set(tag, st)
+	}
+	return cat
+}
+
+// recordObserved walks the engine's derived relations after a run and
+// records the full extensions among them: a derived tag carrying the
+// all-free adornment (pred.ff…f) is, by construction of the rewrites,
+// the complete extension of pred — its exact cardinality and distinct
+// counts are ground truth for the cost model, not an estimate.
+func (s *System) recordObserved(e *eval.Engine) {
+	if !s.feedback.Load() {
+		return
+	}
+	for _, tag := range e.DerivedTags() {
+		slash := strings.LastIndexByte(tag, '/')
+		if slash < 0 {
+			continue
+		}
+		name := tag[:slash]
+		if strings.ContainsRune(name, '$') {
+			continue // magic/counting auxiliary, not a user predicate
+		}
+		dot := strings.LastIndexByte(name, '.')
+		if dot < 0 {
+			continue
+		}
+		pat := name[dot+1:]
+		if len(pat) == 0 || strings.Count(pat, "f") != len(pat) {
+			continue // restricted (partially bound) extension
+		}
+		r := e.RelationFor(tag)
+		if r == nil || r.Len() == 0 {
+			continue
+		}
+		base := name[:dot] + tag[slash:]
+		st := stats.GatherOne(r)
+		s.obsMu.Lock()
+		s.observed[base] = st
+		s.obsMu.Unlock()
+	}
 }
 
 // Queries returns the query forms embedded in the source ("goal?").
@@ -151,34 +323,26 @@ func (s *System) Queries() []string {
 
 // Relations lists the base and loaded relations with cardinalities.
 func (s *System) Relations() []string {
+	ep := s.snapshot()
 	var out []string
-	for _, tag := range s.db.Tags() {
-		out = append(out, fmt.Sprintf("%s (%d tuples)", tag, s.db.Relation(tag).Len()))
+	for _, tag := range ep.db.Tags() {
+		out = append(out, fmt.Sprintf("%s (%d tuples)", tag, ep.db.Relation(tag).Len()))
 	}
 	sort.Strings(out)
 	return out
 }
 
 // SetStats overrides the statistics of one relation — the hook
-// experiments use to explore synthetic "states of the database".
+// experiments use to explore synthetic "states of the database". Like
+// every statistics change it publishes a new epoch (same facts, new
+// catalog), so prepared plans keyed on the epoch re-optimize.
 func (s *System) SetStats(tag string, card float64, distinct []float64) {
-	s.cat.Set(tag, stats.RelStats{Card: card, Distinct: distinct})
-}
-
-// sizeHints turns the gathered statistics into relation pre-sizing
-// hints for the evaluator: base predicates get their exact cardinality
-// (derived relations seeded from base facts then skip every rehash
-// growth step up to that size). Derived predicates are absent — their
-// cardinality is a cost-model estimate, not a promise — and absent
-// entries cost nothing.
-func (s *System) sizeHints() map[string]int {
-	hints := make(map[string]int)
-	for _, tag := range s.cat.Tags() {
-		if c := s.cat.Stats(tag).Card; c > 0 {
-			hints[tag] = int(c)
-		}
-	}
-	return hints
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	ep := s.snapshot()
+	cat := ep.cat.Clone()
+	cat.Set(tag, stats.RelStats{Card: card, Distinct: distinct})
+	s.epoch.Store(newEpoch(ep.id+1, ep.db, cat))
 }
 
 // Option configures one Optimize call.
@@ -281,9 +445,12 @@ func WithCompiledKernels(on bool) Option { return func(o *options) { o.noKernels
 func WithFlattening() Option { return func(o *options) { o.flatten = true } }
 
 // Plan is an optimized (and compilable) execution for one query form.
+// It captures the epoch it was optimized against: Execute runs on that
+// snapshot, so a Plan's answers are stable under concurrent InsertFacts.
 type Plan struct {
 	sys    *System
 	goal   lang.Literal
+	epoch  *epochState
 	result *core.Result
 	opts   options // budgets carry over from Optimize to each Execute
 	// Optimizer diagnostics.
@@ -308,7 +475,8 @@ func (s *System) Optimize(goal string, opts ...Option) (_ *Plan, err error) {
 	if err != nil {
 		return nil, err
 	}
-	opt, err := core.New(s.prog, s.cat, strat)
+	ep := s.snapshot()
+	opt, err := core.New(s.prog, s.effectiveCat(ep), strat)
 	if err != nil {
 		return nil, err
 	}
@@ -322,7 +490,7 @@ func (s *System) Optimize(goal string, opts ...Option) (_ *Plan, err error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{sys: s, goal: lit, result: res, opts: o, MemoLookups: opt.MemoLookups, MemoHits: opt.MemoHits}, nil
+	return &Plan{sys: s, goal: lit, epoch: ep, result: res, opts: o, MemoLookups: opt.MemoLookups, MemoHits: opt.MemoHits}, nil
 }
 
 // Safe reports whether a safe (terminating) execution was found.
@@ -344,7 +512,11 @@ func (p *Plan) Explain() string {
 		return b.String()
 	}
 	fmt.Fprintf(&b, "estimated cost: %.1f, cardinality: %.1f\n", float64(p.result.Cost), p.result.Card)
-	for _, d := range p.result.Downgrades {
+	// Downgrade notes accumulate in search-visit order, which the
+	// parallel optimizer does not fix; sort so Explain is deterministic.
+	notes := append([]string(nil), p.result.Downgrades...)
+	sort.Strings(notes)
+	for _, d := range notes {
 		fmt.Fprintf(&b, "note: %s\n", d)
 	}
 	b.WriteString(p.result.Plan.Render())
@@ -357,6 +529,14 @@ type ExecStats struct {
 	Iterations    int
 	Unifications  int64
 	Lookups       int64
+	// KernelCompiles counts rule bodies compiled to join kernels during
+	// this execution. A Prepared execution reuses its precompiled
+	// kernels, so it reports 0 here — the counter is the observable
+	// proof that the prepared path skips compilation.
+	KernelCompiles int
+	// Epoch identifies the fact-base snapshot the execution ran
+	// against.
+	Epoch uint64
 }
 
 // Execute compiles the plan to a program, evaluates it and returns the
@@ -377,30 +557,22 @@ func (p *Plan) ExecuteStats() (_ [][]string, es ExecStats, err error) {
 	if err != nil {
 		return nil, es, err
 	}
-	db2 := p.sys.db.Clone()
+	// Fork, not Clone: the compiled program's seed facts go into fresh
+	// or copy-on-write relations, so the epoch snapshot is never
+	// touched and the per-execute setup cost is O(relations touched by
+	// seeds), not O(database).
+	db2 := p.epoch.db.Fork()
 	if err := db2.LoadFacts(prog2); err != nil {
 		return nil, es, err
 	}
-	methodFor := map[string]eval.Method{}
-	for tag, meth := range compiled.FixMethods {
-		if meth != cost.RecNaive {
-			continue
-		}
-		base := tag[:strings.IndexByte(tag, '/')]
-		for _, t2 := range prog2.PredTags() {
-			name := t2[:strings.LastIndexByte(t2, '/')]
-			if name == base || strings.HasPrefix(name, base+".") {
-				methodFor[t2] = eval.Naive
-			}
-		}
-	}
+	methodFor := methodOverrides(compiled.FixMethods, prog2)
 	// Budgets turn a diverging execution (which the safety analysis
 	// should have prevented) into an error instead of a hang. The
 	// governor layers the caller's (typically tighter) budget on top.
 	e, err := eval.New(prog2, db2, eval.Options{
 		Method: eval.SemiNaive, MethodFor: methodFor,
 		MaxTuples: 5_000_000, MaxIterations: 200_000,
-		Parallel: p.opts.parallel, SizeHints: p.sys.sizeHints(),
+		Parallel: p.opts.parallel, SizeHints: p.epoch.hints,
 		DisableKernels: p.opts.noKernels,
 		Gov:            p.opts.governor(),
 	})
@@ -415,12 +587,43 @@ func (p *Plan) ExecuteStats() (_ [][]string, es ExecStats, err error) {
 	if err != nil {
 		return nil, es, err
 	}
-	es = ExecStats{
-		TuplesDerived: e.Counters.TuplesDerived,
-		Iterations:    e.Counters.Iterations,
-		Unifications:  e.Counters.Unifications,
-		Lookups:       e.Counters.Lookups,
+	p.sys.recordObserved(e)
+	es = execStats(e, p.epoch.id)
+	return renderRows(ts), es, nil
+}
+
+// methodOverrides maps the plan's per-fixpoint recursive-method choices
+// onto the compiled program's predicate tags (naive evaluation is the
+// only one the engine needs told about; semi-naive is its default).
+func methodOverrides(fixMethods map[string]cost.RecMethod, prog2 *lang.Program) map[string]eval.Method {
+	methodFor := map[string]eval.Method{}
+	for tag, meth := range fixMethods {
+		if meth != cost.RecNaive {
+			continue
+		}
+		base := tag[:strings.IndexByte(tag, '/')]
+		for _, t2 := range prog2.PredTags() {
+			name := t2[:strings.LastIndexByte(t2, '/')]
+			if name == base || strings.HasPrefix(name, base+".") {
+				methodFor[t2] = eval.Naive
+			}
+		}
 	}
+	return methodFor
+}
+
+func execStats(e *eval.Engine, epoch uint64) ExecStats {
+	return ExecStats{
+		TuplesDerived:  e.Counters.TuplesDerived,
+		Iterations:     e.Counters.Iterations,
+		Unifications:   e.Counters.Unifications,
+		Lookups:        e.Counters.Lookups,
+		KernelCompiles: e.Counters.KernelCompiles,
+		Epoch:          epoch,
+	}
+}
+
+func renderRows(ts []store.Tuple) [][]string {
 	rows := make([][]string, len(ts))
 	for i, t := range ts {
 		row := make([]string, len(t))
@@ -429,7 +632,7 @@ func (p *Plan) ExecuteStats() (_ [][]string, es ExecStats, err error) {
 		}
 		rows[i] = row
 	}
-	return rows, es, nil
+	return rows
 }
 
 // Query is the one-shot convenience: optimize with defaults and run.
@@ -460,7 +663,8 @@ func (s *System) EvaluateTopDown(goal string, opts ...Option) (_ [][]string, es 
 	if err != nil {
 		return nil, es, err
 	}
-	td := eval.NewTopDown(s.prog, s.db, eval.Options{MaxTuples: 5_000_000, MaxIterations: 200_000, Gov: o.governor()})
+	ep := s.snapshot()
+	td := eval.NewTopDown(s.prog, ep.db, eval.Options{MaxTuples: 5_000_000, MaxIterations: 200_000, Gov: o.governor()})
 	ts, err := td.Query(lang.Query{Goal: lit})
 	if err != nil {
 		return nil, es, err
@@ -470,16 +674,9 @@ func (s *System) EvaluateTopDown(goal string, opts ...Option) (_ [][]string, es 
 		Iterations:    td.Counters.Iterations,
 		Unifications:  td.Counters.Unifications,
 		Lookups:       td.Counters.Lookups,
+		Epoch:         ep.id,
 	}
-	rows := make([][]string, len(ts))
-	for i, t := range ts {
-		row := make([]string, len(t))
-		for j, v := range t {
-			row[j] = v.String()
-		}
-		rows[i] = row
-	}
-	return rows, es, nil
+	return renderRows(ts), es, nil
 }
 
 // EvaluateUnoptimized runs the query on the original program with plain
@@ -495,9 +692,10 @@ func (s *System) EvaluateUnoptimized(goal string, opts ...Option) (_ [][]string,
 	if err != nil {
 		return nil, es, err
 	}
-	e, err := eval.New(s.prog, s.db, eval.Options{
+	ep := s.snapshot()
+	e, err := eval.New(s.prog, ep.db, eval.Options{
 		Method: eval.SemiNaive, Parallel: o.parallel,
-		SizeHints: s.sizeHints(), DisableKernels: o.noKernels,
+		SizeHints: ep.hints, DisableKernels: o.noKernels,
 		Gov: o.governor(),
 	})
 	if err != nil {
@@ -507,19 +705,5 @@ func (s *System) EvaluateUnoptimized(goal string, opts ...Option) (_ [][]string,
 	if err != nil {
 		return nil, es, err
 	}
-	es = ExecStats{
-		TuplesDerived: e.Counters.TuplesDerived,
-		Iterations:    e.Counters.Iterations,
-		Unifications:  e.Counters.Unifications,
-		Lookups:       e.Counters.Lookups,
-	}
-	rows := make([][]string, len(ts))
-	for i, t := range ts {
-		row := make([]string, len(t))
-		for j, v := range t {
-			row[j] = v.String()
-		}
-		rows[i] = row
-	}
-	return rows, es, nil
+	return renderRows(ts), execStats(e, ep.id), nil
 }
