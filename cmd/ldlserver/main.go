@@ -5,6 +5,11 @@
 // the resource governor, and every query is answered from the
 // prepared-plan cache when its adorned form has been seen before.
 //
+// With -data-dir the fact base is durable: the directory is recovered
+// on boot (newest checkpoint plus write-ahead-log tail, with a logged
+// recovery report), every LOAD batch is logged before it is
+// acknowledged, and shutdown takes a final checkpoint.
+//
 // Protocol (one request per line, responses terminated by a blank line
 // is NOT used — the first token tells the client how much to read):
 //
@@ -14,8 +19,14 @@
 //	PING                  -> OK 0
 //	anything else         -> ERR <message>
 //
-// Overload is reported as "ERR overloaded: ..." so clients can back
-// off and retry.
+// Overload is reported as "ERR overloaded retry: ..." so clients can
+// parse the retry hint and back off. A connection idle longer than
+// -idle-timeout is told "ERR idle timeout" and closed.
+//
+// On SIGINT or SIGTERM the server stops accepting connections, drains
+// in-flight requests through the admission gate (bounded by
+// -drain-timeout), closes the remaining connections, and — when durable
+// — checkpoints and closes the log before exiting.
 package main
 
 import (
@@ -28,9 +39,12 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"ldl"
@@ -39,12 +53,17 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "", "TCP listen address (e.g. :7654); empty serves stdin/stdout")
-		program = flag.String("program", "", "LDL program file to load (required)")
-		timeout = flag.Duration("timeout", 10*time.Second, "per-request deadline (0 = none)")
-		workers = flag.Int("max-concurrent", 8, "max queries executing at once")
-		queue   = flag.Int("max-queue", 16, "max queries waiting for a slot")
-		plans   = flag.Int("max-plans", 128, "prepared-plan cache capacity")
+		addr      = flag.String("addr", "", "TCP listen address (e.g. :7654); empty serves stdin/stdout")
+		program   = flag.String("program", "", "LDL program file to load (required)")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request deadline (0 = none)")
+		workers   = flag.Int("max-concurrent", 8, "max queries executing at once")
+		queue     = flag.Int("max-queue", 16, "max queries waiting for a slot")
+		plans     = flag.Int("max-plans", 128, "prepared-plan cache capacity")
+		dataDir   = flag.String("data-dir", "", "durability directory: recover on boot, write-ahead log every LOAD (empty = in-memory only)")
+		fsync     = flag.String("fsync", "always", "log fsync policy: always, interval or never")
+		ckptBytes = flag.Int64("checkpoint-bytes", 4<<20, "log size that triggers a background checkpoint")
+		idle      = flag.Duration("idle-timeout", 2*time.Minute, "close connections idle longer than this (0 = never)")
+		drain     = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 	)
 	flag.Parse()
 	if *program == "" {
@@ -54,9 +73,23 @@ func main() {
 	if err != nil {
 		log.Fatalf("ldlserver: %v", err)
 	}
-	sys, err := ldl.Load(string(src))
+	var sysOpts []ldl.SystemOption
+	if *dataDir != "" {
+		policy, err := ldl.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			log.Fatalf("ldlserver: %v", err)
+		}
+		sysOpts = append(sysOpts,
+			ldl.WithDurability(*dataDir),
+			ldl.WithFsyncPolicy(policy, 0),
+			ldl.WithCheckpointBytes(*ckptBytes))
+	}
+	sys, err := ldl.Load(string(src), sysOpts...)
 	if err != nil {
 		log.Fatalf("ldlserver: load: %v", err)
+	}
+	if rep := sys.Recovery(); rep != nil {
+		log.Printf("ldlserver: recovery: %s", rep)
 	}
 	srv := newServer(sys, service.Config{
 		MaxPlans:       *plans,
@@ -64,8 +97,13 @@ func main() {
 		MaxQueue:       *queue,
 		DefaultTimeout: *timeout,
 	})
+	srv.idleTimeout = *idle
+
 	if *addr == "" {
 		srv.handle(os.Stdin, os.Stdout)
+		if err := sys.Close(); err != nil {
+			log.Fatalf("ldlserver: close: %v", err)
+		}
 		return
 	}
 	l, err := net.Listen("tcp", *addr)
@@ -73,21 +111,50 @@ func main() {
 		log.Fatalf("ldlserver: %v", err)
 	}
 	log.Printf("ldlserver: serving on %s", l.Addr())
-	log.Fatal(srv.serve(l))
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("ldlserver: %v: shutting down", sig)
+		l.Close() // stop accepting; serve's Accept returns
+		srv.drain(*drain)
+	}()
+
+	if err := srv.serve(l); err != nil {
+		log.Fatalf("ldlserver: %v", err)
+	}
+	// All connections are gone; make the fact base durable and exit.
+	if err := sys.Close(); err != nil {
+		log.Fatalf("ldlserver: final checkpoint: %v", err)
+	}
+	log.Printf("ldlserver: shutdown complete")
 }
 
 // server binds the service to the line protocol.
 type server struct {
-	svc *service.Service
+	svc         *service.Service
+	idleTimeout time.Duration
+
+	// draining refuses new requests on surviving connections while the
+	// shutdown drain waits for in-flight ones.
+	draining atomic.Bool
+	mu       sync.Mutex
+	conns    map[net.Conn]bool
+
+	// poison is a test seam: when set it runs before each request and
+	// may panic, standing in for a request that trips an unguarded bug.
+	poison func(line string)
 }
 
 func newServer(sys *ldl.System, cfg service.Config) *server {
-	return &server{svc: service.New(sys, cfg)}
+	return &server{svc: service.New(sys, cfg), conns: map[net.Conn]bool{}}
 }
 
 // serve accepts connections until the listener closes, one goroutine
-// per connection. Concurrency is bounded by the service's admission
-// control, not by the accept loop.
+// per connection, and returns once every connection handler has. Query
+// concurrency is bounded by the service's admission control, not by the
+// accept loop.
 func (s *server) serve(l net.Listener) error {
 	var wg sync.WaitGroup
 	defer wg.Wait()
@@ -99,39 +166,130 @@ func (s *server) serve(l net.Listener) error {
 			}
 			return err
 		}
+		s.track(conn, true)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer s.track(conn, false)
 			defer conn.Close()
-			s.handle(conn, conn)
+			s.handleConn(conn)
 		}()
 	}
 }
 
-// handle runs the request loop on one stream. Malformed input produces
-// an ERR line and the loop continues; only EOF or a write error ends
-// it.
+func (s *server) track(conn net.Conn, on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if on {
+		s.conns[conn] = true
+	} else {
+		delete(s.conns, conn)
+	}
+}
+
+// drain waits (bounded by timeout) for the admission gate to empty —
+// no request executing or queued — then closes every surviving
+// connection so serve can return. Requests arriving on open connections
+// during the drain are refused with an ERR line.
+func (s *server) drain(timeout time.Duration) {
+	s.draining.Store(true)
+	adm := s.svc.AdmissionGate()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		st := adm.Stats()
+		if st.Active == 0 && st.Queued == 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+}
+
+// handleConn runs the request loop on one network connection, renewing
+// the idle deadline before each read. An idle expiry produces a final
+// "ERR idle timeout" line so the client can tell a policy close from a
+// network failure.
+func (s *server) handleConn(conn net.Conn) {
+	in := bufio.NewScanner(conn)
+	in.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	out := bufio.NewWriter(conn)
+	for {
+		if s.idleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
+		if !in.Scan() {
+			var ne net.Error
+			if errors.As(in.Err(), &ne) && ne.Timeout() {
+				// Best effort: the peer may be gone entirely.
+				conn.SetWriteDeadline(time.Now().Add(time.Second))
+				out.WriteString("ERR idle timeout\n")
+				out.Flush()
+			}
+			return
+		}
+		if !s.respond(out, in.Text()) {
+			return
+		}
+	}
+}
+
+// handle runs the request loop on a plain stream (the stdin mode).
+// Malformed input produces an ERR line and the loop continues; only EOF
+// or a write error ends it.
 func (s *server) handle(r io.Reader, w io.Writer) {
 	in := bufio.NewScanner(r)
 	in.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	out := bufio.NewWriter(w)
 	for in.Scan() {
-		line := strings.TrimSpace(in.Text())
-		if line == "" {
-			continue
-		}
-		for _, resp := range s.handleLine(line) {
-			if _, err := out.WriteString(resp); err != nil {
-				return
-			}
-			if err := out.WriteByte('\n'); err != nil {
-				return
-			}
-		}
-		if err := out.Flush(); err != nil {
+		if !s.respond(out, in.Text()) {
 			return
 		}
 	}
+}
+
+// respond processes one input line and writes the response; false means
+// the connection is done (write failure or shutdown).
+func (s *server) respond(out *bufio.Writer, line string) bool {
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return true
+	}
+	if s.draining.Load() {
+		out.WriteString("ERR shutting down\n")
+		out.Flush()
+		return false
+	}
+	for _, resp := range s.process(line) {
+		if _, err := out.WriteString(resp); err != nil {
+			return false
+		}
+		if err := out.WriteByte('\n'); err != nil {
+			return false
+		}
+	}
+	return out.Flush() == nil
+}
+
+// process dispatches one request with panic isolation: a panic while
+// serving a request — the library's own guards should make this
+// impossible, so it means a genuine bug — is confined to an ERR
+// response on this connection instead of taking down the process and
+// every other connection with it.
+func (s *server) process(line string) (resp []string) {
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("ldlserver: panic serving request: %v", r)
+			resp = []string{"ERR internal error"}
+		}
+	}()
+	if s.poison != nil {
+		s.poison(line)
+	}
+	return s.handleLine(line)
 }
 
 // handleLine executes one request and returns the response lines.
@@ -171,11 +329,13 @@ func (s *server) handleLine(line string) []string {
 	}
 }
 
-// errLine flattens an error to a single protocol-safe line.
+// errLine flattens an error to a single protocol-safe line. Overload
+// gets the machine-parseable "overloaded retry" prefix: the request was
+// shed before doing any work and a backoff-retry is the right response.
 func errLine(err error) string {
 	msg := strings.ReplaceAll(err.Error(), "\n", " ")
 	if errors.Is(err, service.ErrOverloaded) {
-		return "overloaded: " + msg
+		return "overloaded retry: " + msg
 	}
 	return msg
 }

@@ -1,0 +1,236 @@
+package ldl
+
+// Durability: the glue between the epoch machinery and internal/wal.
+//
+// A System opened with WithDurability(dir) logs every InsertFacts batch
+// to a write-ahead log *before* publishing the new epoch — so a batch
+// the caller saw acknowledged is on disk (per the fsync policy) by the
+// time any reader can observe it — and periodically checkpoints the
+// full base-relation state so recovery does not replay history from the
+// beginning of time. On the next Load with the same directory, the
+// newest valid checkpoint is loaded and the log tail replayed on top of
+// the program's own facts; the System resumes at the recovered epoch.
+//
+// Scope: the log persists the *fact base updates* (InsertFacts). The
+// program text (rules and its initial facts) is not logged — it is
+// reloaded from source on every boot, exactly like the LDL++ system
+// reloaded its rule base while the EDB lived in the fact store.
+// SetStats overrides and the execution→cost feedback overlay are
+// process-local tuning state and are deliberately not durable.
+//
+// A System without WithDurability pays nothing: the only addition to
+// the InsertFacts hot path is a nil check.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ldl/internal/lang"
+	"ldl/internal/stats"
+	"ldl/internal/store"
+	"ldl/internal/term"
+	"ldl/internal/wal"
+)
+
+// FsyncPolicy says when the write-ahead log makes acknowledged batches
+// durable: FsyncAlways (every batch, the default), FsyncInterval (at
+// most once per interval — bounded loss on a machine crash), FsyncNever
+// (the OS decides — survives process crashes only).
+type FsyncPolicy = wal.SyncPolicy
+
+// The three fsync policies.
+const (
+	FsyncAlways   = wal.SyncAlways
+	FsyncInterval = wal.SyncInterval
+	FsyncNever    = wal.SyncNever
+)
+
+// ParseFsyncPolicy reads the flag spelling ("always", "interval",
+// "never") of a policy.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return wal.ParseSyncPolicy(s) }
+
+// RecoveryReport is what boot-time recovery found: checkpoint epoch and
+// size, records and tuples replayed from the log tail, and any torn
+// tail it had to drop. Its String renders the one-line boot log
+// message.
+type RecoveryReport = wal.RecoveryReport
+
+// SystemOption configures a System at Load time.
+type SystemOption func(*sysConfig)
+
+type sysConfig struct {
+	walDir    string
+	walFS     wal.FS
+	fsync     FsyncPolicy
+	interval  time.Duration
+	ckptBytes int64
+}
+
+// WithDurability makes the System durable: InsertFacts batches are
+// write-ahead logged under dir (created if missing) before the epoch
+// publishes, checkpoints retire the log as it grows, and Load recovers
+// whatever a previous process left in dir. Combine with Close for a
+// clean shutdown (final checkpoint).
+func WithDurability(dir string) SystemOption {
+	return func(c *sysConfig) { c.walDir = dir }
+}
+
+// WithFsyncPolicy selects the log's fsync policy (default FsyncAlways).
+// interval is the FsyncInterval cadence and is ignored by the other
+// policies; 0 keeps the 50ms default.
+func WithFsyncPolicy(p FsyncPolicy, interval time.Duration) SystemOption {
+	return func(c *sysConfig) { c.fsync, c.interval = p, interval }
+}
+
+// WithCheckpointBytes sets the log size that triggers a background
+// checkpoint (default 4 MiB; negative disables automatic checkpoints —
+// call Checkpoint or Close yourself).
+func WithCheckpointBytes(n int64) SystemOption {
+	return func(c *sysConfig) { c.ckptBytes = n }
+}
+
+// withWALFS injects the log's filesystem — the fault-injection seam the
+// durability tests use.
+func withWALFS(fs wal.FS) SystemOption {
+	return func(c *sysConfig) { c.walFS = fs }
+}
+
+// attachWAL recovers the durable state in cfg.walDir into db and opens
+// the log for the System's future batches. Called by Load with the
+// program facts already in db; recovered tuples merge on top (set
+// semantics make the overlap harmless).
+func (s *System) attachWAL(db *store.Database, cfg sysConfig) error {
+	apply := func(b wal.Batch) error {
+		for _, r := range b.Rels {
+			if s.prog.IsDerived(r.Tag) {
+				return fmt.Errorf("ldl: recovery: %s is a derived predicate in the current program (program changed since the log was written?)", r.Tag)
+			}
+			rel := db.EnsureOwned(r.Tag, r.Arity)
+			for _, tup := range r.Tuples {
+				if _, err := rel.Insert(store.Tuple(tup)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	log, rep, err := wal.Open(cfg.walDir, wal.Options{
+		FS:       cfg.walFS,
+		Sync:     cfg.fsync,
+		Interval: cfg.interval,
+	}, apply)
+	if err != nil {
+		return err
+	}
+	s.wal, s.recovery = log, rep
+	s.ckptBytes = cfg.ckptBytes
+	if s.ckptBytes == 0 {
+		s.ckptBytes = 4 << 20
+	}
+	id := rep.Epoch
+	if id < 1 {
+		id = 1
+	}
+	s.epoch.Store(newEpoch(id, db, stats.Gather(db)))
+	return nil
+}
+
+// Recovery reports what boot-time recovery found; nil for a
+// non-durable System.
+func (s *System) Recovery() *RecoveryReport { return s.recovery }
+
+// logBatch builds and appends the WAL record for one InsertFacts batch,
+// grouped by relation and sorted for a deterministic encoding. Called
+// with writeMu held, before the epoch publishes: if the record cannot
+// be made durable under the fsync policy, the batch is not published
+// and the caller returns the error — write-ahead ordering.
+func (s *System) logBatch(epoch uint64, facts []lang.Rule) error {
+	byTag := map[string]*wal.RelFacts{}
+	var tags []string
+	for _, c := range facts {
+		tag := c.Head.Tag()
+		g := byTag[tag]
+		if g == nil {
+			g = &wal.RelFacts{Tag: tag, Arity: c.Head.Arity()}
+			byTag[tag] = g
+			tags = append(tags, tag)
+		}
+		g.Tuples = append(g.Tuples, c.Head.Args)
+	}
+	sort.Strings(tags)
+	rels := make([]wal.RelFacts, len(tags))
+	for i, tag := range tags {
+		rels[i] = *byTag[tag]
+	}
+	if err := s.wal.Append(wal.Batch{Epoch: epoch, Rels: rels}); err != nil {
+		return fmt.Errorf("ldl: InsertFacts: write-ahead log: %w", err)
+	}
+	return nil
+}
+
+// maybeCheckpoint fires the background checkpointer when the active log
+// segment has outgrown the configured threshold. At most one checkpoint
+// runs at a time; a failed attempt leaves the log intact (recovery just
+// replays more) and the next batch retries.
+func (s *System) maybeCheckpoint() {
+	if s.wal == nil || s.ckptBytes <= 0 || s.wal.SegmentSize() < s.ckptBytes {
+		return
+	}
+	if !s.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer s.ckptBusy.Store(false)
+		s.Checkpoint()
+	}()
+}
+
+// Checkpoint serializes the current epoch's base relations to a
+// snapshot file and retires the log prefix it covers. Readers are never
+// stalled (the epoch is immutable) and the writer only briefly, for the
+// log rotation; the serialization itself runs without any lock. No-op
+// on a non-durable System.
+func (s *System) Checkpoint() (err error) {
+	defer guard(&err)
+	if s.wal == nil {
+		return nil
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	// Rotation must see a frozen epoch<->log boundary: every record
+	// <= ep.id is in the retiring segments, every later batch lands in
+	// the new one. Holding writeMu across the rotate guarantees it.
+	s.writeMu.Lock()
+	ep := s.snapshot()
+	err = s.wal.Rotate(ep.id)
+	s.writeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	rels := make([]wal.RelFacts, 0, len(ep.db.Tags()))
+	for _, tag := range ep.db.Tags() {
+		r := ep.db.Relation(tag)
+		rf := wal.RelFacts{Tag: tag, Arity: r.Arity, Tuples: make([][]term.Term, 0, r.Len())}
+		for _, t := range r.Tuples() {
+			rf.Tuples = append(rf.Tuples, t)
+		}
+		rels = append(rels, rf)
+	}
+	return s.wal.Checkpoint(ep.id, rels)
+}
+
+// Close shuts a durable System down cleanly: a final checkpoint, then
+// the log is synced and closed. The System must not be used afterwards.
+// No-op (nil) on a non-durable System.
+func (s *System) Close() (err error) {
+	defer guard(&err)
+	if s.wal == nil {
+		return nil
+	}
+	cerr := s.Checkpoint()
+	if err := s.wal.Close(); err != nil && cerr == nil {
+		cerr = err
+	}
+	return cerr
+}

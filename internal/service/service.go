@@ -140,6 +140,11 @@ func New(sys *ldl.System, cfg Config) *Service {
 // System returns the currently served System.
 func (s *Service) System() *ldl.System { return s.sys.Load() }
 
+// AdmissionGate exposes the service's admission controller. Servers use
+// it to drain on shutdown (wait for Active and Queued to reach zero)
+// and tests use it to occupy slots deterministically.
+func (s *Service) AdmissionGate() *resource.Admission { return s.adm }
+
 // Query answers one goal. The plan comes from the prepared-plan cache
 // when the goal's canonical form is cached and fresh; otherwise the
 // form is prepared (optimized + compiled) and cached. Goals the

@@ -1,0 +1,8 @@
+//go:build !ldldebug
+
+package wal
+
+// Release builds: the append-time record round-trip check compiles to
+// nothing. See debug_on.go for the ldldebug invariant.
+
+func debugCheckRecord(frame []byte, b Batch) {}

@@ -1,0 +1,112 @@
+package wal
+
+// The filesystem seam. Every byte the durability layer persists flows
+// through the FS and File interfaces, so tests can substitute an
+// in-memory filesystem (MemFS) that injects short writes, fsync
+// failures and crash points — the fault schedules the crash-matrix test
+// enumerates. Production uses osFS, a thin veneer over package os.
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the writable handle the log appends through. Write may be
+// partial (a short write followed by an error models a torn append);
+// Sync must not return until previously written bytes are durable.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the set of filesystem operations the durability layer needs.
+// All names are full paths; List returns bare entry names within dir.
+type FS interface {
+	// MkdirAll ensures dir exists.
+	MkdirAll(dir string) error
+	// OpenAppend opens name for appending, creating it if absent, and
+	// reports its current size.
+	OpenAppend(name string) (File, int64, error)
+	// Create opens name for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// ReadFile returns the full content of name.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// Truncate cuts name to size bytes (used to drop a torn log tail).
+	Truncate(name string, size int64) error
+	// List returns the sorted entry names inside dir; a missing dir is
+	// an empty list, not an error.
+	List(dir string) ([]string, error)
+	// SyncDir makes directory-level mutations (create, rename, remove)
+	// durable.
+	SyncDir(dir string) error
+}
+
+// osFS is the production FS.
+type osFS struct{}
+
+// OS returns the real operating-system filesystem.
+func OS() FS { return osFS{} }
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) OpenAppend(name string) (File, int64, error) {
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, st.Size(), nil
+}
+
+func (osFS) Create(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) List(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// join builds a path inside the log directory.
+func join(dir, name string) string { return filepath.Join(dir, name) }

@@ -1,0 +1,299 @@
+package wal
+
+// MemFS: an in-memory FS with a durability model and fault injection —
+// the harness the crash-matrix tests run on. Every file tracks two
+// byte counts: how much has been written and how much has been synced.
+// A simulated crash (Crash with dropUnsynced=true) throws away the
+// unsynced suffix of every file, exactly what losing the page cache
+// does; dropUnsynced=false models a process crash where the kernel
+// still flushes everything. Directory operations (create, rename,
+// remove) become durable on SyncDir, mirroring POSIX.
+//
+// Faults are driven by a single operation counter: every state-changing
+// operation (write, sync, rename, remove, truncate, create) increments
+// it, and when it reaches FailAt the operation fails — after applying
+// the partial effect configured by ShortWrite — and every later
+// operation fails too (the process is "dying"). Enumerating FailAt over
+// a schedule's whole counter range is the crash matrix.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the failure MemFS injects at the configured crash
+// point.
+var ErrInjected = errors.New("wal: injected fault")
+
+// memFile is one file's durable/volatile state.
+type memFile struct {
+	data   []byte // written content
+	synced int    // prefix of data that is durable
+}
+
+// memDirent tracks directory-entry durability: an entry created (or
+// renamed in) but not yet covered by SyncDir vanishes on crash.
+type memDirent struct {
+	dirSynced bool
+}
+
+// MemFS is the in-memory filesystem. The zero value is ready to use
+// with no fault injected; set FailAt (via SetFailAt) to arm a crash
+// point.
+type MemFS struct {
+	mu      sync.Mutex
+	files   map[string]*memFile
+	dirents map[string]*memDirent
+	dirs    map[string]bool
+
+	ops    int // state-changing operations so far
+	failAt int // fail when ops reaches this (0 = never)
+	failed bool
+
+	// ShortWrite makes the failing operation, if it is a write, persist
+	// only the first half of its buffer before erroring — a torn write.
+	ShortWrite bool
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		files:   map[string]*memFile{},
+		dirents: map[string]*memDirent{},
+		dirs:    map[string]bool{},
+	}
+}
+
+// SetFailAt arms the fault: the n-th state-changing operation from now
+// fails, and all later ones too. n <= 0 disarms.
+func (m *MemFS) SetFailAt(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ops = 0
+	m.failAt = n
+	m.failed = false
+}
+
+// Ops reports how many state-changing operations have run — used to
+// size the crash matrix.
+func (m *MemFS) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// step consumes one state-changing operation and reports whether it
+// must fail. Caller holds mu.
+func (m *MemFS) step() bool {
+	if m.failed {
+		return true
+	}
+	m.ops++
+	if m.failAt > 0 && m.ops >= m.failAt {
+		m.failed = true
+	}
+	return m.failed
+}
+
+// Crash returns the filesystem state a reboot would find: only durable
+// content when dropUnsynced is true (synced byte prefixes, dir-synced
+// entries), or everything written when false. The returned FS is clean
+// (no fault armed); the receiver is unchanged.
+func (m *MemFS) Crash(dropUnsynced bool) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for dir := range m.dirs {
+		out.dirs[dir] = true
+	}
+	for name, f := range m.files {
+		ent := m.dirents[name]
+		if dropUnsynced && (ent == nil || !ent.dirSynced) {
+			continue // entry never made durable
+		}
+		data := f.data
+		if dropUnsynced {
+			data = data[:f.synced]
+		}
+		out.files[name] = &memFile{data: append([]byte(nil), data...), synced: len(data)}
+		out.dirents[name] = &memDirent{dirSynced: true}
+	}
+	return out
+}
+
+// --- FS implementation ----------------------------------------------
+
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[dir] = true
+	return nil
+}
+
+func (m *MemFS) OpenAppend(name string) (File, int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		if m.step() {
+			return nil, 0, fmt.Errorf("open %s: %w", name, ErrInjected)
+		}
+		f = &memFile{}
+		m.files[name] = f
+		m.dirents[name] = &memDirent{}
+	}
+	return &memHandle{fs: m, name: name}, int64(len(f.data)), nil
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.step() {
+		return nil, fmt.Errorf("create %s: %w", name, ErrInjected)
+	}
+	m.files[name] = &memFile{}
+	m.dirents[name] = &memDirent{}
+	return &memHandle{fs: m, name: name}, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("read %s: file does not exist", name)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.step() {
+		return fmt.Errorf("rename %s: %w", oldname, ErrInjected)
+	}
+	f, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("rename %s: file does not exist", oldname)
+	}
+	m.files[newname] = f
+	delete(m.files, oldname)
+	// The new entry inherits nothing: it is durable only after SyncDir.
+	m.dirents[newname] = &memDirent{}
+	delete(m.dirents, oldname)
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.step() {
+		return fmt.Errorf("remove %s: %w", name, ErrInjected)
+	}
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("remove %s: file does not exist", name)
+	}
+	delete(m.files, name)
+	delete(m.dirents, name)
+	return nil
+}
+
+func (m *MemFS) Truncate(name string, size int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.step() {
+		return fmt.Errorf("truncate %s: %w", name, ErrInjected)
+	}
+	f, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("truncate %s: file does not exist", name)
+	}
+	if int(size) < len(f.data) {
+		f.data = f.data[:size]
+	}
+	if f.synced > len(f.data) {
+		f.synced = len(f.data)
+	}
+	return nil
+}
+
+func (m *MemFS) List(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := dir + "/"
+	var out []string
+	for name := range m.files {
+		if strings.HasPrefix(name, prefix) && !strings.Contains(name[len(prefix):], "/") {
+			out = append(out, name[len(prefix):])
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (m *MemFS) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.step() {
+		return fmt.Errorf("syncdir %s: %w", dir, ErrInjected)
+	}
+	prefix := dir + "/"
+	for name, ent := range m.dirents {
+		if strings.HasPrefix(name, prefix) {
+			ent.dirSynced = true
+		}
+	}
+	return nil
+}
+
+// memHandle is an open MemFS file.
+type memHandle struct {
+	fs     *MemFS
+	name   string
+	closed bool
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	m := h.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[h.name]
+	if !ok || h.closed {
+		return 0, fmt.Errorf("write %s: file closed or removed", h.name)
+	}
+	if m.step() {
+		n := 0
+		if m.ShortWrite {
+			n = len(p) / 2
+			f.data = append(f.data, p[:n]...)
+		}
+		return n, fmt.Errorf("write %s: %w", h.name, ErrInjected)
+	}
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	m := h.fs
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[h.name]
+	if !ok || h.closed {
+		return fmt.Errorf("sync %s: file closed or removed", h.name)
+	}
+	if m.step() {
+		return fmt.Errorf("sync %s: %w", h.name, ErrInjected)
+	}
+	f.synced = len(f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

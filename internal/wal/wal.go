@@ -1,0 +1,367 @@
+// Package wal is the durability layer: a write-ahead fact log with
+// checkpoints and torn-write-tolerant crash recovery.
+//
+// The contract with the epoch machinery above it (ldl.System) is
+// write-ahead ordering: an InsertFacts batch is appended — and, per the
+// fsync policy, made durable — *before* the new epoch is atomically
+// published to readers. A checkpoint serializes one published epoch's
+// base relations from its immutable snapshot (readers and the writer
+// are never stalled) and then retires the log prefix the snapshot
+// covers. Recovery loads the newest valid checkpoint and replays the
+// log tail, stopping cleanly at a torn or corrupt tail record while
+// treating corruption in the middle of the log — acknowledged data with
+// later records intact after it — as an unrecoverable, typed error.
+//
+// On-disk layout inside the log directory:
+//
+//	log-<base epoch, hex>       append-only record segments
+//	snapshot-<epoch, hex>       checkpoint files (atomic tmp+rename)
+//
+// A segment named log-B holds records with epochs strictly greater
+// than B; rotation to log-E happens while the writer lock of the epoch
+// machinery is held, so every record with epoch <= E lands in an older
+// segment and checkpoint snapshot-E makes those segments garbage.
+package wal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy says when Append makes records durable.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged batch
+	// survives any crash. The default.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs at most once per Options.Interval (plus on
+	// rotation, checkpoint and close): a crash may lose the last
+	// interval's acknowledged batches, never more, and recovery still
+	// sees a clean prefix.
+	SyncInterval
+	// SyncNever leaves syncing to the operating system: contents
+	// survive a process crash but not a machine crash.
+	SyncNever
+)
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// ParseSyncPolicy reads the flag spelling of a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// Options configures a Log.
+type Options struct {
+	// FS is the filesystem seam; nil means the real OS filesystem.
+	FS FS
+	// Sync is the fsync policy (default SyncAlways).
+	Sync SyncPolicy
+	// Interval is the SyncInterval cadence (default 50ms).
+	Interval time.Duration
+	// Now is the clock SyncInterval reads; nil means time.Now.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.FS == nil {
+		o.FS = OS()
+	}
+	if o.Interval <= 0 {
+		o.Interval = 50 * time.Millisecond
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Log is the append side of the write-ahead log. Append, Rotate,
+// Checkpoint and Close are safe for concurrent use; the single-writer
+// discipline above it means contention is rare.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        File   // active segment
+	base     uint64 // epoch the active segment follows
+	size     int64  // bytes in the active segment
+	lastSync time.Time
+	buf      []byte // reusable encode buffer
+	// wedged latches the first append/sync failure: once bytes of
+	// unknown extent are on disk, further appends would put valid
+	// records after a torn region and turn a recoverable tail into
+	// unrecoverable mid-log corruption. Every later operation returns
+	// the original error.
+	wedged error
+}
+
+func segmentName(base uint64) string { return fmt.Sprintf("log-%016x", base) }
+
+func snapshotName(epoch uint64) string { return fmt.Sprintf("snapshot-%016x", epoch) }
+
+// parseSeq extracts the hex sequence number from a "prefix-xxxx" name.
+func parseSeq(name, prefix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(name[len(prefix):], 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Append encodes b as one record, writes it to the active segment and
+// applies the fsync policy. When it returns nil under SyncAlways, the
+// batch is durable. On any write or sync failure the log wedges: the
+// error is returned now and by every subsequent Append.
+func (l *Log) Append(b Batch) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wedged != nil {
+		return l.wedged
+	}
+	buf, err := AppendRecord(l.buf[:0], b)
+	if err != nil {
+		return err // encoding error: nothing reached the disk, not wedged
+	}
+	l.buf = buf
+	if _, err := l.f.Write(buf); err != nil {
+		l.wedged = fmt.Errorf("wal: append: %w", err)
+		return l.wedged
+	}
+	l.size += int64(len(buf))
+	if err := l.maybeSync(); err != nil {
+		l.wedged = err
+		return l.wedged
+	}
+	return nil
+}
+
+// maybeSync applies the fsync policy after a write. Caller holds mu.
+func (l *Log) maybeSync() error {
+	switch l.opts.Sync {
+	case SyncAlways:
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	case SyncInterval:
+		now := l.opts.Now()
+		if now.Sub(l.lastSync) >= l.opts.Interval {
+			if err := l.f.Sync(); err != nil {
+				return fmt.Errorf("wal: fsync: %w", err)
+			}
+			l.lastSync = now
+		}
+	}
+	return nil
+}
+
+// SegmentSize reports the byte size of the active segment — the
+// "log bytes since the last checkpoint" signal the size-triggered
+// checkpointer watches.
+func (l *Log) SegmentSize() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Rotate switches appends to a fresh segment log-<epoch>. The caller
+// must guarantee — by holding its writer lock across the call — that
+// every record with epoch <= epoch has already been appended (they land
+// in older segments) and every later append carries a greater epoch.
+// The old segment is synced and closed so the upcoming checkpoint
+// covers fully durable data.
+func (l *Log) Rotate(epoch uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wedged != nil {
+		return l.wedged
+	}
+	if epoch == l.base && l.size == 0 {
+		return nil // nothing logged since the segment opened
+	}
+	if err := l.f.Sync(); err != nil {
+		l.wedged = fmt.Errorf("wal: rotate: sync old segment: %w", err)
+		return l.wedged
+	}
+	if err := l.f.Close(); err != nil {
+		l.wedged = fmt.Errorf("wal: rotate: close old segment: %w", err)
+		return l.wedged
+	}
+	f, size, err := l.opts.FS.OpenAppend(join(l.dir, segmentName(epoch)))
+	if err != nil {
+		l.wedged = fmt.Errorf("wal: rotate: %w", err)
+		return l.wedged
+	}
+	// Make the new segment's directory entry durable before records
+	// land in it: otherwise a crash could lose the file wholesale while
+	// its records were acknowledged.
+	if err := l.opts.FS.SyncDir(l.dir); err != nil {
+		f.Close()
+		l.wedged = fmt.Errorf("wal: rotate: %w", err)
+		return l.wedged
+	}
+	l.f, l.base, l.size = f, epoch, size
+	return nil
+}
+
+// Checkpoint writes the full base-relation state of one epoch as
+// snapshot-<epoch> (atomically: tmp, sync, rename, dir sync) and then
+// deletes the log segments and older snapshots the new snapshot
+// supersedes. The caller must have Rotated to epoch first, so the
+// retired segments hold only records the snapshot covers. rels is read
+// but never retained.
+func (l *Log) Checkpoint(epoch uint64, rels []RelFacts) error {
+	fs := l.opts.FS
+	tmp := join(l.dir, snapshotName(epoch)+".tmp")
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	buf, err := AppendRecord(nil, Batch{Epoch: epoch, Rels: rels})
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := fs.Rename(tmp, join(l.dir, snapshotName(epoch))); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	if err := fs.SyncDir(l.dir); err != nil {
+		return fmt.Errorf("wal: checkpoint: %w", err)
+	}
+	// The snapshot is durable; retire everything it supersedes. Cleanup
+	// failures are harmless (recovery tolerates stale files), so only
+	// the first error is reported and nothing is retried.
+	names, err := fs.List(l.dir)
+	if err != nil {
+		return nil
+	}
+	for _, name := range names {
+		if b, ok := parseSeq(name, "log-"); ok && b < epoch {
+			fs.Remove(join(l.dir, name))
+		}
+		if e, ok := parseSeq(name, "snapshot-"); ok && e < epoch {
+			fs.Remove(join(l.dir, name))
+		}
+		if strings.HasSuffix(name, ".tmp") && name != snapshotName(epoch)+".tmp" {
+			fs.Remove(join(l.dir, name))
+		}
+	}
+	fs.SyncDir(l.dir)
+	return nil
+}
+
+// Close syncs and closes the active segment. The log is unusable
+// afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	if l.wedged != nil {
+		f.Close()
+		return l.wedged
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return f.Close()
+}
+
+// Wedged reports the latched append failure, if any.
+func (l *Log) Wedged() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wedged
+}
+
+// Open recovers the durable state in dir — streaming every recovered
+// batch (the checkpoint first, then replayed log records in epoch
+// order) to apply — then truncates any torn tail and opens the log for
+// appending where it left off. A missing or empty dir is a fresh log.
+// The returned report says what recovery found; the returned error is
+// non-nil only for unrecoverable states (mid-log corruption, I/O
+// failures), in which case no Log is returned.
+func Open(dir string, opts Options, apply func(Batch) error) (*Log, *RecoveryReport, error) {
+	opts = opts.withDefaults()
+	fs := opts.FS
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, nil, fmt.Errorf("wal: open: %w", err)
+	}
+	rep, err := recoverDir(dir, fs, apply)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Drop the torn tail before appending: new records must follow the
+	// last valid one, not garbage.
+	if rep.TornSegment != "" {
+		if err := fs.Truncate(join(dir, rep.TornSegment), rep.lastSegmentSize); err != nil {
+			return nil, nil, fmt.Errorf("wal: open: truncating torn tail of %s: %w", rep.TornSegment, err)
+		}
+	}
+	base, size := rep.lastSegmentBase, rep.lastSegmentSize
+	name := segmentName(base)
+	if !rep.haveSegment {
+		// Fresh directory (or checkpoint-only): start a segment at the
+		// recovered epoch so every future record (epoch > rep.Epoch) is
+		// properly beyond the base.
+		base, size = rep.Epoch, 0
+		name = segmentName(base)
+	}
+	f, fsize, err := fs.OpenAppend(join(dir, name))
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open: %w", err)
+	}
+	if rep.haveSegment && fsize != size {
+		// The file changed between scan and open — another process owns
+		// the directory.
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: open: %s is %d bytes, expected %d (concurrent writer?)", name, fsize, size)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: open: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, f: f, base: base, size: fsize, lastSync: opts.Now()}
+	return l, rep, nil
+}

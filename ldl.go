@@ -37,6 +37,7 @@ import (
 	"ldl/internal/resource"
 	"ldl/internal/stats"
 	"ldl/internal/store"
+	"ldl/internal/wal"
 )
 
 // The resource-governor error taxonomy. Optimize, Execute and the
@@ -139,6 +140,18 @@ type System struct {
 	obsMu    sync.Mutex
 	observed map[string]stats.RelStats
 	feedback atomic.Bool
+
+	// Durability (nil / zero unless Load saw WithDurability — the
+	// in-memory path pays only a nil check). wal is the write-ahead log
+	// every InsertFacts batch hits before its epoch publishes; recovery
+	// is what boot found in the data directory; ckptBytes triggers the
+	// background checkpointer, ckptBusy dedupes triggers and ckptMu
+	// serializes the checkpoints themselves.
+	wal       *wal.Log
+	recovery  *wal.RecoveryReport
+	ckptBytes int64
+	ckptBusy  atomic.Bool
+	ckptMu    sync.Mutex
 }
 
 // epochState is one immutable published version of the fact base: the
@@ -175,9 +188,16 @@ func (s *System) snapshot() *epochState { return s.epoch.Load() }
 func (s *System) Epoch() uint64 { return s.snapshot().id }
 
 // Load parses LDL source text (rules, facts and optional "goal?" query
-// forms), loads the facts and gathers exact statistics.
-func Load(src string) (_ *System, err error) {
+// forms), loads the facts and gathers exact statistics. With
+// WithDurability the facts recovered from the data directory (newest
+// checkpoint plus log tail) are merged on top of the program's own, and
+// subsequent InsertFacts batches are write-ahead logged.
+func Load(src string, opts ...SystemOption) (_ *System, err error) {
 	defer guard(&err)
+	var cfg sysConfig
+	for _, f := range opts {
+		f(&cfg)
+	}
 	prog, queries, err := parser.ParseProgram(src)
 	if err != nil {
 		return nil, err
@@ -193,6 +213,12 @@ func Load(src string) (_ *System, err error) {
 		return nil, err
 	}
 	s := &System{prog: prog, queries: queries, observed: map[string]stats.RelStats{}}
+	if cfg.walDir != "" {
+		if err := s.attachWAL(db, cfg); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
 	s.epoch.Store(newEpoch(1, db, stats.Gather(db)))
 	return s, nil
 }
@@ -243,7 +269,17 @@ func (s *System) InsertFacts(src string) (added int, epoch uint64, err error) {
 		after += db2.Relation(tag).Len()
 	}
 	next := newEpoch(ep.id+1, db2, stats.Update(ep.cat, db2, touched))
+	// Write-ahead ordering: the batch must be durable (per the fsync
+	// policy) before any reader can observe its epoch. On a log failure
+	// the epoch is not published — the caller sees the error, and the
+	// fact base stays on the last acknowledged state.
+	if s.wal != nil {
+		if err := s.logBatch(next.id, prog.Facts); err != nil {
+			return 0, 0, err
+		}
+	}
 	s.epoch.Store(next)
+	s.maybeCheckpoint()
 	return after - before, next.id, nil
 }
 
