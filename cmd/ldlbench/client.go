@@ -1,0 +1,183 @@
+package main
+
+// The client mode: ldlbench doubles as a load generator for a running
+// ldlserver. Unlike a naive sender it speaks the server's failure
+// vocabulary — "ERR overloaded retry: ..." is answered with a bounded
+// jittered-backoff retry (the request was shed, not failed), and
+// "ERR read-only leader=<addr>" re-points the connection at the
+// advertised leader and retries there (the server is a replica and
+// writes belong elsewhere). Everything else is a real error.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// clientStats counts what the run did, retries and redirects included.
+type clientStats struct {
+	requests  int // attempts sent over the wire
+	ok        int // requests answered OK
+	retries   int // overload retries
+	redirects int // read-only leader redirects followed
+	failures  int // requests that exhausted their attempt budget
+}
+
+// lineClient is one connection to an ldlserver, with the retry policy.
+type lineClient struct {
+	addr     string
+	retries  int           // max extra attempts per request
+	backoff  time.Duration // initial retry backoff (doubles, jittered)
+	conn     net.Conn
+	r        *bufio.Reader
+	deadline time.Duration
+	stats    clientStats
+}
+
+func (c *lineClient) connect() error {
+	c.close()
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	return nil
+}
+
+func (c *lineClient) close() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.r = nil
+	}
+}
+
+// send writes one request line and reads its response. Only QUERY and
+// STATS responses carry extra lines, and their count is the OK number.
+func (c *lineClient) send(line string) (status string, rows []string, err error) {
+	if c.conn == nil {
+		if err := c.connect(); err != nil {
+			return "", nil, err
+		}
+	}
+	if c.deadline > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.deadline))
+	}
+	if _, err := fmt.Fprintf(c.conn, "%s\n", line); err != nil {
+		return "", nil, err
+	}
+	status, err = c.readLine()
+	if err != nil {
+		return "", nil, err
+	}
+	verb, _, _ := strings.Cut(line, " ")
+	if v := strings.ToUpper(verb); v != "QUERY" && v != "STATS" {
+		return status, nil, nil
+	}
+	if !strings.HasPrefix(status, "OK ") {
+		return status, nil, nil
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(status, "OK "))
+	if err != nil {
+		return status, nil, fmt.Errorf("bad OK count in %q: %v", status, err)
+	}
+	for i := 0; i < n; i++ {
+		row, err := c.readLine()
+		if err != nil {
+			return status, rows, err
+		}
+		rows = append(rows, row)
+	}
+	return status, rows, nil
+}
+
+func (c *lineClient) readLine() (string, error) {
+	line, err := c.r.ReadString('\n')
+	return strings.TrimSuffix(line, "\n"), err
+}
+
+// do runs one request to completion under the retry policy and reports
+// the final status. An exhausted attempt budget counts as one failure.
+func (c *lineClient) do(line string) (status string, rows []string, err error) {
+	backoff := c.backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	for attempt := 0; ; attempt++ {
+		c.stats.requests++
+		status, rows, err = c.send(line)
+		switch {
+		case err != nil:
+			// Transport failure: the connection is gone; a retry gets a
+			// fresh dial (the server may have restarted or failed over).
+			c.close()
+		case strings.HasPrefix(status, "OK"):
+			c.stats.ok++
+			return status, rows, nil
+		case strings.HasPrefix(status, "ERR overloaded retry:"):
+			// Shed load: the server did no work; retrying after a backoff
+			// is exactly what the message invites.
+		case strings.HasPrefix(status, "ERR read-only leader="):
+			leader := strings.TrimSpace(strings.TrimPrefix(status, "ERR read-only leader="))
+			if leader == "" {
+				c.stats.failures++
+				return status, nil, fmt.Errorf("replica refused write and advertised no leader")
+			}
+			c.stats.redirects++
+			c.addr = leader
+			c.close() // next send dials the leader
+		default:
+			// A genuine error (bad query, unknown command): retrying
+			// cannot help.
+			c.stats.failures++
+			return status, nil, fmt.Errorf("server: %s", status)
+		}
+		if attempt >= c.retries {
+			c.stats.failures++
+			if err == nil {
+				err = fmt.Errorf("gave up after %d attempts: %s", attempt+1, status)
+			}
+			return status, nil, err
+		}
+		if strings.HasPrefix(status, "ERR overloaded retry:") || err != nil {
+			c.stats.retries++
+			// Jittered exponential backoff, mirroring the follower's
+			// reconnect policy: sleep in [backoff/2, backoff).
+			time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)))
+			if backoff *= 2; backoff > time.Second {
+				backoff = time.Second
+			}
+		}
+	}
+}
+
+// runClient drives n requests against addr and prints a summary line.
+func runClient(addr, query, load string, n, retries int, backoff time.Duration, stdout io.Writer) error {
+	c := &lineClient{addr: addr, retries: retries, backoff: backoff, deadline: 30 * time.Second}
+	defer c.close()
+	start := time.Now()
+	var firstErr error
+	for i := 0; i < n; i++ {
+		line := "QUERY " + query
+		if load != "" {
+			line = "LOAD " + strings.ReplaceAll(load, "%d", strconv.Itoa(i))
+		}
+		if _, _, err := c.do(line); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	elapsed := time.Since(start)
+	st := c.stats
+	fmt.Fprintf(stdout, "client: n=%d ok=%d failures=%d retries=%d redirects=%d wire_requests=%d elapsed=%s\n",
+		n, st.ok, st.failures, st.retries, st.redirects, st.requests, elapsed.Round(time.Millisecond))
+	if firstErr != nil {
+		return fmt.Errorf("first failure: %w", firstErr)
+	}
+	return nil
+}

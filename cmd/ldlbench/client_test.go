@@ -1,0 +1,144 @@
+package main
+
+// Client-mode tests against scripted fake servers: the retry/backoff
+// contract for overload, the bounded give-up, and the read-only
+// redirect that follows the advertised leader.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeServer answers every request line with handler's response lines.
+func fakeServer(t *testing.T, handler func(line string) []string) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				in := bufio.NewScanner(conn)
+				for in.Scan() {
+					for _, resp := range handler(in.Text()) {
+						if _, err := fmt.Fprintf(conn, "%s\n", resp); err != nil {
+							return
+						}
+					}
+				}
+			}()
+		}
+	}()
+	return l.Addr().String()
+}
+
+func TestClientRetriesOverload(t *testing.T) {
+	var calls atomic.Int64
+	addr := fakeServer(t, func(line string) []string {
+		if calls.Add(1) <= 2 {
+			return []string{"ERR overloaded retry: queue full"}
+		}
+		return []string{"OK 1", "b1,c1"}
+	})
+	c := &lineClient{addr: addr, retries: 5, backoff: time.Millisecond}
+	defer c.close()
+	status, rows, err := c.do("QUERY sg(b1, Y)")
+	if err != nil || status != "OK 1" || len(rows) != 1 {
+		t.Fatalf("do = %q (%d rows), %v", status, len(rows), err)
+	}
+	if c.stats.retries != 2 || c.stats.ok != 1 || c.stats.requests != 3 {
+		t.Errorf("stats = %+v, want 2 retries, 1 ok, 3 requests", c.stats)
+	}
+}
+
+func TestClientGivesUpAfterBoundedRetries(t *testing.T) {
+	addr := fakeServer(t, func(line string) []string {
+		return []string{"ERR overloaded retry: queue full"}
+	})
+	c := &lineClient{addr: addr, retries: 3, backoff: time.Millisecond}
+	defer c.close()
+	_, _, err := c.do("QUERY sg(b1, Y)")
+	if err == nil {
+		t.Fatal("do succeeded against a permanently overloaded server")
+	}
+	// retries bounds EXTRA attempts: 1 initial + 3 retries.
+	if c.stats.requests != 4 || c.stats.failures != 1 {
+		t.Errorf("stats = %+v, want 4 requests and 1 failure", c.stats)
+	}
+}
+
+func TestClientFollowsReadOnlyRedirect(t *testing.T) {
+	var leaderLoads atomic.Int64
+	leader := fakeServer(t, func(line string) []string {
+		if strings.HasPrefix(line, "LOAD ") {
+			leaderLoads.Add(1)
+			return []string{"OK 1 epoch=2"}
+		}
+		return []string{"ERR unknown command"}
+	})
+	replica := fakeServer(t, func(line string) []string {
+		return []string{"ERR read-only leader=" + leader}
+	})
+	c := &lineClient{addr: replica, retries: 3, backoff: time.Millisecond}
+	defer c.close()
+	status, _, err := c.do("LOAD par(x, y).")
+	if err != nil || status != "OK 1 epoch=2" {
+		t.Fatalf("do = %q, %v", status, err)
+	}
+	if c.stats.redirects != 1 || leaderLoads.Load() != 1 {
+		t.Errorf("redirects=%d leaderLoads=%d, want 1 and 1 (stats=%+v)",
+			c.stats.redirects, leaderLoads.Load(), c.stats)
+	}
+	// The redirect sticks: the next request goes straight to the leader.
+	if status, _, err := c.do("LOAD par(x2, y2)."); err != nil || status != "OK 1 epoch=2" {
+		t.Fatalf("second do = %q, %v", status, err)
+	}
+	if c.stats.redirects != 1 {
+		t.Errorf("second request redirected again: %+v", c.stats)
+	}
+}
+
+func TestClientRejectsHardErrorsWithoutRetry(t *testing.T) {
+	var calls atomic.Int64
+	addr := fakeServer(t, func(line string) []string {
+		calls.Add(1)
+		return []string{"ERR unknown command FROB"}
+	})
+	c := &lineClient{addr: addr, retries: 5, backoff: time.Millisecond}
+	defer c.close()
+	if _, _, err := c.do("FROB"); err == nil {
+		t.Fatal("hard error did not fail the request")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("hard error was retried %d times", calls.Load()-1)
+	}
+}
+
+// TestRunClientMode drives the flag surface end to end.
+func TestRunClientMode(t *testing.T) {
+	addr := fakeServer(t, func(line string) []string {
+		if strings.HasPrefix(line, "QUERY ") {
+			return []string{"OK 2", "a,b", "c,d"}
+		}
+		return []string{"ERR bad"}
+	})
+	var out strings.Builder
+	if err := run([]string{"-addr", addr, "-n", "5", "-query", "sg(X, Y)"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if got := out.String(); !strings.Contains(got, "n=5 ok=5 failures=0") {
+		t.Fatalf("summary = %q", got)
+	}
+}

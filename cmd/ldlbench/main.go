@@ -1,11 +1,20 @@
 // Command ldlbench regenerates the paper's experiment tables (see
-// DESIGN.md §4 and EXPERIMENTS.md).
+// DESIGN.md §4 and EXPERIMENTS.md), and doubles as a protocol-aware
+// load-generating client for a running ldlserver.
 //
 // Usage:
 //
 //	ldlbench            # run every experiment
 //	ldlbench -e 1       # run experiment E1 only (also: -e A1 ablations)
 //	ldlbench -list      # list experiments
+//
+//	ldlbench -addr :7654 -n 100 -query "sg(b1, Y)"   # query load
+//	ldlbench -addr :7654 -n 100 -load "par(x%d, y)." # write load
+//
+// The client honors the server's failure vocabulary: overload
+// ("ERR overloaded retry: ...") is retried with bounded jittered
+// backoff, and a replica's write refusal ("ERR read-only
+// leader=<addr>") redirects the connection to the advertised leader.
 package main
 
 import (
@@ -14,6 +23,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"time"
 
 	"ldl/internal/experiments"
 )
@@ -31,11 +41,21 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		exp  = fs.String("e", "", "experiment id (1..10, A1..A3); empty runs all")
 		list = fs.Bool("list", false, "list experiment ids and titles")
+
+		addr    = fs.String("addr", "", "ldlserver address: run as a benchmark client instead of the experiments")
+		query   = fs.String("query", "sg(b1, Y)", "client mode: goal each request queries")
+		load    = fs.String("load", "", "client mode: fact template each request loads (%d = request index); overrides -query")
+		n       = fs.Int("n", 100, "client mode: number of requests")
+		retries = fs.Int("retries", 5, "client mode: max retries per request on overload or transport failure")
+		backoff = fs.Duration("backoff", 10*time.Millisecond, "client mode: initial retry backoff (doubles, jittered)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *addr != "" {
+		return runClient(*addr, *query, *load, *n, *retries, *backoff, stdout)
+	}
 	if *list {
 		for _, t := range experiments.Index() {
 			fmt.Fprintf(stdout, "%-4s %s\n", t.ID, t.Title)

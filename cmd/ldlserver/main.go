@@ -17,16 +17,31 @@
 //	LOAD <facts>          -> OK <added> epoch=<e>
 //	STATS                 -> OK <n> \n <n key=value lines>
 //	PING                  -> OK 0
+//	PROMOTE               -> OK promoted epoch=<e>   (replicas only)
+//	REPL <epoch>          -> OK repl epoch=<e> leader=<addr>, then a
+//	                         binary replication stream (internal/repl)
 //	anything else         -> ERR <message>
 //
 // Overload is reported as "ERR overloaded retry: ..." so clients can
 // parse the retry hint and back off. A connection idle longer than
 // -idle-timeout is told "ERR idle timeout" and closed.
 //
-// On SIGINT or SIGTERM the server stops accepting connections, drains
-// in-flight requests through the admission gate (bounded by
-// -drain-timeout), closes the remaining connections, and — when durable
-// — checkpoints and closes the log before exiting.
+// Replication: a durable server is a replication leader for free — any
+// connection may send "REPL <epoch>" and becomes a log-shipping stream
+// resuming after that epoch (checkpoint seed first when the log prefix
+// was retired). Started with -replica-of the server is a follower: it
+// replicates continuously from the leader, serves QUERY/STATS with the
+// replication lag visible under STATS, and refuses LOAD with the
+// machine-parseable "ERR read-only leader=<addr>" so clients can
+// redirect writes. PROMOTE is manual failover: the follower stops
+// replicating, keeps its applied epoch-prefix, and starts accepting
+// writes.
+//
+// On SIGINT or SIGTERM the server stops accepting connections, stops
+// the replication follower if any, drains in-flight requests through
+// the admission gate (bounded by -drain-timeout), closes the remaining
+// connections, and — when durable — checkpoints and closes the log
+// before exiting.
 package main
 
 import (
@@ -48,6 +63,7 @@ import (
 	"time"
 
 	"ldl"
+	"ldl/internal/repl"
 	"ldl/internal/service"
 )
 
@@ -64,6 +80,8 @@ func main() {
 		ckptBytes = flag.Int64("checkpoint-bytes", 4<<20, "log size that triggers a background checkpoint")
 		idle      = flag.Duration("idle-timeout", 2*time.Minute, "close connections idle longer than this (0 = never)")
 		drain     = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
+		replicaOf = flag.String("replica-of", "", "leader address to replicate from: boot as a read-only follower")
+		advertise = flag.String("advertise", "", "address advertised to followers for write redirects (default -addr)")
 	)
 	flag.Parse()
 	if *program == "" {
@@ -98,9 +116,33 @@ func main() {
 		DefaultTimeout: *timeout,
 	})
 	srv.idleTimeout = *idle
+	srv.advertise = *advertise
+	if srv.advertise == "" {
+		srv.advertise = *addr
+	}
+
+	if *replicaOf != "" {
+		// Follower mode: the fact base advances only through the
+		// replication stream; local writes are refused with a redirect.
+		sys.SetReadOnly(*replicaOf)
+		f := &repl.Follower{
+			Target:  *replicaOf,
+			Applied: sys.Epoch,
+			Apply:   sys.ApplyReplicated,
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		srv.follower = f
+		srv.stopFollower = cancel
+		go f.Run(ctx)
+		defer cancel()
+		log.Printf("ldlserver: replicating from %s", *replicaOf)
+	}
 
 	if *addr == "" {
 		srv.handle(os.Stdin, os.Stdout)
+		if srv.stopFollower != nil {
+			srv.stopFollower()
+		}
 		if err := sys.Close(); err != nil {
 			log.Fatalf("ldlserver: close: %v", err)
 		}
@@ -118,6 +160,9 @@ func main() {
 		sig := <-sigc
 		log.Printf("ldlserver: %v: shutting down", sig)
 		l.Close() // stop accepting; serve's Accept returns
+		if srv.stopFollower != nil {
+			srv.stopFollower()
+		}
 		srv.drain(*drain)
 	}()
 
@@ -135,6 +180,18 @@ func main() {
 type server struct {
 	svc         *service.Service
 	idleTimeout time.Duration
+
+	// advertise is the leader address sent in replication welcomes —
+	// where follower clients should redirect writes.
+	advertise string
+	// follower and stopFollower are set (before serving starts) when the
+	// server runs in -replica-of mode: the replication loop feeding the
+	// System, and the cancel PROMOTE uses to stop it.
+	follower     *repl.Follower
+	stopFollower context.CancelFunc
+	// shipPoll/shipHeartbeat override the Shipper intervals (tests).
+	shipPoll      time.Duration
+	shipHeartbeat time.Duration
 
 	// draining refuses new requests on surviving connections while the
 	// shutdown drain waits for in-flight ones.
@@ -231,9 +288,56 @@ func (s *server) handleConn(conn net.Conn) {
 			}
 			return
 		}
-		if !s.respond(out, in.Text()) {
+		line := strings.TrimSpace(in.Text())
+		if verb, _, _ := strings.Cut(line, " "); strings.ToUpper(verb) == "REPL" {
+			// The connection stops being a request/response line stream
+			// and becomes a one-way replication stream until it dies.
+			s.serveRepl(conn, out, line)
 			return
 		}
+		if !s.respond(out, line) {
+			return
+		}
+	}
+}
+
+// serveRepl turns one connection into a replication stream: validate
+// the hello, send the welcome, and ship the log until the connection
+// dies (the follower reconnects and gets a fresh serveRepl). The
+// follower never writes after its hello, so taking over the raw
+// connection under the request scanner loses nothing.
+func (s *server) serveRepl(conn net.Conn, out *bufio.Writer, line string) {
+	refuse := func(msg string) {
+		out.WriteString("ERR " + msg + "\n")
+		out.Flush()
+	}
+	from, err := repl.ParseHello(line)
+	if err != nil {
+		refuse(s.errLine(err))
+		return
+	}
+	sys := s.svc.System()
+	dir, fs, ok := sys.WALAccess()
+	if !ok {
+		refuse("replication requires a durable leader (-data-dir)")
+		return
+	}
+	// Replication connections are long-lived and mostly idle; the
+	// follower's heartbeat timeout is the liveness check, not ours.
+	conn.SetDeadline(time.Time{})
+	out.WriteString(repl.WelcomeLine(sys.Epoch(), s.advertise) + "\n")
+	if out.Flush() != nil {
+		return
+	}
+	ship := &repl.Shipper{
+		Dir: dir, FS: fs,
+		Head:      sys.Epoch,
+		Advertise: s.advertise,
+		Poll:      s.shipPoll,
+		Heartbeat: s.shipHeartbeat,
+	}
+	if err := ship.Serve(conn, from); err != nil && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrClosedPipe) {
+		log.Printf("ldlserver: replication stream ended: %v", err)
 	}
 }
 
@@ -300,14 +404,14 @@ func (s *server) handleLine(line string) []string {
 	case "PING":
 		return []string{"OK 0"}
 	case "STATS":
-		return statsLines(s.svc.Stats())
+		return s.statsLines()
 	case "QUERY":
 		if rest == "" {
 			return []string{"ERR QUERY needs a goal"}
 		}
 		resp, err := s.svc.Query(context.Background(), strings.TrimSuffix(rest, "?"))
 		if err != nil {
-			return []string{"ERR " + errLine(err)}
+			return []string{"ERR " + s.errLine(err)}
 		}
 		lines := make([]string, 0, len(resp.Rows)+1)
 		lines = append(lines, fmt.Sprintf("OK %d", len(resp.Rows)))
@@ -321,18 +425,45 @@ func (s *server) handleLine(line string) []string {
 		}
 		added, epoch, err := s.svc.Load(context.Background(), rest)
 		if err != nil {
-			return []string{"ERR " + errLine(err)}
+			return []string{"ERR " + s.errLine(err)}
 		}
 		return []string{fmt.Sprintf("OK %d epoch=%d", added, epoch)}
+	case "PROMOTE":
+		sys := s.svc.System()
+		if ro, _ := sys.ReadOnly(); !ro {
+			return []string{"ERR not a replica"}
+		}
+		if s.stopFollower != nil {
+			s.stopFollower()
+		}
+		return []string{fmt.Sprintf("OK promoted epoch=%d", sys.Promote())}
+	case "REPL":
+		// Reachable only from the stdin loop; TCP connections are
+		// hijacked in handleConn before dispatch.
+		return []string{"ERR REPL requires a TCP connection"}
 	default:
 		return []string{"ERR unknown command " + verb}
 	}
 }
 
-// errLine flattens an error to a single protocol-safe line. Overload
-// gets the machine-parseable "overloaded retry" prefix: the request was
-// shed before doing any work and a backoff-retry is the right response.
-func errLine(err error) string {
+// errLine flattens an error to a single protocol-safe line. Two classes
+// get machine-parseable prefixes: overload ("overloaded retry: ..." —
+// the request was shed before doing any work and a backoff-retry is the
+// right response) and replica write refusal ("read-only leader=<addr>"
+// — the client should redirect the write to the leader).
+func (s *server) errLine(err error) string {
+	var roe *ldl.ReadOnlyError
+	if errors.As(err, &roe) {
+		leader := roe.Leader
+		if s.follower != nil {
+			// Prefer the address the leader itself advertises over the
+			// bootstrap -replica-of value.
+			if st := s.follower.Stats(); st.Leader != "" {
+				leader = st.Leader
+			}
+		}
+		return "read-only leader=" + leader
+	}
 	msg := strings.ReplaceAll(err.Error(), "\n", " ")
 	if errors.Is(err, service.ErrOverloaded) {
 		return "overloaded retry: " + msg
@@ -341,32 +472,72 @@ func errLine(err error) string {
 }
 
 // statsLines renders the STATS response: a count line then sorted
-// key=value lines.
-func statsLines(st service.Stats) []string {
-	kv := map[string]int64{
-		"epoch":         int64(st.Epoch),
-		"plans":         int64(st.PlanCacheSize),
-		"hits":          st.Hits,
-		"misses":        st.Misses,
-		"evictions":     st.Evictions,
-		"invalidations": st.Invalidations,
-		"queries":       st.Queries,
-		"loads":         st.Loads,
-		"errors":        st.Errors,
-		"active":        st.Admission.Active,
-		"queued":        st.Admission.Queued,
-		"admitted":      st.Admission.Admitted,
-		"rejected":      st.Admission.Rejected,
+// key=value lines — the service counters, the server's replication
+// role, and (when present) follower lag, WAL health, and the boot-time
+// recovery report.
+func (s *server) statsLines() []string {
+	st := s.svc.Stats()
+	sys := s.svc.System()
+	var kv [][2]string
+	add := func(k string, v any) { kv = append(kv, [2]string{k, fmt.Sprint(v)}) }
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
 	}
-	keys := make([]string, 0, len(kv))
-	for k := range kv {
-		keys = append(keys, k)
+	add("epoch", st.Epoch)
+	add("plans", st.PlanCacheSize)
+	add("hits", st.Hits)
+	add("misses", st.Misses)
+	add("evictions", st.Evictions)
+	add("invalidations", st.Invalidations)
+	add("queries", st.Queries)
+	add("loads", st.Loads)
+	add("errors", st.Errors)
+	add("active", st.Admission.Active)
+	add("queued", st.Admission.Queued)
+	add("admitted", st.Admission.Admitted)
+	add("rejected", st.Admission.Rejected)
+
+	ro, leader := sys.ReadOnly()
+	if ro {
+		add("role", "replica")
+	} else {
+		add("role", "leader")
 	}
-	sort.Strings(keys)
+	if s.follower != nil {
+		fst := s.follower.Stats()
+		if fst.Leader != "" {
+			leader = fst.Leader
+		}
+		add("repl_connected", b2i(fst.Connected))
+		add("repl_applied", fst.Applied)
+		add("repl_leader_epoch", fst.LeaderEpoch)
+		add("repl_lag", fst.Lag)
+		add("repl_dials", fst.Dials)
+		add("repl_seeds", fst.Seeds)
+	}
+	if leader != "" {
+		add("repl_leader", leader)
+	}
+	if d := sys.Durability(); d.Durable {
+		add("wal_segment_bytes", d.SegmentBytes)
+		add("wal_wedged", b2i(d.Wedged))
+		add("wal_last_checkpoint", d.LastCheckpoint)
+	}
+	if rep := sys.Recovery(); rep != nil {
+		add("recovery_epoch", rep.Epoch)
+		add("recovery_checkpoint_epoch", rep.CheckpointEpoch)
+		add("recovery_records_replayed", rep.RecordsReplayed)
+		add("recovery_bytes_dropped", rep.BytesDropped)
+	}
+
+	sort.Slice(kv, func(i, j int) bool { return kv[i][0] < kv[j][0] })
 	lines := make([]string, 0, len(kv)+1)
-	lines = append(lines, fmt.Sprintf("OK %d", len(keys)))
-	for _, k := range keys {
-		lines = append(lines, fmt.Sprintf("%s=%d", k, kv[k]))
+	lines = append(lines, fmt.Sprintf("OK %d", len(kv)))
+	for _, e := range kv {
+		lines = append(lines, e[0]+"="+e[1])
 	}
 	return lines
 }

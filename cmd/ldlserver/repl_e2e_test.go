@@ -1,0 +1,274 @@
+package main
+
+// End-to-end replication tests: a real leader and a real follower, each
+// a full server over TCP, connected through the REPL verb. They cover
+// the tentpole's serving contract — follower catch-up from the shipped
+// log and from a checkpoint seed, bounded staleness under continuous
+// writes, the read-only write redirect, replication lag in STATS, and
+// manual failover via PROMOTE with byte-identical answers afterwards.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ldl"
+	"ldl/internal/repl"
+	"ldl/internal/service"
+)
+
+// leaderAdvertise is deliberately NOT the leader's dial address: the
+// redirect the replica hands out must be the address the leader
+// advertises, proving the welcome line carried it end to end.
+const leaderAdvertise = "ldl-leader.internal:7654"
+
+// startLeader boots a durable leader server with test-fast shipping.
+func startLeader(t *testing.T, dir string) (addr string, sys *ldl.System, shutdown func(time.Duration)) {
+	t.Helper()
+	sys, err := ldl.Load(serverSrc, ldl.WithDurability(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, _, shutdown = startCustom(t, sys, service.Config{}, func(s *server) {
+		s.advertise = leaderAdvertise
+		s.shipPoll = time.Millisecond
+		s.shipHeartbeat = 20 * time.Millisecond
+	})
+	return addr, sys, shutdown
+}
+
+// startReplica boots a follower server replicating from leaderAddr.
+func startReplica(t *testing.T, leaderAddr string, opts ...ldl.SystemOption) (addr string, sys *ldl.System, srv *server) {
+	t.Helper()
+	sys, err := ldl.Load(serverSrc, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.SetReadOnly(leaderAddr)
+	f := &repl.Follower{
+		Target:           leaderAddr,
+		Applied:          sys.Epoch,
+		Apply:            sys.ApplyReplicated,
+		HeartbeatTimeout: 2 * time.Second,
+		BackoffBase:      2 * time.Millisecond,
+		BackoffMax:       50 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); f.Run(ctx) }()
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+	})
+	addr, srv, _ = startCustom(t, sys, service.Config{}, func(s *server) {
+		s.follower = f
+		s.stopFollower = cancel
+	})
+	return addr, sys, srv
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// replCollect gathers the full responses of a fixed query set — the
+// byte-identity probe used across leader, replica, and promoted replica.
+func replCollect(t *testing.T, c *client) string {
+	t.Helper()
+	var all []string
+	for _, goal := range []string{"anc(X, Y)", "sg(b1, Y)", "anc(r0, Y)"} {
+		status, rows, err := c.query(goal)
+		if err != nil || !strings.HasPrefix(status, "OK ") {
+			t.Fatalf("QUERY %s = %q, %v", goal, status, err)
+		}
+		all = append(all, status)
+		all = append(all, rows...)
+	}
+	return strings.Join(all, "\n")
+}
+
+// TestReplicaServesLeaderWrites: the follower tracks a live leader
+// under continuous LOADs, keeps answering queries the whole time,
+// converges to identical answers, reports its lag in STATS, and
+// redirects writes with the parseable read-only line.
+func TestReplicaServesLeaderWrites(t *testing.T) {
+	lAddr, lsys, _ := startLeader(t, t.TempDir())
+	rAddr, rsys, _ := startReplica(t, lAddr)
+
+	lc := dial(t, lAddr)
+	rc := dial(t, rAddr)
+
+	// Continuous writer traffic on the leader while the replica serves:
+	// every replica query during the storm must answer, never error —
+	// degraded means stale, not down.
+	for i := 0; i < 6; i++ {
+		got, err := lc.roundTrip(fmt.Sprintf("LOAD par(r%d, b1). par(b1, rr%d).", i, i))
+		if err != nil || !strings.HasPrefix(got, "OK 2 ") {
+			t.Fatalf("LOAD %d = %q, %v", i, got, err)
+		}
+		if status, _, err := rc.query("sg(b1, Y)"); err != nil || !strings.HasPrefix(status, "OK ") {
+			t.Fatalf("replica query during load %d: %q, %v", i, status, err)
+		}
+	}
+
+	waitFor(t, "replica catch-up", func() bool { return rsys.Epoch() == lsys.Epoch() })
+
+	if want, got := replCollect(t, lc), replCollect(t, rc); got != want {
+		t.Fatalf("replica answers differ from leader:\nleader:\n%s\nreplica:\n%s", want, got)
+	}
+
+	// The write redirect names the leader's *advertised* address.
+	if got, err := rc.roundTrip("LOAD par(x, y)."); err != nil || got != "ERR read-only leader="+leaderAdvertise {
+		t.Fatalf("replica LOAD = %q, %v; want ERR read-only leader=%s", got, err, leaderAdvertise)
+	}
+
+	kv, err := rc.stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv["role"] != "replica" || kv["repl_leader"] != leaderAdvertise {
+		t.Errorf("replica STATS role=%q repl_leader=%q", kv["role"], kv["repl_leader"])
+	}
+	if kv["repl_connected"] != "1" || kv["repl_lag"] != "0" {
+		t.Errorf("replica STATS connected=%q lag=%q, want 1 and 0", kv["repl_connected"], kv["repl_lag"])
+	}
+	if kv["repl_applied"] != strconv.FormatUint(lsys.Epoch(), 10) {
+		t.Errorf("replica STATS repl_applied=%q, want %d", kv["repl_applied"], lsys.Epoch())
+	}
+
+	// Leader-side health keys from the durability satellite.
+	lkv, err := lc.stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lkv["role"] != "leader" || lkv["wal_wedged"] != "0" {
+		t.Errorf("leader STATS role=%q wal_wedged=%q", lkv["role"], lkv["wal_wedged"])
+	}
+	if n, _ := strconv.Atoi(lkv["wal_segment_bytes"]); n <= 0 {
+		t.Errorf("leader STATS wal_segment_bytes=%q, want > 0", lkv["wal_segment_bytes"])
+	}
+}
+
+// TestReplicaBootsFromShippedCheckpoint: the leader checkpoints (which
+// retires the log prefix) before the follower ever connects, so catch-up
+// can only happen through a shipped checkpoint seed.
+func TestReplicaBootsFromShippedCheckpoint(t *testing.T) {
+	lAddr, lsys, _ := startLeader(t, t.TempDir())
+	lc := dial(t, lAddr)
+	for i := 0; i < 3; i++ {
+		if got, err := lc.roundTrip(fmt.Sprintf("LOAD par(r%d, b1). par(b1, rr%d).", i, i)); err != nil || !strings.HasPrefix(got, "OK 2 ") {
+			t.Fatalf("LOAD %d = %q, %v", i, got, err)
+		}
+	}
+	if err := lsys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// One post-checkpoint batch, so the seed alone is not enough.
+	if got, err := lc.roundTrip("LOAD par(r3, b1). par(b1, rr3)."); err != nil || !strings.HasPrefix(got, "OK 2 ") {
+		t.Fatalf("post-checkpoint LOAD = %q, %v", got, err)
+	}
+
+	rAddr, rsys, _ := startReplica(t, lAddr)
+	waitFor(t, "replica catch-up via seed", func() bool { return rsys.Epoch() == lsys.Epoch() })
+
+	rc := dial(t, rAddr)
+	if want, got := replCollect(t, lc), replCollect(t, rc); got != want {
+		t.Fatalf("seeded replica answers differ:\nleader:\n%s\nreplica:\n%s", want, got)
+	}
+	kv, err := rc.stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv["repl_seeds"] != "1" {
+		t.Errorf("repl_seeds = %q, want 1 (catch-up required exactly one checkpoint seed)", kv["repl_seeds"])
+	}
+}
+
+// TestPromoteFailover: kill the leader, PROMOTE the (durable) replica,
+// and demand the promoted server answer byte-identically to the dead
+// leader's acknowledged state — then accept writes as the new leader.
+func TestPromoteFailover(t *testing.T) {
+	lAddr, lsys, lShutdown := startLeader(t, t.TempDir())
+	rAddr, rsys, _ := startReplica(t, lAddr, ldl.WithDurability(t.TempDir()))
+
+	lc := dial(t, lAddr)
+	for i := 0; i < 4; i++ {
+		if got, err := lc.roundTrip(fmt.Sprintf("LOAD par(r%d, b1). par(b1, rr%d).", i, i)); err != nil || !strings.HasPrefix(got, "OK 2 ") {
+			t.Fatalf("LOAD %d = %q, %v", i, got, err)
+		}
+	}
+	want := replCollect(t, lc)
+	leaderEpoch := lsys.Epoch()
+	waitFor(t, "replica catch-up", func() bool { return rsys.Epoch() == leaderEpoch })
+
+	// The leader dies: listener closed, connections drained, log closed.
+	lShutdown(time.Second)
+	if err := lsys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rc := dial(t, rAddr)
+	got, err := rc.roundTrip("PROMOTE")
+	if err != nil || got != fmt.Sprintf("OK promoted epoch=%d", leaderEpoch) {
+		t.Fatalf("PROMOTE = %q, %v; want OK promoted epoch=%d", got, err, leaderEpoch)
+	}
+	// Byte-identical answers to everything the dead leader acknowledged.
+	if got := replCollect(t, rc); got != want {
+		t.Fatalf("promoted replica answers differ:\nleader before death:\n%s\npromoted:\n%s", want, got)
+	}
+	// The promoted server is a leader now: writes land, epochs continue
+	// after the applied prefix, STATS reflects the role change.
+	if got, err := rc.roundTrip("LOAD par(post, b1)."); err != nil || got != fmt.Sprintf("OK 1 epoch=%d", leaderEpoch+1) {
+		t.Fatalf("post-promotion LOAD = %q, %v; want OK 1 epoch=%d", got, err, leaderEpoch+1)
+	}
+	kv, err := rc.stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv["role"] != "leader" {
+		t.Errorf("post-promotion role = %q, want leader", kv["role"])
+	}
+	// A second PROMOTE is refused: already a leader.
+	if got, err := rc.roundTrip("PROMOTE"); err != nil || got != "ERR not a replica" {
+		t.Fatalf("second PROMOTE = %q, %v; want ERR not a replica", got, err)
+	}
+}
+
+// TestReplVerbRefusals pins the REPL verb's error contract.
+func TestReplVerbRefusals(t *testing.T) {
+	// A non-durable server has no log to ship.
+	addr := startServer(t, service.Config{})
+	c := dial(t, addr)
+	if got, err := c.roundTrip("REPL 1"); err != nil || !strings.Contains(got, "durable") {
+		t.Fatalf("REPL on non-durable server = %q, %v; want ERR ... durable ...", got, err)
+	}
+	c2 := dial(t, addr)
+	if got, err := c2.roundTrip("REPL nonsense"); err != nil || !strings.HasPrefix(got, "ERR ") {
+		t.Fatalf("malformed REPL = %q, %v; want ERR", got, err)
+	}
+
+	// The stdin loop cannot hand over a connection.
+	sys, err := ldl.Load(serverSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(sys, service.Config{})
+	var out strings.Builder
+	srv.handle(strings.NewReader("REPL 1\n"), &out)
+	if got := strings.TrimSpace(out.String()); got != "ERR REPL requires a TCP connection" {
+		t.Fatalf("stdin REPL = %q", got)
+	}
+}

@@ -124,6 +124,11 @@ func (s *System) attachWAL(db *store.Database, cfg sysConfig) error {
 		return err
 	}
 	s.wal, s.recovery = log, rep
+	s.walDir = cfg.walDir
+	s.walFS = cfg.walFS
+	if s.walFS == nil {
+		s.walFS = wal.OS()
+	}
 	s.ckptBytes = cfg.ckptBytes
 	if s.ckptBytes == 0 {
 		s.ckptBytes = 4 << 20
@@ -140,12 +145,13 @@ func (s *System) attachWAL(db *store.Database, cfg sysConfig) error {
 // non-durable System.
 func (s *System) Recovery() *RecoveryReport { return s.recovery }
 
-// logBatch builds and appends the WAL record for one InsertFacts batch,
-// grouped by relation and sorted for a deterministic encoding. Called
-// with writeMu held, before the epoch publishes: if the record cannot
-// be made durable under the fsync policy, the batch is not published
-// and the caller returns the error — write-ahead ordering.
-func (s *System) logBatch(epoch uint64, facts []lang.Rule) error {
+// logBatch builds and appends (without syncing) the WAL record for one
+// InsertFacts batch, grouped by relation and sorted for a deterministic
+// encoding, returning the record's LSN. Called with writeMu held; the
+// caller makes the record durable with wal.Commit *outside* writeMu and
+// publishes the epoch only after that succeeds — write-ahead ordering
+// with the fsync hoisted out of the writer-serializing lock.
+func (s *System) logBatch(epoch uint64, facts []lang.Rule) (int64, error) {
 	byTag := map[string]*wal.RelFacts{}
 	var tags []string
 	for _, c := range facts {
@@ -163,10 +169,11 @@ func (s *System) logBatch(epoch uint64, facts []lang.Rule) error {
 	for i, tag := range tags {
 		rels[i] = *byTag[tag]
 	}
-	if err := s.wal.Append(wal.Batch{Epoch: epoch, Rels: rels}); err != nil {
-		return fmt.Errorf("ldl: InsertFacts: write-ahead log: %w", err)
+	lsn, err := s.wal.AppendCommit(wal.Batch{Epoch: epoch, Rels: rels})
+	if err != nil {
+		return 0, fmt.Errorf("ldl: InsertFacts: write-ahead log: %w", err)
 	}
-	return nil
+	return lsn, nil
 }
 
 // maybeCheckpoint fires the background checkpointer when the active log
@@ -200,9 +207,19 @@ func (s *System) Checkpoint() (err error) {
 	defer s.ckptMu.Unlock()
 	// Rotation must see a frozen epoch<->log boundary: every record
 	// <= ep.id is in the retiring segments, every later batch lands in
-	// the new one. Holding writeMu across the rotate guarantees it.
+	// the new one. Holding writeMu across the rotate guarantees it. The
+	// boundary epoch is the *head*, and any in-flight group commit is
+	// drained (and its epochs published) first — otherwise the retiring
+	// segment could hold acknowledged records beyond the snapshot.
 	s.writeMu.Lock()
-	ep := s.snapshot()
+	ep := s.headState()
+	if s.headLSN > 0 {
+		if err := s.wal.Commit(s.headLSN); err != nil {
+			s.writeMu.Unlock()
+			return err
+		}
+		s.publish(ep)
+	}
 	err = s.wal.Rotate(ep.id)
 	s.writeMu.Unlock()
 	if err != nil {

@@ -1,0 +1,130 @@
+package repl
+
+// The network fault-injection seam, mirroring wal.MemFS: FaultConn
+// wraps the leader side of a follower connection and makes the n-th
+// frame write misbehave in one configured way. Because the shipper
+// sends every frame with a single Write call, one injected fault maps
+// to exactly one protocol frame — the injection points of the chaos
+// matrix are frame boundaries, enumerable the way MemFS enumerates
+// filesystem operations.
+
+import (
+	"errors"
+	"net"
+	"sync"
+)
+
+// ErrInjectedFault is the error a triggered FaultConn returns to the
+// writer.
+var ErrInjectedFault = errors.New("repl: injected connection fault")
+
+// FaultMode says how the armed write misbehaves.
+type FaultMode int
+
+const (
+	// FaultDropMidFrame delivers the first half of the frame, then
+	// kills the connection — a peer dying mid-send. The receiver sees a
+	// torn frame (short read or CRC mismatch) and reconnects.
+	FaultDropMidFrame FaultMode = iota
+	// FaultStall delivers nothing and blocks the writer until the
+	// connection closes — a dead peer with an open socket. The receiver's
+	// heartbeat timeout is what detects it.
+	FaultStall
+	// FaultCorrupt flips one byte in the middle of the frame and
+	// delivers it; later writes pass through untouched. The receiver's
+	// CRC check must reject the frame and drop the connection.
+	FaultCorrupt
+	// FaultDuplicate delivers the frame twice — duplicated delivery,
+	// which the epoch-dedup on the apply path must absorb.
+	FaultDuplicate
+)
+
+func (m FaultMode) String() string {
+	switch m {
+	case FaultDropMidFrame:
+		return "drop-mid-frame"
+	case FaultStall:
+		return "stall"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultDuplicate:
+		return "duplicate"
+	}
+	return "unknown"
+}
+
+// FaultConn wraps a net.Conn, injecting one fault at the n-th Write.
+type FaultConn struct {
+	net.Conn
+	mode   FaultMode
+	failAt int
+
+	mu     sync.Mutex
+	writes int
+	fired  bool
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// NewFaultConn arms mode on the failAt-th Write (1-based) through conn.
+// failAt <= 0 never fires.
+func NewFaultConn(conn net.Conn, mode FaultMode, failAt int) *FaultConn {
+	return &FaultConn{Conn: conn, mode: mode, failAt: failAt, closed: make(chan struct{})}
+}
+
+// Fired reports whether the armed fault has triggered — cells of the
+// chaos matrix whose injection point is past the schedule's last write
+// are vacuous, and the test uses Fired to notice.
+func (c *FaultConn) Fired() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fired
+}
+
+func (c *FaultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	trigger := !c.fired && c.failAt > 0 && c.writes >= c.failAt
+	if trigger {
+		c.fired = true
+	}
+	c.mu.Unlock()
+	if !trigger {
+		return c.Conn.Write(p)
+	}
+	switch c.mode {
+	case FaultDropMidFrame:
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		c.Close()
+		return n, ErrInjectedFault
+	case FaultStall:
+		// Nothing is delivered and the writer hangs, exactly like a TCP
+		// send into a dead peer's zero window. Unblock when either side
+		// gives up: the reader goroutine returns when the peer closes
+		// (the follower never writes after its hello, so a Read only
+		// ever ends at connection teardown).
+		go func() {
+			var b [1]byte
+			c.Conn.Read(b[:])
+			c.Close()
+		}()
+		<-c.closed
+		return 0, ErrInjectedFault
+	case FaultCorrupt:
+		q := append([]byte(nil), p...)
+		q[len(q)/2] ^= 0x20
+		return c.Conn.Write(q)
+	case FaultDuplicate:
+		if n, err := c.Conn.Write(p); err != nil {
+			return n, err
+		}
+		return c.Conn.Write(p)
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *FaultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}

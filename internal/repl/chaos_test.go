@@ -1,0 +1,319 @@
+package repl
+
+// The chaos matrix: every (fault mode × injection point) cell wraps the
+// first follower connection in a FaultConn, runs a fixed leader
+// schedule (six batches with a checkpoint in the middle, so reconnects
+// can hit the reseed path), and requires the follower to converge to
+// the full history — with a model applier that asserts, at every single
+// apply, that the follower's state is an exact epoch-prefix of the
+// leader's acknowledged batches. The injection point is a frame index:
+// the shipper sends each frame with one Write, so cell (mode, n) faults
+// exactly the n-th frame of the first connection.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ldl/internal/term"
+	"ldl/internal/wal"
+)
+
+const dir = "data"
+
+// mkBatch builds the leader batch for epoch e: two distinct tuples in
+// par/2, so every epoch's contribution is distinguishable.
+func mkBatch(e uint64) wal.Batch {
+	return wal.Batch{Epoch: e, Rels: []wal.RelFacts{{Tag: "par/2", Arity: 2,
+		Tuples: [][]term.Term{
+			{term.Atom(fmt.Sprintf("e%d_a", e)), term.Int(int64(e))},
+			{term.Atom(fmt.Sprintf("e%d_b", e)), term.Int(int64(e))},
+		}}}}
+}
+
+// tupleKeys renders a batch's tuples as set keys.
+func tupleKeys(b wal.Batch) []string {
+	var out []string
+	for _, r := range b.Rels {
+		for _, t := range r.Tuples {
+			out = append(out, fmt.Sprintf("%s|%v|%v", r.Tag, t[0], t[1]))
+		}
+	}
+	return out
+}
+
+// cumulative is the oracle: the exact fact state after every batch in
+// [2, epoch].
+func cumulative(epoch uint64) map[string]bool {
+	out := map[string]bool{}
+	for e := uint64(2); e <= epoch; e++ {
+		for _, k := range tupleKeys(mkBatch(e)) {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// chaosLeader is an in-process leader: a real WAL on MemFS, a Shipper,
+// and a dialer that manufactures net.Pipe connections served by a
+// handshake + Serve goroutine. arm wraps the next accepted connection
+// (the fault-injection hook).
+type chaosLeader struct {
+	t    *testing.T
+	fs   *wal.MemFS
+	log  *wal.Log
+	head atomic.Uint64
+	ship *Shipper
+
+	mu    sync.Mutex
+	conns []net.Conn
+	arm   func(net.Conn) net.Conn
+}
+
+func newChaosLeader(t *testing.T) *chaosLeader {
+	fs := wal.NewMemFS()
+	log, _, err := wal.Open(dir, wal.Options{FS: fs}, func(wal.Batch) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := &chaosLeader{t: t, fs: fs, log: log}
+	ld.head.Store(1)
+	ld.ship = &Shipper{
+		Dir: dir, FS: fs,
+		Head:      ld.head.Load,
+		Advertise: "leader:9999",
+		Poll:      time.Millisecond,
+		Heartbeat: 15 * time.Millisecond,
+	}
+	t.Cleanup(ld.closeAll)
+	return ld
+}
+
+func (ld *chaosLeader) closeAll() {
+	ld.mu.Lock()
+	defer ld.mu.Unlock()
+	for _, c := range ld.conns {
+		c.Close()
+	}
+	ld.conns = nil
+}
+
+// append logs one batch and publishes its epoch — the leader
+// acknowledging a write.
+func (ld *chaosLeader) append(e uint64) {
+	if err := ld.log.Append(mkBatch(e)); err != nil {
+		ld.t.Fatal(err)
+	}
+	ld.head.Store(e)
+}
+
+// checkpoint snapshots the cumulative state at e and retires the log
+// prefix, so a follower behind e can only catch up via reseed.
+func (ld *chaosLeader) checkpoint(e uint64) {
+	if err := ld.log.Rotate(e); err != nil {
+		ld.t.Fatal(err)
+	}
+	r := wal.RelFacts{Tag: "par/2", Arity: 2}
+	for i := uint64(2); i <= e; i++ {
+		r.Tuples = append(r.Tuples, mkBatch(i).Rels[0].Tuples...)
+	}
+	if err := ld.log.Checkpoint(e, []wal.RelFacts{r}); err != nil {
+		ld.t.Fatal(err)
+	}
+}
+
+// dial is the Follower.Dial hook: one net.Pipe per call, server side
+// (possibly fault-wrapped) handled by a handshake+Serve goroutine.
+func (ld *chaosLeader) dial() (net.Conn, error) {
+	cli, srv := net.Pipe()
+	var conn net.Conn = srv
+	ld.mu.Lock()
+	if ld.arm != nil {
+		conn = ld.arm(srv)
+		ld.arm = nil
+	}
+	ld.conns = append(ld.conns, conn, cli)
+	ld.mu.Unlock()
+	go func() {
+		defer conn.Close()
+		r := bufio.NewReader(conn)
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		from, err := ParseHello(strings.TrimSpace(line))
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(conn, "%s\n", WelcomeLine(ld.head.Load(), ld.ship.Advertise)); err != nil {
+			return
+		}
+		ld.ship.Serve(conn, from)
+	}()
+	return cli, nil
+}
+
+// prefixModel is the follower's apply target: it mirrors the epoch-
+// dedup rule of ldl.System.ApplyReplicated and asserts after EVERY
+// apply that the accumulated state equals the oracle's prefix at the
+// applied epoch — the chaos matrix's core invariant, checked at every
+// step of every fault schedule, not just at convergence.
+type prefixModel struct {
+	t  *testing.T
+	mu sync.Mutex
+
+	applied uint64
+	state   map[string]bool
+}
+
+func (m *prefixModel) Applied() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.applied
+}
+
+func (m *prefixModel) Apply(b wal.Batch) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b.Epoch <= m.applied {
+		return nil // duplicate delivery: skip, exactly like ApplyReplicated
+	}
+	if m.state == nil {
+		m.state = map[string]bool{}
+	}
+	for _, k := range tupleKeys(b) {
+		m.state[k] = true
+	}
+	m.applied = b.Epoch
+	want := cumulative(b.Epoch)
+	if len(m.state) != len(want) {
+		m.t.Errorf("after applying epoch %d: %d tuples, want %d", b.Epoch, len(m.state), len(want))
+	}
+	for k := range want {
+		if !m.state[k] {
+			m.t.Errorf("after applying epoch %d: missing %s", b.Epoch, k)
+		}
+	}
+	return nil
+}
+
+// runChaosCell runs the standard schedule with one fault armed on the
+// first connection and requires convergence to epoch 7.
+func runChaosCell(t *testing.T, mode FaultMode, failAt int) {
+	ld := newChaosLeader(t)
+	var fault *FaultConn
+	ld.arm = func(c net.Conn) net.Conn {
+		fault = NewFaultConn(c, mode, failAt)
+		return fault
+	}
+	m := &prefixModel{t: t}
+	f := &Follower{
+		Dial:             ld.dial,
+		Applied:          m.Applied,
+		Apply:            m.Apply,
+		HeartbeatTimeout: 60 * time.Millisecond,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       8 * time.Millisecond,
+	}
+	ctx, cancel := newTestContext(t)
+	var done sync.WaitGroup
+	done.Add(1)
+	go func() { defer done.Done(); f.Run(ctx) }()
+
+	// The schedule: epochs 2..7, checkpoint at 4 (retiring 2..4, so a
+	// follower interrupted early reconnects onto the reseed path).
+	for e := uint64(2); e <= 7; e++ {
+		ld.append(e)
+		if e == 4 {
+			ld.checkpoint(4)
+		}
+		time.Sleep(2 * time.Millisecond) // let shipping interleave with appends
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Applied() != 7 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.Applied(); got != 7 {
+		t.Fatalf("follower stuck at epoch %d (fault %s at frame %d, fired=%v, stats=%+v)",
+			got, mode, failAt, fault != nil && fault.Fired(), f.Stats())
+	}
+	cancel()
+	ld.closeAll()
+	done.Wait()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	want := cumulative(7)
+	if len(m.state) != len(want) {
+		t.Errorf("converged state has %d tuples, want %d", len(m.state), len(want))
+	}
+}
+
+func TestChaosMatrix(t *testing.T) {
+	for _, mode := range []FaultMode{FaultDropMidFrame, FaultStall, FaultCorrupt, FaultDuplicate} {
+		for failAt := 1; failAt <= 8; failAt++ {
+			mode, failAt := mode, failAt
+			t.Run(fmt.Sprintf("%s/frame%d", mode, failAt), func(t *testing.T) {
+				runChaosCell(t, mode, failAt)
+			})
+		}
+	}
+}
+
+// TestChaosRepeatedFaults arms a fresh fault on EVERY connection for a
+// while — the follower must still converge once the faults stop.
+func TestChaosRepeatedFaults(t *testing.T) {
+	ld := newChaosLeader(t)
+	var dials atomic.Int64
+	armEach := func() {
+		ld.mu.Lock()
+		defer ld.mu.Unlock()
+		n := dials.Add(1)
+		if n <= 6 { // first six connections each die on an early frame
+			mode := []FaultMode{FaultDropMidFrame, FaultCorrupt, FaultDuplicate}[n%3]
+			ld.arm = func(c net.Conn) net.Conn { return NewFaultConn(c, mode, int(n%3)+1) }
+		}
+	}
+	m := &prefixModel{t: t}
+	baseDial := ld.dial
+	f := &Follower{
+		Dial:             func() (net.Conn, error) { armEach(); return baseDial() },
+		Applied:          m.Applied,
+		Apply:            m.Apply,
+		HeartbeatTimeout: 60 * time.Millisecond,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       8 * time.Millisecond,
+	}
+	ctx, cancel := newTestContext(t)
+	var done sync.WaitGroup
+	done.Add(1)
+	go func() { defer done.Done(); f.Run(ctx) }()
+
+	for e := uint64(2); e <= 9; e++ {
+		ld.append(e)
+		if e == 5 {
+			ld.checkpoint(5)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Applied() != 9 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.Applied(); got != 9 {
+		t.Fatalf("follower stuck at epoch %d after repeated faults (stats=%+v)", got, f.Stats())
+	}
+	st := f.Stats()
+	if st.Dials < 2 {
+		t.Errorf("expected reconnects, stats=%+v", st)
+	}
+	cancel()
+	ld.closeAll()
+	done.Wait()
+}

@@ -1,0 +1,218 @@
+package repl
+
+// The follower side: dial the leader, hand it our applied epoch, apply
+// the stream, and when anything goes wrong — connection refused, mid-
+// frame drop, stalled peer, corrupt frame — back off with jitter and
+// reconnect from whatever epoch we reached. The apply path is the
+// caller's (ldl.System.ApplyReplicated via the cmd adapter), which
+// deduplicates by epoch, so every fault schedule resolves to the same
+// thing: an exact epoch-prefix that only ever grows.
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"ldl/internal/wal"
+)
+
+// Stats is a snapshot of the follower's replication state — what the
+// serving layer reports under STATS.
+type Stats struct {
+	// Connected reports a live leader connection.
+	Connected bool
+	// Applied is the last epoch applied; LeaderEpoch the leader's head
+	// as of the last heartbeat or batch; Lag their difference — the
+	// staleness bound a replica read is served under.
+	Applied     uint64
+	LeaderEpoch uint64
+	Lag         uint64
+	// Leader is the address the leader advertises for write redirects.
+	Leader string
+	// Dials counts connection attempts; Seeds counts checkpoint seeds
+	// applied (each one is a full re-sync, so a growing count means the
+	// follower keeps falling behind the leader's checkpoint retention).
+	Dials int64
+	Seeds int64
+	// LastError is the most recent stream failure ("" when none yet).
+	LastError string
+}
+
+// Follower replicates from one leader until its context is canceled.
+type Follower struct {
+	// Target is the leader address; Dial overrides how it is reached
+	// (nil = net.Dial "tcp"). The chaos tests inject fault connections
+	// here.
+	Target string
+	Dial   func() (net.Conn, error)
+	// Applied reports the last applied epoch (the resume token sent on
+	// every reconnect); Apply applies one shipped batch. Both come from
+	// the serving layer's System adapter.
+	Applied func() uint64
+	Apply   func(wal.Batch) error
+	// HeartbeatTimeout is how long a silent connection is trusted before
+	// being declared dead (default 10s; must exceed the leader's
+	// heartbeat interval).
+	HeartbeatTimeout time.Duration
+	// BackoffBase/BackoffMax bound the jittered exponential reconnect
+	// backoff (defaults 100ms and 5s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+
+	mu sync.Mutex
+	st Stats
+}
+
+// Stats returns a consistent snapshot of the replication state.
+func (f *Follower) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.st
+	st.Applied = f.Applied()
+	if st.LeaderEpoch > st.Applied {
+		st.Lag = st.LeaderEpoch - st.Applied
+	} else {
+		st.Lag = 0
+	}
+	return st
+}
+
+// Run replicates until ctx is canceled: dial, stream, and on any
+// failure reconnect with jittered exponential backoff, resuming from
+// the applied epoch. A stream that made progress resets the backoff.
+func (f *Follower) Run(ctx context.Context) {
+	base := f.BackoffBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := f.BackoffMax
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	backoff := base
+	for ctx.Err() == nil {
+		f.mu.Lock()
+		f.st.Dials++
+		f.mu.Unlock()
+		conn, err := f.dial()
+		if err == nil {
+			// Cancellation must interrupt a blocked read: close the
+			// connection when ctx dies.
+			stop := context.AfterFunc(ctx, func() { conn.Close() })
+			var progress bool
+			progress, err = f.stream(ctx, conn)
+			stop()
+			conn.Close()
+			if progress {
+				backoff = base
+			}
+		}
+		f.mu.Lock()
+		f.st.Connected = false
+		if err != nil && ctx.Err() == nil {
+			f.st.LastError = err.Error()
+		}
+		f.mu.Unlock()
+		if ctx.Err() != nil {
+			return
+		}
+		// Jittered exponential backoff: sleep in [backoff/2, backoff),
+		// so a herd of followers orphaned together does not re-dial in
+		// lockstep.
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(d):
+		}
+		if backoff *= 2; backoff > max {
+			backoff = max
+		}
+	}
+}
+
+func (f *Follower) dial() (net.Conn, error) {
+	if f.Dial != nil {
+		return f.Dial()
+	}
+	return net.Dial("tcp", f.Target)
+}
+
+// stream runs one connection: handshake, then apply frames until the
+// connection fails, goes silent past the heartbeat timeout, or delivers
+// a corrupt frame. progress reports whether at least one batch applied,
+// which is what resets the reconnect backoff.
+func (f *Follower) stream(ctx context.Context, conn net.Conn) (progress bool, err error) {
+	hbt := f.HeartbeatTimeout
+	if hbt <= 0 {
+		hbt = 10 * time.Second
+	}
+	conn.SetDeadline(time.Now().Add(hbt))
+	if _, err := fmt.Fprintf(conn, "%s\n", HelloLine(f.Applied())); err != nil {
+		return false, err
+	}
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return false, err
+	}
+	head, leader, err := ParseWelcome(strings.TrimSpace(line))
+	if err != nil {
+		return false, err
+	}
+	f.mu.Lock()
+	f.st.Connected = true
+	f.st.Leader = leader
+	if head > f.st.LeaderEpoch {
+		f.st.LeaderEpoch = head
+	}
+	f.mu.Unlock()
+
+	for ctx.Err() == nil {
+		conn.SetReadDeadline(time.Now().Add(hbt))
+		kind, payload, err := readFrame(r)
+		if err != nil {
+			return progress, err
+		}
+		switch kind {
+		case kindHeartbeat:
+			head, n := binary.Uvarint(payload)
+			if n <= 0 {
+				return progress, fmt.Errorf("repl: malformed heartbeat")
+			}
+			f.noteLeaderEpoch(head)
+		case kindSeed, kindBatch:
+			b, err := wal.DecodeBatchPayload(payload)
+			if err != nil {
+				return progress, fmt.Errorf("repl: frame decode: %w", err)
+			}
+			if err := f.Apply(b); err != nil {
+				return progress, fmt.Errorf("repl: apply epoch %d: %w", b.Epoch, err)
+			}
+			progress = true
+			if kind == kindSeed {
+				f.mu.Lock()
+				f.st.Seeds++
+				f.mu.Unlock()
+			}
+			f.noteLeaderEpoch(b.Epoch)
+		default:
+			return progress, fmt.Errorf("repl: unknown frame kind %q", kind)
+		}
+	}
+	return progress, ctx.Err()
+}
+
+func (f *Follower) noteLeaderEpoch(e uint64) {
+	f.mu.Lock()
+	if e > f.st.LeaderEpoch {
+		f.st.LeaderEpoch = e
+	}
+	f.mu.Unlock()
+}

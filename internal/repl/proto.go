@@ -1,0 +1,130 @@
+// Package repl implements log-shipping replication over a byte stream:
+// a leader-side Shipper that replays the write-ahead log (checkpoint
+// seed + incremental batches) to a follower connection, and a Follower
+// loop that applies the stream and keeps reconnecting until told to
+// stop.
+//
+// The protocol is deliberately minimal — one text handshake line each
+// way, then a one-directional sequence of CRC-framed binary frames from
+// leader to follower:
+//
+//	follower → leader:  "REPL <last applied epoch>\n"
+//	leader → follower:  "OK repl epoch=<head> leader=<advertise>\n"
+//	leader → follower:  frames: len u32 | crc u32 | kind byte | payload
+//
+// Frame kinds: 'S' (seed — a full checkpoint state the follower loads
+// before tailing, sent when the records it needs were retired), 'B'
+// (one InsertFacts batch, payload in the WAL's record encoding), 'H'
+// (heartbeat, payload = uvarint leader head epoch). The epoch inside
+// each batch is the resume token: a follower reconnects with the last
+// epoch it applied and the leader replans from there, so delivery is
+// at-least-once and the apply side deduplicates by epoch. CRC framing
+// means a corrupt frame is detected, the connection dropped, and the
+// data re-requested by the reconnect — never applied.
+package repl
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strings"
+)
+
+// Frame kinds.
+const (
+	kindSeed      = 'S'
+	kindBatch     = 'B'
+	kindHeartbeat = 'H'
+)
+
+// maxFrame bounds a declared frame length: the WAL's maximum record
+// size plus framing slack. A corrupted length field fails fast instead
+// of allocating gigabytes.
+const maxFrame = 64<<20 + 64
+
+// ErrCorruptFrame reports a frame whose checksum did not match — noise
+// on the wire or a torn write. The receiver drops the connection and
+// re-requests the data by reconnecting from its applied epoch.
+var ErrCorruptFrame = errors.New("repl: corrupt frame (crc mismatch)")
+
+// appendFrame encodes one frame into buf.
+func appendFrame(buf []byte, kind byte, payload []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(1+len(payload)))
+	body := append([]byte{kind}, payload...)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+	buf = append(buf, hdr[:]...)
+	return append(buf, body...)
+}
+
+// writeFrame sends one frame with a single Write call — the granularity
+// the fault-injection seam (FaultConn) relies on: one injected fault
+// hits exactly one frame.
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	_, err := w.Write(appendFrame(nil, kind, payload))
+	return err
+}
+
+// readFrame reads and validates one frame.
+func readFrame(r *bufio.Reader) (kind byte, payload []byte, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("repl: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return 0, nil, ErrCorruptFrame
+	}
+	return body[0], body[1:], nil
+}
+
+// HelloLine renders the follower's handshake line.
+func HelloLine(applied uint64) string { return fmt.Sprintf("REPL %d", applied) }
+
+// ParseHello reads the follower handshake, returning its last applied
+// epoch. The server front end calls this on a "REPL ..." command line.
+func ParseHello(line string) (applied uint64, err error) {
+	fields := strings.Fields(line)
+	if len(fields) != 2 || fields[0] != "REPL" {
+		return 0, fmt.Errorf("repl: malformed hello %q (want \"REPL <epoch>\")", line)
+	}
+	if _, err := fmt.Sscanf(fields[1], "%d", &applied); err != nil {
+		return 0, fmt.Errorf("repl: malformed hello epoch %q", fields[1])
+	}
+	return applied, nil
+}
+
+// WelcomeLine renders the leader's handshake response: its published
+// head epoch and the address it advertises for write redirects.
+func WelcomeLine(head uint64, leader string) string {
+	return fmt.Sprintf("OK repl epoch=%d leader=%s", head, leader)
+}
+
+// ParseWelcome reads the leader handshake response.
+func ParseWelcome(line string) (head uint64, leader string, err error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[0] != "OK" || fields[1] != "repl" {
+		return 0, "", fmt.Errorf("repl: malformed welcome %q", line)
+	}
+	for _, f := range fields[2:] {
+		switch {
+		case strings.HasPrefix(f, "epoch="):
+			if _, err := fmt.Sscanf(f[len("epoch="):], "%d", &head); err != nil {
+				return 0, "", fmt.Errorf("repl: malformed welcome epoch in %q", line)
+			}
+		case strings.HasPrefix(f, "leader="):
+			leader = f[len("leader="):]
+		}
+	}
+	return head, leader, nil
+}

@@ -1,0 +1,241 @@
+package repl
+
+// Unit tests for the protocol layer and the follower loop's
+// reconnect/backoff behavior. The chaos matrix (chaos_test.go) covers
+// the full stream under faults.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ldl/internal/wal"
+)
+
+func newTestContext(t *testing.T) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	return ctx, cancel
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload, err := wal.EncodeBatchPayload(nil, mkBatch(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, kindBatch, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(&buf, kindHeartbeat, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	kind, p, err := readFrame(r)
+	if err != nil || kind != kindBatch {
+		t.Fatalf("first frame: kind=%q err=%v", kind, err)
+	}
+	b, err := wal.DecodeBatchPayload(p)
+	if err != nil || b.Epoch != 7 {
+		t.Fatalf("payload decode: epoch=%d err=%v", b.Epoch, err)
+	}
+	if kind, p, err := readFrame(r); err != nil || kind != kindHeartbeat || len(p) != 1 {
+		t.Fatalf("second frame: kind=%q len=%d err=%v", kind, len(p), err)
+	}
+}
+
+func TestFrameCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, kindBatch, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Flip every byte position in turn: every single-byte corruption
+	// must be rejected, none silently applied.
+	for i := range raw {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x01
+		_, _, err := readFrame(bufio.NewReader(bytes.NewReader(bad)))
+		if err == nil {
+			t.Fatalf("corruption at byte %d decoded successfully", i)
+		}
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	applied, err := ParseHello(HelloLine(42))
+	if err != nil || applied != 42 {
+		t.Fatalf("hello round trip: %d, %v", applied, err)
+	}
+	head, leader, err := ParseWelcome(WelcomeLine(17, "host:1234"))
+	if err != nil || head != 17 || leader != "host:1234" {
+		t.Fatalf("welcome round trip: %d, %q, %v", head, leader, err)
+	}
+	for _, bad := range []string{"", "REPL", "REPL x", "LOAD 3", "REPL 1 2"} {
+		if _, err := ParseHello(bad); err == nil {
+			t.Errorf("ParseHello(%q) accepted", bad)
+		}
+	}
+	for _, bad := range []string{"", "OK", "ERR no", "OK repl epoch=x"} {
+		if _, _, err := ParseWelcome(bad); err == nil {
+			t.Errorf("ParseWelcome(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFollowerBackoffOnDialFailure(t *testing.T) {
+	// The leader is down for the first few dials; the follower must keep
+	// trying (with backoff) and sync once it comes up.
+	ld := newChaosLeader(t)
+	ld.append(2)
+	ld.append(3)
+	var dials atomic.Int64
+	m := &prefixModel{t: t}
+	f := &Follower{
+		Dial: func() (net.Conn, error) {
+			if dials.Add(1) <= 3 {
+				return nil, errors.New("connection refused")
+			}
+			return ld.dial()
+		},
+		Applied:          m.Applied,
+		Apply:            m.Apply,
+		HeartbeatTimeout: 60 * time.Millisecond,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       4 * time.Millisecond,
+	}
+	ctx, cancel := newTestContext(t)
+	var done sync.WaitGroup
+	done.Add(1)
+	go func() { defer done.Done(); f.Run(ctx) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Applied() != 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.Applied(); got != 3 {
+		t.Fatalf("follower at epoch %d, want 3 (stats=%+v)", got, f.Stats())
+	}
+	if n := dials.Load(); n < 4 {
+		t.Errorf("dials = %d, want >= 4 (3 refused + 1 success)", n)
+	}
+	st := f.Stats()
+	if !st.Connected || st.Applied != 3 || st.Leader != "leader:9999" {
+		t.Errorf("stats after sync: %+v", st)
+	}
+	if st.LastError == "" {
+		t.Errorf("refused dials left no LastError: %+v", st)
+	}
+	cancel()
+	ld.closeAll()
+	done.Wait()
+}
+
+func TestFollowerLagTracksLeaderHead(t *testing.T) {
+	// Heartbeats carry the leader head even when nothing ships; lag is
+	// head - applied.
+	ld := newChaosLeader(t)
+	ld.append(2)
+	m := &prefixModel{t: t}
+	blocked := make(chan struct{})
+	var once sync.Once
+	f := &Follower{
+		Dial:    ld.dial,
+		Applied: m.Applied,
+		Apply: func(b wal.Batch) error {
+			if b.Epoch > 2 {
+				// Swallow later batches without applying: the follower
+				// now lags behind the leader on purpose.
+				once.Do(func() { close(blocked) })
+				return nil
+			}
+			return m.Apply(b)
+		},
+		HeartbeatTimeout: 200 * time.Millisecond,
+		BackoffBase:      time.Millisecond,
+	}
+	ctx, cancel := newTestContext(t)
+	var done sync.WaitGroup
+	done.Add(1)
+	go func() { defer done.Done(); f.Run(ctx) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Applied() != 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ld.append(3)
+	ld.append(4)
+	<-blocked // the stream delivered past-2 batches we refused to apply
+	for time.Now().Before(deadline) {
+		if st := f.Stats(); st.LeaderEpoch >= 4 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	st := f.Stats()
+	if st.Applied != 2 || st.LeaderEpoch < 4 || st.Lag != st.LeaderEpoch-2 {
+		t.Fatalf("lag accounting wrong: %+v", st)
+	}
+	cancel()
+	ld.closeAll()
+	done.Wait()
+}
+
+func TestShipperReseedsRetiredFollower(t *testing.T) {
+	// A follower that reconnects after the leader checkpointed past it
+	// must get exactly one seed and then the live tail.
+	ld := newChaosLeader(t)
+	for e := uint64(2); e <= 5; e++ {
+		ld.append(e)
+	}
+	ld.checkpoint(5)
+	ld.append(6)
+
+	m := &prefixModel{t: t}
+	m.mu.Lock()
+	m.applied = 3 // pretend an earlier session applied 2..3
+	m.state = cumulative(3)
+	m.mu.Unlock()
+
+	f := &Follower{
+		Dial: ld.dial, Applied: m.Applied, Apply: m.Apply,
+		HeartbeatTimeout: 60 * time.Millisecond,
+		BackoffBase:      time.Millisecond,
+	}
+	ctx, cancel := newTestContext(t)
+	var done sync.WaitGroup
+	done.Add(1)
+	go func() { defer done.Done(); f.Run(ctx) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Applied() != 6 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.Applied(); got != 6 {
+		t.Fatalf("follower at epoch %d, want 6 (stats=%+v)", got, f.Stats())
+	}
+	if st := f.Stats(); st.Seeds != 1 {
+		t.Errorf("seeds = %d, want exactly 1 (stats=%+v)", st.Seeds, st)
+	}
+	cancel()
+	ld.closeAll()
+	done.Wait()
+}
+
+func TestFaultModeStrings(t *testing.T) {
+	for _, m := range []FaultMode{FaultDropMidFrame, FaultStall, FaultCorrupt, FaultDuplicate} {
+		if m.String() == "unknown" {
+			t.Errorf("FaultMode(%d) has no name", int(m))
+		}
+	}
+	if fmt.Sprint(FaultMode(99)) != "unknown" {
+		t.Error("out-of-range FaultMode should render unknown")
+	}
+}

@@ -1,0 +1,120 @@
+package repl
+
+// The leader side: replay the WAL to one follower connection, then keep
+// tailing it live. One Shipper serves any number of connections (it is
+// stateless between calls); the front end calls Serve with the epoch
+// the follower announced in its hello and the connection the handshake
+// arrived on.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"ldl/internal/wal"
+)
+
+// Shipper streams a WAL directory to followers.
+type Shipper struct {
+	// Dir and FS locate the leader's log (ldl.System.WALAccess).
+	Dir string
+	FS  wal.FS
+	// Head reports the leader's *published* epoch. Delivery is capped at
+	// it: a record appended but not yet acknowledged to its writer is
+	// never shipped, so a follower can never be ahead of what the leader
+	// has promised.
+	Head func() uint64
+	// Advertise is the address sent in the welcome line — where the
+	// follower's clients should send writes.
+	Advertise string
+	// Poll is how often the tail of the active segment is re-read when
+	// idle (default 20ms).
+	Poll time.Duration
+	// Heartbeat is the idle-connection heartbeat interval (default 2s).
+	// Every heartbeat also refreshes the follower's view of the leader
+	// head epoch, which is what its staleness bound is measured against.
+	Heartbeat time.Duration
+}
+
+// Serve replays and then tails the log to conn, blocking until the
+// connection fails (the follower vanished — it will reconnect and get a
+// fresh Serve) or the log reports unrecoverable corruption. The caller
+// has already read the follower's hello; from is the epoch it resumes
+// at. Closing conn makes Serve return within a heartbeat interval.
+func (s *Shipper) Serve(conn io.Writer, from uint64) error {
+	poll := s.Poll
+	if poll <= 0 {
+		poll = 20 * time.Millisecond
+	}
+	hb := s.Heartbeat
+	if hb <= 0 {
+		hb = 2 * time.Second
+	}
+
+	plan, err := wal.PlanShip(s.Dir, s.FS, from)
+	if err != nil {
+		return fmt.Errorf("repl: plan: %w", err)
+	}
+	if err := s.sendSeed(conn, plan); err != nil {
+		return err
+	}
+	cur := plan.Cursor
+
+	var buf []byte
+	emit := func(b wal.Batch) error {
+		payload, err := wal.EncodeBatchPayload(buf[:0], b)
+		if err != nil {
+			return err
+		}
+		buf = payload
+		return writeFrame(conn, kindBatch, payload)
+	}
+
+	lastBeat := time.Now()
+	for {
+		next, err := wal.ReadLive(s.Dir, s.FS, cur, s.Head(), emit)
+		switch {
+		case errors.Is(err, wal.ErrRetired):
+			// A checkpoint deleted the segment under the cursor between
+			// polls. Re-plan from the follower's position: it either
+			// resumes from a surviving segment or gets re-seeded from
+			// the checkpoint that did the retiring.
+			plan, err = wal.PlanShip(s.Dir, s.FS, next.Epoch)
+			if err != nil {
+				return fmt.Errorf("repl: replan: %w", err)
+			}
+			if err := s.sendSeed(conn, plan); err != nil {
+				return err
+			}
+			cur = plan.Cursor
+			continue
+		case err != nil:
+			return err
+		}
+		if next.Epoch > cur.Epoch {
+			lastBeat = time.Now() // shipped data doubles as a heartbeat
+		} else if time.Since(lastBeat) >= hb {
+			var hbuf [binary.MaxVarintLen64]byte
+			n := binary.PutUvarint(hbuf[:], s.Head())
+			if err := writeFrame(conn, kindHeartbeat, hbuf[:n]); err != nil {
+				return err
+			}
+			lastBeat = time.Now()
+		}
+		cur = next
+		time.Sleep(poll)
+	}
+}
+
+func (s *Shipper) sendSeed(conn io.Writer, plan wal.ShipPlan) error {
+	if plan.Seed == nil {
+		return nil
+	}
+	payload, err := wal.EncodeBatchPayload(nil, *plan.Seed)
+	if err != nil {
+		return err
+	}
+	return writeFrame(conn, kindSeed, payload)
+}

@@ -8,7 +8,6 @@ package wal
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // CorruptError is the typed, unrecoverable corruption report: damage in
@@ -90,21 +89,10 @@ func Recover(dir string, fs FS, apply func(Batch) error) (*RecoveryReport, error
 }
 
 func recoverDir(dir string, fs FS, apply func(Batch) error) (*RecoveryReport, error) {
-	names, err := fs.List(dir)
+	snaps, segs, err := scanDir(dir, fs) // snapshots newest first, segments oldest first
 	if err != nil {
 		return nil, fmt.Errorf("wal: recover: %w", err)
 	}
-	var snaps, segs []uint64
-	for _, name := range names {
-		if e, ok := parseSeq(name, "snapshot-"); ok {
-			snaps = append(snaps, e)
-		}
-		if b, ok := parseSeq(name, "log-"); ok {
-			segs = append(segs, b)
-		}
-	}
-	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] }) // newest first
-	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })   // oldest first
 
 	rep := &RecoveryReport{}
 

@@ -1,0 +1,223 @@
+package wal
+
+// The shipping read side: the API a log-shipping replicator uses to
+// stream a leader's durable history to followers. Shipping and crash
+// recovery are the same apply loop over the same files; the difference
+// is that a shipper runs *concurrently with the writer* and *forever*,
+// so it reads incrementally through a Cursor instead of scanning once,
+// tolerates the growing tail of the active segment (an incomplete frame
+// at the end means "wait", not "torn"), and must notice when a
+// checkpoint retires the segment under it (ErrRetired) so it can
+// re-plan — resuming from a newer segment, or re-seeding the follower
+// from the checkpoint when the records it still needs are gone.
+//
+// Concurrency contract: the writer appends whole framed records with a
+// single File.Write and only ever appends; a reader therefore sees a
+// byte prefix of valid frames, possibly ending mid-frame. Segment files
+// are never modified after rotation, only deleted (by Checkpoint).
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrRetired reports that the segment a Cursor points into was deleted
+// by a checkpoint while the reader was between polls. The reader must
+// re-plan from the follower's applied epoch (PlanShip), which either
+// resumes from a surviving segment or re-seeds from the checkpoint that
+// did the retiring.
+var ErrRetired = errors.New("wal: segment retired under the reader")
+
+// EncodeBatchPayload appends the unframed payload encoding of b — the
+// replication stream reuses the log's record payload format so one
+// codec (and one fuzz target) covers disk and wire.
+func EncodeBatchPayload(buf []byte, b Batch) ([]byte, error) {
+	return appendBatchPayload(buf, b)
+}
+
+// DecodeBatchPayload decodes an unframed batch payload produced by
+// EncodeBatchPayload. Arbitrary input is safe: bounded allocation,
+// bounded term depth, no panics.
+func DecodeBatchPayload(data []byte) (Batch, error) {
+	return decodeBatchPayload(data)
+}
+
+// Cursor is a reader's position in the segment stream: which segment,
+// the byte offset of the next unread frame in it, and the highest epoch
+// delivered (or deliberately skipped) so far. Epoch, not offset, is the
+// resume token across re-plans and reconnects — offsets die with their
+// segment, epochs are forever.
+type Cursor struct {
+	Base  uint64 // base epoch of the segment being read
+	Off   int64  // offset of the next frame within it
+	Epoch uint64 // highest epoch delivered or skipped
+}
+
+// ShipPlan says how to bring a follower at some applied epoch up to
+// date: an optional seed batch (the full checkpoint state the follower
+// must load first, because the incremental records it needs were
+// retired) and the cursor to start tailing from.
+type ShipPlan struct {
+	Seed   *Batch
+	Cursor Cursor
+}
+
+// PlanShip decides how to ship dir's history to a follower whose last
+// applied epoch is from (0 = fresh follower, nothing applied).
+//
+// If a segment with base <= from survives, every record the follower
+// is missing is still on disk: resume from that segment, skipping
+// records at or below from. Otherwise the records in (from, oldest
+// base] were retired by a checkpoint, and the follower re-seeds from
+// the newest valid snapshot before tailing the segments after it.
+func PlanShip(dir string, fs FS, from uint64) (ShipPlan, error) {
+	if fs == nil {
+		fs = OS()
+	}
+	snaps, segs, err := scanDir(dir, fs)
+	if err != nil {
+		return ShipPlan{}, err
+	}
+
+	// Resume path: the newest segment with base <= from covers the
+	// boundary; everything older holds only epochs <= from.
+	for i := len(segs) - 1; i >= 0; i-- {
+		if segs[i] <= from {
+			return ShipPlan{Cursor: Cursor{Base: segs[i], Epoch: from}}, nil
+		}
+	}
+
+	// Reseed path: load the newest snapshot that validates (same rule
+	// as recovery) and tail from the segment the matching rotation
+	// opened.
+	for _, e := range snaps {
+		name := snapshotName(e)
+		data, err := fs.ReadFile(join(dir, name))
+		if err != nil {
+			return ShipPlan{}, fmt.Errorf("wal: plan ship: %w", err)
+		}
+		b, n, derr := ReadRecord(data)
+		if derr != nil || n != len(data) || b.Epoch != e {
+			continue
+		}
+		cur := Cursor{Base: e, Epoch: e}
+		// The snapshot's own segment may not exist if the directory is
+		// checkpoint-only; land on the oldest surviving segment instead
+		// (its base is >= e after the retire).
+		if len(segs) > 0 && !containsSeq(segs, e) {
+			cur.Base = segs[0]
+		}
+		return ShipPlan{Seed: &b, Cursor: cur}, nil
+	}
+
+	if len(segs) > 0 {
+		// Segments exist beyond from but no snapshot covers the gap —
+		// acknowledged history is unreachable. This is the shipping
+		// analogue of mid-log corruption: refuse rather than guess.
+		return ShipPlan{}, &CorruptError{
+			Name:   segmentName(segs[0]),
+			Reason: fmt.Sprintf("records in (%d, %d] retired with no valid snapshot to reseed from", from, segs[0]),
+		}
+	}
+
+	// Empty directory: nothing to ship yet. Tail from wherever the
+	// writer starts; ReadLive treats a missing segment as "not yet".
+	return ShipPlan{Cursor: Cursor{Base: from, Epoch: from}}, nil
+}
+
+// ReadLive reads every complete record past cur with epoch in
+// (cur.Epoch, maxEpoch], calls emit for each, and returns the advanced
+// cursor. It returns with a nil error when it runs out of complete
+// frames (the writer has not produced more yet — poll again later);
+// ErrRetired when cur's segment was deleted under it (re-plan);
+// *CorruptError on mid-stream damage. maxEpoch caps delivery at the
+// writer's published epoch so a record appended but not yet
+// acknowledged is never shipped.
+func ReadLive(dir string, fs FS, cur Cursor, maxEpoch uint64, emit func(Batch) error) (Cursor, error) {
+	if fs == nil {
+		fs = OS()
+	}
+	for {
+		_, segs, err := scanDir(dir, fs)
+		if err != nil {
+			return cur, err
+		}
+		if !containsSeq(segs, cur.Base) {
+			for _, b := range segs {
+				if b > cur.Base {
+					return cur, ErrRetired
+				}
+			}
+			return cur, nil // the writer has not created the segment yet
+		}
+		data, err := fs.ReadFile(join(dir, segmentName(cur.Base)))
+		if err != nil {
+			return cur, fmt.Errorf("wal: read live: %w", err)
+		}
+		for int(cur.Off) < len(data) {
+			b, n, derr := ReadRecord(data[cur.Off:])
+			if derr != nil {
+				if errors.Is(derr, errShortFrame) {
+					// The frame is still being written (or is a torn
+					// tail the writer will truncate at reopen): wait.
+					return cur, nil
+				}
+				return cur, &CorruptError{Name: segmentName(cur.Base), Offset: cur.Off, Reason: derr.Error()}
+			}
+			if b.Epoch > maxEpoch {
+				// Appended but not yet published: leave the cursor
+				// before it and retry after the writer acknowledges.
+				return cur, nil
+			}
+			if b.Epoch > cur.Epoch {
+				if err := emit(b); err != nil {
+					return cur, err
+				}
+				cur.Epoch = b.Epoch
+			}
+			cur.Off += int64(n)
+		}
+		// Clean end of this segment: hop to the next one if rotation
+		// has opened it, else wait for more appends here.
+		next, ok := nextSeq(segs, cur.Base)
+		if !ok {
+			return cur, nil
+		}
+		cur.Base, cur.Off = next, 0
+	}
+}
+
+// scanDir lists dir's snapshots (newest first) and segments (oldest
+// first).
+func scanDir(dir string, fs FS) (snaps, segs []uint64, err error) {
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	for _, name := range names {
+		if e, ok := parseSeq(name, "snapshot-"); ok {
+			snaps = append(snaps, e)
+		}
+		if b, ok := parseSeq(name, "log-"); ok {
+			segs = append(segs, b)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return snaps, segs, nil
+}
+
+func containsSeq(sorted []uint64, v uint64) bool {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })
+	return i < len(sorted) && sorted[i] == v
+}
+
+// nextSeq returns the smallest element greater than v.
+func nextSeq(sorted []uint64, v uint64) (uint64, bool) {
+	i := sort.Search(len(sorted), func(i int) bool { return sorted[i] > v })
+	if i < len(sorted) {
+		return sorted[i], true
+	}
+	return 0, false
+}

@@ -117,6 +117,22 @@ type Log struct {
 	// unrecoverable mid-log corruption. Every later operation returns
 	// the original error.
 	wedged error
+
+	// Group-commit state. appended/syncedTo are monotonic byte counts
+	// across all segments (unlike size, which resets on rotation):
+	// AppendCommit returns the appended watermark as the record's LSN,
+	// and Commit(lsn) returns once syncedTo covers it — one cohort
+	// leader fsyncs on behalf of every writer that appended while the
+	// previous fsync was in flight. syncing marks a cohort fsync in
+	// progress (it runs outside mu); syncCond wakes its waiters.
+	appended int64
+	syncedTo int64
+	syncing  bool
+	syncCond *sync.Cond
+
+	// lastCkpt is the epoch of the newest successful checkpoint — the
+	// durability-health signal STATS exposes.
+	lastCkpt uint64
 }
 
 func segmentName(base uint64) string { return fmt.Sprintf("log-%016x", base) }
@@ -155,11 +171,87 @@ func (l *Log) Append(b Batch) error {
 		return l.wedged
 	}
 	l.size += int64(len(buf))
+	l.appended += int64(len(buf))
 	if err := l.maybeSync(); err != nil {
 		l.wedged = err
 		return l.wedged
 	}
 	return nil
+}
+
+// AppendCommit is the group-commit append: it writes the record like
+// Append but never fsyncs, returning the record's LSN (the monotonic
+// appended-byte watermark). The batch is durable only after a Commit
+// call covering the LSN returns nil; callers must not acknowledge (or
+// publish) the batch before then.
+func (l *Log) AppendCommit(b Batch) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.wedged != nil {
+		return 0, l.wedged
+	}
+	buf, err := AppendRecord(l.buf[:0], b)
+	if err != nil {
+		return 0, err // encoding error: nothing reached the disk, not wedged
+	}
+	l.buf = buf
+	if _, err := l.f.Write(buf); err != nil {
+		l.wedged = fmt.Errorf("wal: append: %w", err)
+		l.syncCond.Broadcast()
+		return 0, l.wedged
+	}
+	l.size += int64(len(buf))
+	l.appended += int64(len(buf))
+	return l.appended, nil
+}
+
+// Commit makes the record at lsn durable per the fsync policy. Under
+// SyncAlways it group-commits: if a cohort fsync is already in flight
+// the caller waits for it (and leaves satisfied if it covered lsn);
+// otherwise the caller becomes the next cohort's leader and its single
+// fsync covers every record appended so far — N concurrent writers pay
+// ~2 fsyncs, not N. Under SyncInterval/SyncNever it applies the same
+// relaxed rules as Append. A sync failure wedges the log.
+func (l *Log) Commit(lsn int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opts.Sync != SyncAlways {
+		if l.wedged != nil {
+			return l.wedged
+		}
+		if err := l.maybeSync(); err != nil {
+			l.wedged = err
+			l.syncCond.Broadcast()
+		}
+		return l.wedged
+	}
+	for {
+		if l.wedged != nil {
+			return l.wedged
+		}
+		if l.syncedTo >= lsn {
+			return nil
+		}
+		if !l.syncing {
+			break
+		}
+		l.syncCond.Wait()
+	}
+	// Become the cohort leader: fsync outside mu so the writers of the
+	// next cohort can append (and then queue on syncCond) meanwhile.
+	l.syncing = true
+	cohort, f := l.appended, l.f
+	l.mu.Unlock()
+	serr := f.Sync()
+	l.mu.Lock()
+	l.syncing = false
+	if serr != nil {
+		l.wedged = fmt.Errorf("wal: fsync: %w", serr)
+	} else if cohort > l.syncedTo {
+		l.syncedTo = cohort
+	}
+	l.syncCond.Broadcast()
+	return l.wedged
 }
 
 // maybeSync applies the fsync policy after a write. Caller holds mu.
@@ -169,6 +261,7 @@ func (l *Log) maybeSync() error {
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
+		l.syncedTo = l.appended
 	case SyncInterval:
 		now := l.opts.Now()
 		if now.Sub(l.lastSync) >= l.opts.Interval {
@@ -176,6 +269,7 @@ func (l *Log) maybeSync() error {
 				return fmt.Errorf("wal: fsync: %w", err)
 			}
 			l.lastSync = now
+			l.syncedTo = l.appended
 		}
 	}
 	return nil
@@ -199,6 +293,11 @@ func (l *Log) SegmentSize() int64 {
 func (l *Log) Rotate(epoch uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	// Let an in-flight cohort fsync finish before swapping the file out
+	// from under it.
+	for l.syncing && l.wedged == nil {
+		l.syncCond.Wait()
+	}
 	if l.wedged != nil {
 		return l.wedged
 	}
@@ -227,6 +326,7 @@ func (l *Log) Rotate(epoch uint64) error {
 		return l.wedged
 	}
 	l.f, l.base, l.size = f, epoch, size
+	l.syncedTo = l.appended // the old segment was synced in full above
 	return nil
 }
 
@@ -265,6 +365,11 @@ func (l *Log) Checkpoint(epoch uint64, rels []RelFacts) error {
 	if err := fs.SyncDir(l.dir); err != nil {
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
+	l.mu.Lock()
+	if epoch > l.lastCkpt {
+		l.lastCkpt = epoch
+	}
+	l.mu.Unlock()
 	// The snapshot is durable; retire everything it supersedes. Cleanup
 	// failures are harmless (recovery tolerates stale files), so only
 	// the first error is reported and nothing is retried.
@@ -287,11 +392,23 @@ func (l *Log) Checkpoint(epoch uint64, rels []RelFacts) error {
 	return nil
 }
 
+// LastCheckpoint reports the epoch of the newest successful checkpoint
+// this Log took (0 = none since Open; boot-time state is in the
+// RecoveryReport).
+func (l *Log) LastCheckpoint() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastCkpt
+}
+
 // Close syncs and closes the active segment. The log is unusable
 // afterwards.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	for l.syncing && l.wedged == nil {
+		l.syncCond.Wait()
+	}
 	if l.f == nil {
 		return nil
 	}
@@ -363,5 +480,7 @@ func Open(dir string, opts Options, apply func(Batch) error) (*Log, *RecoveryRep
 		return nil, nil, fmt.Errorf("wal: open: %w", err)
 	}
 	l := &Log{dir: dir, opts: opts, f: f, base: base, size: fsize, lastSync: opts.Now()}
+	l.syncCond = sync.NewCond(&l.mu)
+	l.lastCkpt = rep.CheckpointEpoch
 	return l, rep, nil
 }

@@ -125,10 +125,24 @@ type System struct {
 	prog    *lang.Program
 	queries []lang.Query
 
-	// writeMu serializes epoch publication; epoch is the atomically
-	// published current snapshot.
+	// writeMu serializes epoch construction; epoch is the atomically
+	// published current snapshot. head is the newest *appended* epoch —
+	// under group commit a writer chains its epoch onto head (and logs
+	// it) inside writeMu, then waits for the cohort fsync and publishes
+	// outside it, so the log never stalls behind an fsync and readers
+	// never see a batch before it is durable. head == published except
+	// in the window where commits are in flight; headLSN is the log
+	// position covering head. Both are guarded by writeMu.
 	writeMu sync.Mutex
 	epoch   atomic.Pointer[epochState]
+	head    *epochState
+	headLSN int64
+
+	// readOnly marks a replica: InsertFacts refuses with a
+	// *ReadOnlyError pointing at leaderAddr until Promote. Guarded by
+	// writeMu.
+	readOnly   bool
+	leaderAddr string
 
 	// observed holds derived-extension statistics recorded after
 	// materializing executions (exact cardinality and live per-column
@@ -148,6 +162,8 @@ type System struct {
 	// background checkpointer, ckptBusy dedupes triggers and ckptMu
 	// serializes the checkpoints themselves.
 	wal       *wal.Log
+	walDir    string
+	walFS     wal.FS
 	recovery  *wal.RecoveryReport
 	ckptBytes int64
 	ckptBusy  atomic.Bool
@@ -181,6 +197,34 @@ func newEpoch(id uint64, db *store.Database, cat *stats.Catalog) *epochState {
 // callers may read it for as long as they like regardless of concurrent
 // writers.
 func (s *System) snapshot() *epochState { return s.epoch.Load() }
+
+// headState returns the newest appended epoch — the one new writes must
+// chain onto, which is ahead of the published snapshot while a group
+// commit is in flight. Caller holds writeMu.
+func (s *System) headState() *epochState {
+	if s.head != nil {
+		return s.head
+	}
+	return s.epoch.Load()
+}
+
+// publish makes next the current snapshot unless a later epoch already
+// is. Out-of-order publication happens under group commit: writer B's
+// cohort fsync (covering A's record too) can finish before A wakes up —
+// B publishes both, and A's late store must not roll the snapshot back.
+// A later epoch always contains every earlier epoch's facts, so the
+// monotonic rule is safe.
+func (s *System) publish(next *epochState) {
+	for {
+		cur := s.epoch.Load()
+		if cur != nil && cur.id >= next.id {
+			return
+		}
+		if s.epoch.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
 
 // Epoch returns the identifier of the currently published fact-base
 // version. It increases by one per update; two executions reporting the
@@ -251,36 +295,62 @@ func (s *System) InsertFacts(src string) (added int, epoch uint64, err error) {
 		}
 		touched[c.Head.Tag()] = true
 	}
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	ep := s.snapshot()
-	db2 := ep.db.Fork()
-	before := 0
-	for tag := range touched {
-		if r := db2.Relation(tag); r != nil {
-			before += r.Len()
+	// Phase 1, under writeMu: chain a new epoch onto the head and append
+	// its log record without syncing. The critical section contains no
+	// fsync, so concurrent writers pile their records into the same
+	// segment back to back — the cohort one group commit covers.
+	var next *epochState
+	var lsn int64
+	if err := func() error {
+		s.writeMu.Lock()
+		defer s.writeMu.Unlock()
+		if s.readOnly {
+			return &ReadOnlyError{Leader: s.leaderAddr}
 		}
-	}
-	if err := db2.LoadFacts(prog); err != nil {
+		ep := s.headState()
+		db2 := ep.db.Fork()
+		before := 0
+		for tag := range touched {
+			if r := db2.Relation(tag); r != nil {
+				before += r.Len()
+			}
+		}
+		if err := db2.LoadFacts(prog); err != nil {
+			return err
+		}
+		after := 0
+		for tag := range touched {
+			after += db2.Relation(tag).Len()
+		}
+		added = after - before
+		next = newEpoch(ep.id+1, db2, stats.Update(ep.cat, db2, touched))
+		if s.wal != nil {
+			var err error
+			if lsn, err = s.logBatch(next.id, prog.Facts); err != nil {
+				return err // nothing appended: head unchanged, batch rejected
+			}
+			s.headLSN = lsn
+		}
+		s.head = next
+		return nil
+	}(); err != nil {
 		return 0, 0, err
 	}
-	after := 0
-	for tag := range touched {
-		after += db2.Relation(tag).Len()
-	}
-	next := newEpoch(ep.id+1, db2, stats.Update(ep.cat, db2, touched))
-	// Write-ahead ordering: the batch must be durable (per the fsync
-	// policy) before any reader can observe its epoch. On a log failure
-	// the epoch is not published — the caller sees the error, and the
-	// fact base stays on the last acknowledged state.
+	// Phase 2, outside writeMu: write-ahead ordering. The batch must be
+	// durable (per the fsync policy) before any reader can observe its
+	// epoch. Commit group-commits: one cohort leader fsyncs for every
+	// record appended meanwhile. On failure the epoch is not published —
+	// the caller sees the error and the published state keeps the last
+	// acknowledged prefix (the log is wedged, so no later batch can
+	// publish over the hole either).
 	if s.wal != nil {
-		if err := s.logBatch(next.id, prog.Facts); err != nil {
-			return 0, 0, err
+		if err := s.wal.Commit(lsn); err != nil {
+			return 0, 0, fmt.Errorf("ldl: InsertFacts: write-ahead log: %w", err)
 		}
 	}
-	s.epoch.Store(next)
+	s.publish(next)
 	s.maybeCheckpoint()
-	return after - before, next.id, nil
+	return added, next.id, nil
 }
 
 // EnableStatsFeedback turns on the execution→cost-model feedback loop:
@@ -374,11 +444,21 @@ func (s *System) Relations() []string {
 // catalog), so prepared plans keyed on the epoch re-optimize.
 func (s *System) SetStats(tag string, card float64, distinct []float64) {
 	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	ep := s.snapshot()
+	ep := s.headState() // chain off head: an in-flight commit's facts must stay in the chain
 	cat := ep.cat.Clone()
 	cat.Set(tag, stats.RelStats{Card: card, Distinct: distinct})
-	s.epoch.Store(newEpoch(ep.id+1, ep.db, cat))
+	next := newEpoch(ep.id+1, ep.db, cat)
+	s.head = next
+	lsn := s.headLSN
+	s.writeMu.Unlock()
+	if s.wal != nil && lsn > 0 {
+		// The chained epoch carries facts whose commit may still be in
+		// flight; wait for their durability before publishing over them.
+		if s.wal.Commit(lsn) != nil {
+			return // log wedged: the stats tweak dies with the write path
+		}
+	}
+	s.publish(next)
 }
 
 // Option configures one Optimize call.

@@ -1,0 +1,158 @@
+package ldl
+
+// Replication support: the follower side of log shipping, and the
+// leader-side accessors the shipper needs.
+//
+// A follower is an ordinary System (same program, same query engine)
+// whose fact base advances only through ApplyReplicated — the shipped
+// wal.Batch stream, fed through the same code path boot-time recovery
+// uses — and whose InsertFacts refuses with a *ReadOnlyError naming the
+// leader. Because batches apply in leader-epoch order and each publishes
+// atomically, every read the follower serves sees an exact epoch-prefix
+// of the leader's acknowledged history; staleness is visible as the gap
+// between the follower's Epoch and the leader's. Promote flips the
+// switch for manual failover: the follower keeps its applied prefix and
+// starts accepting writes, numbering new epochs after the last applied
+// one.
+
+import (
+	"errors"
+	"fmt"
+
+	"ldl/internal/stats"
+	"ldl/internal/store"
+	"ldl/internal/wal"
+)
+
+// ErrReadOnly is matched (errors.Is) by the error InsertFacts returns
+// on a replica. The concrete type is *ReadOnlyError, which names the
+// leader to redirect writes to.
+var ErrReadOnly = errors.New("ldl: read-only replica")
+
+// ReadOnlyError rejects a write on a replica; Leader is the address to
+// redirect to ("" when unknown).
+type ReadOnlyError struct {
+	Leader string
+}
+
+func (e *ReadOnlyError) Error() string {
+	if e.Leader == "" {
+		return "ldl: read-only replica"
+	}
+	return fmt.Sprintf("ldl: read-only replica (leader %s)", e.Leader)
+}
+
+func (e *ReadOnlyError) Is(target error) bool { return target == ErrReadOnly }
+
+// SetReadOnly puts the System in replica mode: InsertFacts fails with a
+// *ReadOnlyError pointing at leader until Promote. ApplyReplicated and
+// reads are unaffected.
+func (s *System) SetReadOnly(leader string) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.readOnly = true
+	s.leaderAddr = leader
+}
+
+// ReadOnly reports whether the System is in replica mode and the leader
+// address writes should be redirected to.
+func (s *System) ReadOnly() (bool, string) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return s.readOnly, s.leaderAddr
+}
+
+// Promote ends replica mode — manual failover. The System keeps every
+// epoch it has applied and starts accepting InsertFacts, numbering new
+// epochs after the returned one. The caller is responsible for making
+// sure the old leader is dead or demoted first; Promote itself is
+// local and instant.
+func (s *System) Promote() uint64 {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	s.readOnly = false
+	s.leaderAddr = ""
+	return s.headState().id
+}
+
+// ApplyReplicated applies one shipped batch — an incremental InsertFacts
+// record or a checkpoint seed — to the fact base, publishing it under
+// the leader's epoch number so follower and leader epochs correspond
+// 1:1. Batches at or below the current epoch are duplicates (redelivery
+// after a reconnect, or a seed the follower already covers) and are
+// skipped, so the stream may be at-least-once; batches must otherwise
+// arrive in increasing epoch order. On a durable follower the batch is
+// appended to the follower's own WAL first, preserving write-ahead
+// ordering through crashes on the replica itself.
+func (s *System) ApplyReplicated(b wal.Batch) (err error) {
+	defer guard(&err)
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	ep := s.headState()
+	if b.Epoch <= ep.id {
+		return nil // duplicate delivery
+	}
+	db2 := ep.db.Fork()
+	touched := make(map[string]bool, len(b.Rels))
+	for _, r := range b.Rels {
+		if s.prog.IsDerived(r.Tag) {
+			return fmt.Errorf("ldl: replicate: %s is a derived predicate in the current program (leader and follower programs differ?)", r.Tag)
+		}
+		rel := db2.EnsureOwned(r.Tag, r.Arity)
+		for _, tup := range r.Tuples {
+			if _, err := rel.Insert(store.Tuple(tup)); err != nil {
+				return err
+			}
+		}
+		touched[r.Tag] = true
+	}
+	next := newEpoch(b.Epoch, db2, stats.Update(ep.cat, db2, touched))
+	if s.wal != nil {
+		if err := s.wal.Append(b); err != nil {
+			return fmt.Errorf("ldl: replicate: follower log: %w", err)
+		}
+	}
+	s.head = next
+	s.publish(next)
+	s.maybeCheckpoint()
+	return nil
+}
+
+// DurabilityStats is the WAL health snapshot STATS exposes.
+type DurabilityStats struct {
+	// Durable reports whether the System has a WAL at all; the other
+	// fields are zero when it does not.
+	Durable bool
+	// SegmentBytes is the size of the active log segment.
+	SegmentBytes int64
+	// Wedged reports a latched log failure: the fact base still serves
+	// reads but acknowledges no further writes.
+	Wedged bool
+	// LastCheckpoint is the epoch of the newest checkpoint taken by this
+	// process (0 = none yet; the boot-time one is in Recovery).
+	LastCheckpoint uint64
+}
+
+// Durability reports the WAL health counters.
+func (s *System) Durability() DurabilityStats {
+	if s.wal == nil {
+		return DurabilityStats{}
+	}
+	return DurabilityStats{
+		Durable:        true,
+		SegmentBytes:   s.wal.SegmentSize(),
+		Wedged:         s.wal.Wedged() != nil,
+		LastCheckpoint: s.wal.LastCheckpoint(),
+	}
+}
+
+// WALAccess exposes the log directory and filesystem of a durable
+// System — what a leader-side shipper needs to read segments and plan
+// follower catch-up (wal.PlanShip / wal.ReadLive). ok is false for a
+// non-durable System, which has nothing to ship.
+func (s *System) WALAccess() (dir string, fs wal.FS, ok bool) {
+	if s.wal == nil {
+		return "", nil, false
+	}
+	return s.walDir, s.walFS, true
+}

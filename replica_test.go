@@ -1,0 +1,263 @@
+package ldl
+
+// Tests for the replication-facing System API: follower apply mode
+// (ApplyReplicated), read-only/promote, the WAL health snapshot, and
+// the group-commit write path exercised through concurrent InsertFacts.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ldl/internal/term"
+	"ldl/internal/wal"
+)
+
+// shipBatch builds the wal.Batch an InsertFacts of durBatch(i) would
+// log under the given epoch — the follower-side view of one shipped
+// record.
+func shipBatch(epoch uint64, i int) wal.Batch {
+	return wal.Batch{Epoch: epoch, Rels: []wal.RelFacts{{
+		Tag: "par/2", Arity: 2,
+		Tuples: [][]term.Term{
+			{term.Atom(fmt.Sprintf("x%d", i)), term.Atom(fmt.Sprintf("y%d", i))},
+			{term.Atom(fmt.Sprintf("y%d", i)), term.Atom(fmt.Sprintf("z%d", i))},
+		},
+	}}}
+}
+
+func TestApplyReplicatedFollowsLeaderEpochs(t *testing.T) {
+	follower, err := Load(durSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower.SetReadOnly("leader:1234")
+
+	// Batches publish under the leader's epoch numbers.
+	for i, epoch := range []uint64{2, 3, 4} {
+		if err := follower.ApplyReplicated(shipBatch(epoch, i)); err != nil {
+			t.Fatalf("apply epoch %d: %v", epoch, err)
+		}
+		if follower.Epoch() != epoch {
+			t.Fatalf("follower epoch = %d after applying %d", follower.Epoch(), epoch)
+		}
+	}
+	checkPrefix(t, parTuples(follower), 3, 3)
+
+	// Duplicate redelivery (reconnect replays) is a no-op, not an error.
+	if err := follower.ApplyReplicated(shipBatch(3, 1)); err != nil {
+		t.Fatalf("duplicate apply: %v", err)
+	}
+	if follower.Epoch() != 4 {
+		t.Fatalf("duplicate apply moved the epoch to %d", follower.Epoch())
+	}
+	checkPrefix(t, parTuples(follower), 3, 3)
+
+	// The applied facts serve queries — the whole point of a read replica.
+	rows, err := follower.Query("anc(x0, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("replica query returned %d rows, want 2", len(rows))
+	}
+
+	// A batch touching a derived predicate means the programs diverged:
+	// refuse.
+	bad := wal.Batch{Epoch: 9, Rels: []wal.RelFacts{{Tag: "anc/2", Arity: 2,
+		Tuples: [][]term.Term{{term.Atom("a"), term.Atom("b")}}}}}
+	if err := follower.ApplyReplicated(bad); err == nil {
+		t.Fatal("derived-predicate batch applied")
+	}
+}
+
+func TestReadOnlyRefusalAndPromote(t *testing.T) {
+	follower, err := Load(durSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower.SetReadOnly("leader:1234")
+	if ro, leader := follower.ReadOnly(); !ro || leader != "leader:1234" {
+		t.Fatalf("ReadOnly() = %v, %q", ro, leader)
+	}
+
+	_, _, err = follower.InsertFacts(durBatch(0))
+	if !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("InsertFacts on replica = %v, want ErrReadOnly", err)
+	}
+	var roe *ReadOnlyError
+	if !errors.As(err, &roe) || roe.Leader != "leader:1234" {
+		t.Fatalf("error carries leader %q, want leader:1234", roe.Leader)
+	}
+
+	// Catch the follower up, then promote: writes resume, numbered after
+	// the last applied epoch.
+	if err := follower.ApplyReplicated(shipBatch(5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := follower.Promote(); got != 5 {
+		t.Fatalf("Promote() = %d, want 5", got)
+	}
+	if ro, _ := follower.ReadOnly(); ro {
+		t.Fatal("still read-only after Promote")
+	}
+	_, epoch, err := follower.InsertFacts(durBatch(1))
+	if err != nil || epoch != 6 {
+		t.Fatalf("first write after promote: epoch=%d err=%v, want 6", epoch, err)
+	}
+	checkPrefix(t, parTuples(follower), 2, 2)
+}
+
+func TestDurableFollowerLogsAndRecovers(t *testing.T) {
+	fs := wal.NewMemFS()
+	follower, err := Load(durSrc, WithDurability("data"), withWALFS(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower.SetReadOnly("leader:1234")
+	for i, epoch := range []uint64{2, 3, 4} {
+		if err := follower.ApplyReplicated(shipBatch(epoch, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash without Close: the follower's own WAL must have the applied
+	// batches (write-ahead ordering holds on the replica too).
+	reborn, err := Load(durSrc, WithDurability("data"), withWALFS(fs.Crash(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reborn.Epoch() != 4 {
+		t.Fatalf("recovered follower at epoch %d, want 4", reborn.Epoch())
+	}
+	checkPrefix(t, parTuples(reborn), 3, 3)
+}
+
+// syncCounter wraps a wal.FS counting (and slowing) File.Sync — the
+// observable group commit shrinks.
+type syncCounter struct {
+	wal.FS
+	syncs atomic.Int64
+}
+
+func (s *syncCounter) OpenAppend(name string) (wal.File, int64, error) {
+	f, size, err := s.FS.OpenAppend(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return &countedFile{File: f, fs: s}, size, nil
+}
+
+type countedFile struct {
+	wal.File
+	fs *syncCounter
+}
+
+func (f *countedFile) Sync() error {
+	f.fs.syncs.Add(1)
+	time.Sleep(2 * time.Millisecond)
+	return f.File.Sync()
+}
+
+func TestInsertFactsGroupCommit(t *testing.T) {
+	mem := wal.NewMemFS()
+	fs := &syncCounter{FS: mem}
+	sys, err := Load(durSrc, WithDurability("data"), withWALFS(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sys.Epoch()
+	boot := fs.syncs.Load()
+
+	const writers, perWriter = 8, 8
+	const batches = writers * perWriter
+	var wg sync.WaitGroup
+	errs := make(chan error, batches)
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, _, err := sys.InsertFacts(durBatch(w*perWriter + i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("InsertFacts: %v", err)
+	}
+
+	syncs := fs.syncs.Load() - boot
+	t.Logf("%d concurrent batches, %d fsyncs", batches, syncs)
+	if syncs > batches/2 {
+		t.Errorf("group commit did not amortize: %d fsyncs for %d batches", syncs, batches)
+	}
+	if got := sys.Epoch(); got != base+batches {
+		t.Errorf("published epoch = %d, want %d", got, base+batches)
+	}
+	checkPrefix(t, parTuples(sys), batches, batches)
+
+	// Every acknowledged batch survives losing the page cache — Commit
+	// really did fsync before InsertFacts returned.
+	reborn, err := Load(durSrc, WithDurability("data"), withWALFS(mem.Crash(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPrefix(t, parTuples(reborn), batches, batches)
+}
+
+func TestDurabilityStats(t *testing.T) {
+	plain, err := Load(durSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := plain.Durability(); d.Durable || d.SegmentBytes != 0 {
+		t.Fatalf("non-durable Durability() = %+v", d)
+	}
+	if _, _, ok := plain.WALAccess(); ok {
+		t.Fatal("non-durable WALAccess ok")
+	}
+
+	mem := wal.NewMemFS()
+	sys, err := Load(durSrc, WithDurability("data"), withWALFS(mem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.InsertFacts(durBatch(0)); err != nil {
+		t.Fatal(err)
+	}
+	d := sys.Durability()
+	if !d.Durable || d.SegmentBytes == 0 || d.Wedged || d.LastCheckpoint != 0 {
+		t.Fatalf("after one insert: %+v", d)
+	}
+	if dir, fs, ok := sys.WALAccess(); !ok || dir != "data" || fs != wal.FS(mem) {
+		t.Fatalf("WALAccess = %q, %v, %v", dir, fs, ok)
+	}
+	if err := sys.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if d := sys.Durability(); d.LastCheckpoint != sys.Epoch() {
+		t.Fatalf("LastCheckpoint = %d, want %d", d.LastCheckpoint, sys.Epoch())
+	}
+
+	// A log failure wedges: the flag flips and writes fail, reads keep
+	// working.
+	mem.SetFailAt(1)
+	if _, _, err := sys.InsertFacts(durBatch(1)); err == nil {
+		t.Fatal("insert over failing log succeeded")
+	}
+	mem.SetFailAt(0)
+	if d := sys.Durability(); !d.Wedged {
+		t.Fatalf("after log failure: %+v", d)
+	}
+	if _, err := sys.Query("anc(seed_a, Y)"); err != nil {
+		t.Fatalf("read on wedged system: %v", err)
+	}
+}
