@@ -256,12 +256,30 @@ func BenchmarkSemiNaiveTCParallel(b *testing.B) {
 	}
 }
 
-// BenchmarkFixpointKernels is the acceptance pair for the compiled
+// complexTermsChain generates the structured-term benchmark workload:
+// a chain of n edges whose transitive paths are materialized as
+// cons-lists, so every derived tuple constructs a compound head term
+// and every recursive probe decomposes one. This is the workload the
+// build-template/column-pattern kernel steps exist for.
+func complexTermsChain(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "e(n%d, n%d).\n", i, i+1)
+	}
+	b.WriteString("path(X, Y, cons(X, cons(Y, nil))) <- e(X, Y).\n")
+	b.WriteString("path(X, Z, cons(X, P)) <- e(X, Y), path(Y, Z, P).\n")
+	return b.String()
+}
+
+// BenchmarkFixpointKernels is the acceptance suite for the compiled
 // positional join kernels: the same fixpoint workloads run through the
-// generic substitution-based interpreter (WithCompiledKernels(false))
-// and the register-frame kernels (default). The headline numbers —
-// allocs/op on transitive closure and wall-clock on same-generation —
-// are recorded in BENCH_PR3.json.
+// generic substitution-based interpreter (WithCompiledKernels(false)),
+// the tuple-at-a-time register-frame kernels (batch size 1 — the PR3
+// executor, kept under the name "compiled" so the BENCH_PR3.json
+// baselines stay comparable), and the vectorized block-at-a-time
+// executor (default). The headline numbers — allocs/op on transitive
+// closure, wall-clock on same-generation and on structured-term path
+// construction — are recorded in BENCH_PR7.json.
 func BenchmarkFixpointKernels(b *testing.B) {
 	sgSpec := workload.SameGenSpec{Depth: 8, Fanout: 2}
 	workloads := []struct {
@@ -271,13 +289,15 @@ func BenchmarkFixpointKernels(b *testing.B) {
 	}{
 		{"tc/chain100", workload.TCChain(100), "tc(X, Y)"},
 		{"samegen/d8f2", workload.SameGen(sgSpec), "sg(X, Y)"},
+		{"complexterms/chain40", complexTermsChain(40), "path(X, Y, P)"},
 	}
 	modes := []struct {
 		name string
 		opts []ldl.Option
 	}{
 		{"generic", []ldl.Option{ldl.WithCompiledKernels(false)}},
-		{"compiled", nil},
+		{"compiled", []ldl.Option{ldl.WithBatchSize(1)}},
+		{"batched", nil},
 	}
 	for _, w := range workloads {
 		sys, err := ldl.Load(w.src)

@@ -18,8 +18,11 @@
 //
 // By default the diff is informational (exit 0). With -max-regress P,
 // the tool exits 1 if any matched benchmark's median ns/op regressed
-// by more than P percent — benchmarks on shared CI runners are noisy,
-// so pick P generously or leave the gate off.
+// by more than P percent; -max-alloc-regress P does the same for
+// allocs/op (a far less noisy signal on shared runners — allocation
+// counts are deterministic, so a tight gate is safe). Benchmarks on
+// shared CI runners have noisy timings, so pick the ns/op threshold
+// generously or leave that gate off.
 package main
 
 import (
@@ -172,9 +175,10 @@ func pct(old, new float64) float64 {
 func main() {
 	baselinePath := flag.String("baseline", "", "baseline JSON file (BENCH_PR*.json)")
 	maxRegress := flag.Float64("max-regress", 0, "exit 1 if any ns/op regresses by more than this percent (0 = report only)")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0, "exit 1 if any allocs/op regresses by more than this percent (0 = report only)")
 	flag.Parse()
 	if *baselinePath == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff -baseline BENCH_PRn.json [-max-regress pct] bench.txt")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff -baseline BENCH_PRn.json [-max-regress pct] [-max-alloc-regress pct] bench.txt")
 		os.Exit(2)
 	}
 	raw, err := os.ReadFile(*baselinePath)
@@ -205,7 +209,7 @@ func main() {
 	defer w.Flush()
 	fmt.Fprintf(w, "%-48s %14s %14s %8s %10s %10s %8s\n",
 		"benchmark (vs "+*baselinePath+")", "old ns/op", "new ns/op", "Δns", "old allocs", "new allocs", "Δallocs")
-	regressed := false
+	var nsRegressed, allocRegressed bool
 	matched := 0
 	for _, n := range names {
 		key, ok := match(n, base)
@@ -217,17 +221,26 @@ func main() {
 		dns := pct(b.ns, c.ns)
 		line := fmt.Sprintf("%-48s %14.0f %14.0f %+7.1f%%", n, b.ns, c.ns, dns)
 		if b.hasMem && c.hasMem {
-			line += fmt.Sprintf(" %10.0f %10.0f %+7.1f%%", b.allocs, c.allocs, pct(b.allocs, c.allocs))
+			dal := pct(b.allocs, c.allocs)
+			line += fmt.Sprintf(" %10.0f %10.0f %+7.1f%%", b.allocs, c.allocs, dal)
+			if *maxAllocRegress > 0 && dal > *maxAllocRegress {
+				allocRegressed = true
+			}
 		}
 		fmt.Fprintln(w, line)
 		if *maxRegress > 0 && dns > *maxRegress {
-			regressed = true
+			nsRegressed = true
 		}
 	}
 	fmt.Fprintf(w, "%d/%d benchmarks matched against baseline\n", matched, len(cur))
-	if regressed {
+	if nsRegressed || allocRegressed {
 		w.Flush()
-		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.1f%% detected\n", *maxRegress)
+		if nsRegressed {
+			fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.1f%% detected\n", *maxRegress)
+		}
+		if allocRegressed {
+			fmt.Fprintf(os.Stderr, "benchdiff: allocs/op regression beyond %.1f%% detected\n", *maxAllocRegress)
+		}
 		os.Exit(1)
 	}
 }

@@ -492,6 +492,7 @@ func (s *server) statsLines() []string {
 	add("misses", st.Misses)
 	add("evictions", st.Evictions)
 	add("invalidations", st.Invalidations)
+	add("revalidations", st.Revalidations)
 	add("queries", st.Queries)
 	add("loads", st.Loads)
 	add("errors", st.Errors)

@@ -30,10 +30,12 @@ func TestCorpusCoversExamples(t *testing.T) {
 
 // TestGoldenEquivalence is the kernel acceptance suite: every corpus
 // program (the examples plus the negation/builtin-deferral/complex-
-// term corpora) runs its embedded queries through {generic, compiled}
-// × {sequential, parallel} engines, and all four answer sets must be
-// byte-identical. EvaluateUnoptimized sorts answers canonically, so
-// equality here really is byte equality.
+// term corpora) runs its embedded queries through {generic, tuple,
+// batched} × {sequential, parallel} engines — tuple is the compiled
+// path pinned to batch size 1, batched is the default vectorized
+// executor — and all six answer sets must be byte-identical.
+// EvaluateUnoptimized sorts answers canonically, so equality here
+// really is byte equality.
 func TestGoldenEquivalence(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.ldl"))
 	if err != nil {
@@ -47,9 +49,11 @@ func TestGoldenEquivalence(t *testing.T) {
 		opts []Option
 	}{
 		{"generic/seq", []Option{WithCompiledKernels(false)}},
-		{"compiled/seq", nil},
+		{"tuple/seq", []Option{WithBatchSize(1)}},
+		{"batched/seq", nil},
 		{"generic/par", []Option{WithCompiledKernels(false), WithParallel(4)}},
-		{"compiled/par", []Option{WithParallel(4)}},
+		{"tuple/par", []Option{WithBatchSize(1), WithParallel(4)}},
+		{"batched/par", []Option{WithParallel(4)}},
 	}
 	render := func(rows [][]string) string {
 		var b strings.Builder
@@ -104,6 +108,68 @@ func TestGoldenEquivalence(t *testing.T) {
 	}
 }
 
+// TestCorpusCounterParity is the vectorized executor's work-accounting
+// acceptance: for every corpus query, generic, tuple-at-a-time and
+// batched execution must report identical logical work counters
+// (tuples, iterations, unifications, lookups) — the batch size is
+// invisible in everything except Blocks and wall clock. It also pins
+// the structured-term programs to the kernel path: their rules must
+// all compile (KernelFallbacks 0), proving complex-term construction
+// and decomposition no longer fall back to the generic interpreter.
+func TestCorpusCounterParity(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.ldl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noFallback := map[string]bool{"complexterms": true, "listapp": true, "treefold": true}
+	for _, f := range files {
+		name := strings.TrimSuffix(filepath.Base(f), ".ldl")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := Load(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, goal := range sys.Queries() {
+				_, generic, err := sys.EvaluateUnoptimized(goal, WithCompiledKernels(false))
+				if err != nil {
+					t.Fatalf("%s: %v", goal, err)
+				}
+				_, tuple, err := sys.EvaluateUnoptimized(goal, WithBatchSize(1))
+				if err != nil {
+					t.Fatalf("%s: %v", goal, err)
+				}
+				_, batched, err := sys.EvaluateUnoptimized(goal)
+				if err != nil {
+					t.Fatalf("%s: %v", goal, err)
+				}
+				if noFallback[name] {
+					if batched.KernelFallbacks != 0 {
+						t.Errorf("%s: KernelFallbacks = %d, want 0 (all rules must compile)", goal, batched.KernelFallbacks)
+					}
+					if batched.Blocks == 0 {
+						t.Errorf("%s: Blocks = 0, vectorized path never engaged", goal)
+					}
+				}
+				// Zero the counters that legitimately differ across
+				// executors before the exact-match compare.
+				for _, es := range []*ExecStats{&generic, &tuple, &batched} {
+					es.KernelCompiles, es.KernelFallbacks, es.Blocks = 0, 0, 0
+				}
+				if tuple != generic {
+					t.Errorf("%s: tuple counters diverge: %+v vs generic %+v", goal, tuple, generic)
+				}
+				if batched != generic {
+					t.Errorf("%s: batched counters diverge: %+v vs generic %+v", goal, batched, generic)
+				}
+			}
+		})
+	}
+}
+
 // TestKernelWorkReduction documents why the kernels exist: on the
 // transitive-closure workload the compiled path must report the same
 // logical work (the counters are a cost proxy the experiments rely
@@ -127,9 +193,14 @@ func TestKernelWorkReduction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// KernelCompiles is the one counter that legitimately differs
-	// between the two paths (it counts the compilation work itself).
+	// KernelCompiles and Blocks legitimately differ between the two
+	// paths (they count the compilation work and the vectorized frame
+	// dispatches themselves, not logical query work).
 	esCompiled.KernelCompiles, esGeneric.KernelCompiles = 0, 0
+	esCompiled.Blocks, esGeneric.Blocks = 0, 0
+	if esCompiled.KernelFallbacks != 0 {
+		t.Errorf("KernelFallbacks = %d, want 0 (every tc rule compiles)", esCompiled.KernelFallbacks)
+	}
 	if esCompiled != esGeneric {
 		t.Errorf("work counters diverge: compiled %+v vs generic %+v", esCompiled, esGeneric)
 	}

@@ -1,0 +1,606 @@
+package eval
+
+// Vectorized (block-at-a-time) execution of compiled join programs.
+// The tuple executor in compile.go walks one register frame through
+// the steps per candidate; this executor pushes a columnar frame — a
+// struct-of-arrays of interned term.ID register columns — of up to
+// BatchSize rows through each step at a time, so probes, tests and
+// head insertion run as tight loops over dense ID slices with
+// amortized dispatch. Frames stay in ID space end to end: scans gather
+// candidate IDs straight from the relation's columns (ColumnAt /
+// AppendMatchesID), and terms are only materialized at the edges —
+// pattern decomposition, arithmetic, and genuinely new head tuples.
+//
+// Equivalence contract. Block execution preserves the tuple executor's
+// answers, error, and work counters exactly:
+//
+//   - Emission order is depth-first-identical: a scan appends matches
+//     in candidate order and flushes the output frame downstream
+//     before gathering more, so head tuples arrive in the order the
+//     tuple executor derives them.
+//   - Error order is depth-first-equivalent: when a row fails in a
+//     filter step, the rows ordered before it keep running through the
+//     remaining steps first (their emissions happen; their own error,
+//     if any, wins — it is earlier in depth-first order), then the
+//     remembered error returns and the rows after it never run.
+//   - Counters tick per row exactly where the tuple executor ticks
+//     per call: Lookups once per input row of a scan or negation,
+//     Unifications once per scan candidate, BuiltinCalls once per row
+//     of a test/assign/match step.
+//   - Visibility: a block batches probes ahead of downstream emits, so
+//     a scan must never read the relation being inserted into. Only
+//     the head relation is ever written during an application, so
+//     applyCompiled routes applications whose scans alias the head
+//     (direct-mode seed rounds and naive-method rounds of recursive
+//     cliques) to the tuple executor instead. Frozen-mode (parallel)
+//     applications buffer their emissions and always batch.
+
+import (
+	"ldl/internal/lang"
+	"ldl/internal/store"
+	"ldl/internal/term"
+)
+
+// DefaultBatchSize is the tuned default block size: large enough to
+// amortize per-block costs, small enough that a frame's register
+// columns stay cache-resident (256 rows × 4-byte IDs = 1KiB/register).
+const DefaultBatchSize = 256
+
+// bframe is one columnar register frame: cols[reg][row] is the
+// interned ID bound to reg at that row. Scan-output frames are dense
+// (rows 0..n-1 valid); filter steps narrow a frame with a selection
+// vector instead of compacting the columns.
+type bframe struct {
+	cols [][]term.ID
+	n    int
+}
+
+// blockState is the reusable vectorized execution state of one
+// compiled rule in one evaluation context — the block twin of
+// kernelState, pooled the same way (per clique sequentially, per
+// worker in the parallel engine) so steady-state blocks allocate
+// nothing.
+type blockState struct {
+	size   int
+	root   *bframe       // single-row entry frame
+	frames []*bframe     // per scanIdx: that scan's output frame
+	sels   [][]int32     // per step index: selection scratch
+	ident  []int32       // identity selection 0..size-1, read-only
+	probes [][]term.ID   // per scanIdx: probe ID row, const IDs prefilled
+	rcols  [][][]term.ID // per scanIdx: borrowed relation columns
+	negIDs [][]term.ID   // per negIdx: ID row, const IDs prefilled
+
+	headIDs   [][]term.ID // direct mode: columnar head materialization
+	headRow   []term.ID   // frozen mode: per-row head scratch
+	headConst []term.ID   // per head column: const ID, 0 otherwise
+}
+
+func newBlockState(cr *compiledRule, size int) *blockState {
+	newFrame := func(rows int) *bframe {
+		f := &bframe{cols: make([][]term.ID, cr.nregs)}
+		for i := range f.cols {
+			f.cols[i] = make([]term.ID, rows)
+		}
+		return f
+	}
+	bs := &blockState{
+		size:   size,
+		root:   newFrame(1),
+		frames: make([]*bframe, cr.nscans),
+		sels:   make([][]int32, len(cr.steps)),
+		ident:  make([]int32, size),
+		probes: make([][]term.ID, cr.nscans),
+		rcols:  make([][][]term.ID, cr.nscans),
+		negIDs: make([][]term.ID, cr.nnegs),
+	}
+	for i := range bs.frames {
+		bs.frames[i] = newFrame(size)
+	}
+	for i := range bs.ident {
+		bs.ident[i] = int32(i)
+	}
+	for _, st := range cr.steps {
+		switch st.kind {
+		case kScan:
+			p := make([]term.ID, len(st.cols))
+			for i, c := range st.cols {
+				if c.op == kcolConst {
+					p[i] = term.Intern(c.val)
+				}
+			}
+			bs.probes[st.scanIdx] = p
+			bs.rcols[st.scanIdx] = make([][]term.ID, len(st.cols))
+		case kNeg:
+			row := make([]term.ID, len(st.negCols))
+			for i, tm := range st.negCols {
+				if tm.reg < 0 {
+					row[i] = term.Intern(tm.lit)
+				}
+			}
+			bs.negIDs[st.negIdx] = row
+		}
+	}
+	bs.headIDs = make([][]term.ID, len(cr.head))
+	for i := range bs.headIDs {
+		bs.headIDs[i] = make([]term.ID, size)
+	}
+	bs.headRow = make([]term.ID, len(cr.head))
+	bs.headConst = make([]term.ID, len(cr.head))
+	for i, c := range cr.head {
+		if c.op == kcolConst {
+			bs.headConst[i] = term.Intern(c.val)
+		}
+	}
+	return bs
+}
+
+// aliasesHead reports whether any resolved scan or negation relation
+// is the head relation itself — the one configuration block execution
+// cannot batch (see the visibility note in the package comment).
+func (ks *kernelState) aliasesHead(head *store.Relation) bool {
+	for _, r := range ks.rels {
+		if r == head {
+			return true
+		}
+	}
+	for _, r := range ks.negRels {
+		if r == head {
+			return true
+		}
+	}
+	return false
+}
+
+// blockRun executes one rule application block-at-a-time. It wraps the
+// tuple executor's kernelRun (same resolved relations, same emit
+// targets) with the columnar state.
+type blockRun struct {
+	*kernelRun
+	bs *blockState
+}
+
+// applyBlocked runs the join program vectorized, starting from a
+// single-row root frame (no registers are bound before step 0).
+func (k *kernelRun) applyBlocked(size int) error {
+	ks := k.ks
+	if ks.blk == nil || ks.blk.size != size {
+		ks.blk = newBlockState(k.cr, size)
+	}
+	b := &blockRun{kernelRun: k, bs: ks.blk}
+	return b.run(0, b.bs.root, b.bs.ident[:1])
+}
+
+// run executes the join program from step si onward over the selected
+// rows of frame f.
+func (b *blockRun) run(si int, f *bframe, sel []int32) error {
+	if len(sel) == 0 {
+		return nil
+	}
+	// Same deadline discipline as the tuple executor, amortized: tick
+	// once per (step, block) instead of once per row.
+	if err := b.cx.e.opts.Gov.Tick(); err != nil {
+		return err
+	}
+	if si == len(b.cr.steps) {
+		return b.emit(f, sel)
+	}
+	st := &b.cr.steps[si]
+	switch st.kind {
+	case kScan:
+		return b.scan(si, st, f, sel)
+	case kTest:
+		keep := b.bs.sels[si][:0]
+		var rowErr error
+		for _, r := range sel {
+			b.cx.counters.BuiltinCalls++
+			ok, err := b.evalTestRow(st, f, r)
+			if err != nil {
+				// Depth-first error discipline: finish the rows ordered
+				// before this one (their error, if any, is earlier and
+				// wins), drop the rows after it, then surface this error.
+				rowErr = err
+				break
+			}
+			if ok {
+				keep = append(keep, r)
+			}
+		}
+		b.bs.sels[si] = keep
+		if err := b.run(si+1, f, keep); err != nil {
+			return err
+		}
+		return rowErr
+	case kAssign:
+		keep := b.bs.sels[si][:0]
+		var rowErr error
+		dst := f.cols[st.dstReg]
+		for _, r := range sel {
+			b.cx.counters.BuiltinCalls++
+			id, err := b.resolveNormRowID(st.rhs, f, r)
+			if err != nil {
+				rowErr = err
+				break
+			}
+			dst[r] = id
+			keep = append(keep, r)
+		}
+		b.bs.sels[si] = keep
+		if err := b.run(si+1, f, keep); err != nil {
+			return err
+		}
+		return rowErr
+	case kMatch:
+		keep := b.bs.sels[si][:0]
+		var rowErr error
+		for _, r := range sel {
+			b.cx.counters.BuiltinCalls++
+			v, err := b.resolveNormRow(st.rhs, f, r)
+			if err != nil {
+				rowErr = err
+				break
+			}
+			if matchPatID(st.pat, v, f.cols, r) {
+				keep = append(keep, r)
+			}
+		}
+		b.bs.sels[si] = keep
+		if err := b.run(si+1, f, keep); err != nil {
+			return err
+		}
+		return rowErr
+	case kNeg:
+		rel := b.ks.negRels[st.negIdx]
+		keep := b.bs.sels[si][:0]
+		row := b.bs.negIDs[st.negIdx]
+		for _, r := range sel {
+			// The tuple executor counts the lookup before the nil check;
+			// a missing relation still passes every row.
+			b.cx.counters.Lookups++
+			if rel != nil {
+				for i, tm := range st.negCols {
+					if tm.reg >= 0 {
+						row[i] = f.cols[tm.reg][r]
+					}
+				}
+				if rel.ContainsIDs(row) {
+					continue
+				}
+			}
+			keep = append(keep, r)
+		}
+		b.bs.sels[si] = keep
+		return b.run(si+1, f, keep)
+	}
+	return nil
+}
+
+// scan gathers, for every selected input row, the matching candidate
+// rows of the step's relation into the scan's output frame, flushing
+// it downstream whenever it fills — so emission order stays depth-
+// first-identical while probes and gathers run over dense ID columns.
+func (b *blockRun) scan(si int, st *kstep, f *bframe, sel []int32) error {
+	rel := b.ks.rels[st.scanIdx]
+	if rel == nil || rel.Len() == 0 {
+		return nil
+	}
+	bs := b.bs
+	out := bs.frames[st.scanIdx]
+	out.n = 0
+	// Borrow the relation's ID columns once per block. Stable for the
+	// whole scan: only the head relation is written during an
+	// application, and it is never scanned here (see aliasesHead).
+	rcols := bs.rcols[st.scanIdx]
+	for c := range rcols {
+		rcols[c] = rel.ColumnAt(c)
+	}
+	flush := func() error {
+		if out.n == 0 {
+			return nil
+		}
+		b.cx.counters.Blocks++
+		n := out.n
+		out.n = 0
+		return b.run(si+1, out, bs.ident[:n])
+	}
+	if st.mask == 0 {
+		// Full scan: capture the length once (parity with the tuple
+		// executor's snapshot discipline).
+		n := rel.Len()
+		for _, r := range sel {
+			b.cx.counters.Lookups++
+			for j := 0; j < n; j++ {
+				b.candidate(st, f, r, rcols, rel, int32(j), out)
+				if out.n == bs.size {
+					if err := flush(); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return flush()
+	}
+	probe := bs.probes[st.scanIdx]
+	for _, r := range sel {
+		ok := true
+		for i, c := range st.cols {
+			switch c.op {
+			case kcolProbe:
+				probe[i] = f.cols[c.reg][r]
+			case kcolBuild:
+				// A constructed probe value that was never interned
+				// cannot equal any stored value: count the lookup (the
+				// other executors probe and find nothing) and move on.
+				id, found := term.TryLookupID(buildTermID(c.bld, f.cols, r))
+				if !found {
+					ok = false
+				}
+				probe[i] = id
+			}
+		}
+		b.cx.counters.Lookups++
+		if !ok {
+			continue
+		}
+		idxs := rel.AppendMatchesID(st.mask, probe, b.ks.idxs[st.scanIdx][:0])
+		b.ks.idxs[st.scanIdx] = idxs
+		for _, j := range idxs {
+			b.candidate(st, f, r, rcols, rel, j, out)
+			if out.n == bs.size {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return flush()
+}
+
+// candidate verifies one scan candidate against the non-probe columns
+// and, on success, appends its bindings as a new row of out.
+func (b *blockRun) candidate(st *kstep, f *bframe, r int32, rcols [][]term.ID, rel *store.Relation, j int32, out *bframe) {
+	b.cx.counters.Unifications++
+	o := out.n
+	// Carry the registers bound before this step into the output row
+	// first; column processing below is left to right, so a pattern's
+	// probe can read a register an earlier column just bound.
+	for reg := 0; reg < st.nbound; reg++ {
+		out.cols[reg][o] = f.cols[reg][r]
+	}
+	for i, c := range st.cols {
+		switch c.op {
+		case kcolOut:
+			out.cols[c.reg][o] = rcols[i][j]
+		case kcolChk:
+			if out.cols[c.reg][o] != rcols[i][j] {
+				return
+			}
+		case kcolPat:
+			if !matchPatID(c.pat, rel.TupleAt(int(j))[i], out.cols, int32(o)) {
+				return
+			}
+			// kcolConst, kcolProbe, kcolBuild: always part of the probe
+			// mask, so the candidate arrives pre-verified.
+		}
+	}
+	out.n++
+}
+
+// matchPatID is matchPat over an ID frame: patterns reach below the
+// column granularity the frame stores, so the candidate side is a
+// term; registers hold interned IDs.
+func matchPatID(p *kpat, v term.Term, cols [][]term.ID, r int32) bool {
+	switch p.kind {
+	case patConst:
+		return term.Equal(p.lit, v)
+	case patProbe:
+		return term.Equal(term.InternedTerm(cols[p.reg][r]), v)
+	case patOut:
+		id, _, ok := term.TryIntern(v)
+		if !ok {
+			return false // unreachable: candidate values are ground
+		}
+		cols[p.reg][r] = id
+		return true
+	case patComp:
+		c, ok := v.(term.Comp)
+		if !ok || c.Functor != p.functor || len(c.Args) != len(p.args) {
+			return false
+		}
+		for i, ap := range p.args {
+			if !matchPatID(ap, c.Args[i], cols, r) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// buildTermID is buildTerm over an ID frame.
+func buildTermID(bld *btmpl, cols [][]term.ID, r int32) term.Term {
+	if bld.args != nil {
+		out := make([]term.Term, len(bld.args))
+		for i := range bld.args {
+			out[i] = buildTermID(&bld.args[i], cols, r)
+		}
+		return term.Comp{Functor: bld.functor, Args: out}
+	}
+	if bld.reg >= 0 {
+		return term.InternedTerm(cols[bld.reg][r])
+	}
+	return bld.lit
+}
+
+// evalTestRow evaluates a comparison step for one row — the ID-frame
+// twin of kernelRun.evalTest, with the same evaluation order (lhs
+// first) so error timing matches.
+func (b *blockRun) evalTestRow(st *kstep, f *bframe, r int32) (bool, error) {
+	switch st.test {
+	case testEq, testNe:
+		lid, err := b.resolveNormRowID(st.lhs, f, r)
+		if err != nil {
+			return false, err
+		}
+		rid, err := b.resolveNormRowID(st.rhs, f, r)
+		if err != nil {
+			return false, err
+		}
+		// Normalized sides are interned, so structural equality is ID
+		// equality.
+		eq := lid == rid
+		if st.test == testEq {
+			return eq, nil
+		}
+		return !eq, nil
+	}
+	a, err := b.evalArithRow(st.lhs, f, r)
+	if err != nil {
+		return false, err
+	}
+	c, err := b.evalArithRow(st.rhs, f, r)
+	if err != nil {
+		return false, err
+	}
+	switch st.test {
+	case testLt:
+		return a < c, nil
+	case testLe:
+		return a <= c, nil
+	case testGt:
+		return a > c, nil
+	case testGe:
+		return a >= c, nil
+	}
+	return false, nil
+}
+
+// resolveNormRowID resolves a template for one row to an interned ID
+// with "=" normalization — kernelRun.resolveNorm in ID space.
+func (b *blockRun) resolveNormRowID(t tmpl, f *bframe, r int32) (term.ID, error) {
+	if t.args != nil {
+		v, err := b.evalArithRow(t, f, r)
+		if err != nil {
+			return 0, err
+		}
+		return term.Intern(v), nil
+	}
+	if t.reg >= 0 {
+		id := f.cols[t.reg][r]
+		v := term.InternedTerm(id)
+		if lang.IsArithExpr(v) {
+			iv, err := lang.EvalArith(v)
+			if err != nil {
+				return 0, err
+			}
+			return term.Intern(iv), nil
+		}
+		return id, nil
+	}
+	v, err := lang.NormalizeEqSide(t.lit)
+	if err != nil {
+		return 0, err
+	}
+	return term.Intern(v), nil
+}
+
+// resolveNormRow is resolveNormRowID returning the term itself — the
+// value side of a kMatch step, which the pattern walk consumes
+// structurally.
+func (b *blockRun) resolveNormRow(t tmpl, f *bframe, r int32) (term.Term, error) {
+	if t.args != nil {
+		v, err := b.evalArithRow(t, f, r)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+	if t.reg >= 0 {
+		return lang.NormalizeEqSide(term.InternedTerm(f.cols[t.reg][r]))
+	}
+	return lang.NormalizeEqSide(t.lit)
+}
+
+// evalArithRow evaluates a template as an arithmetic expression for
+// one row — kernelRun.evalArith over an ID frame.
+func (b *blockRun) evalArithRow(t tmpl, f *bframe, r int32) (term.Int, error) {
+	if t.args == nil {
+		if t.reg >= 0 {
+			return lang.EvalArith(term.InternedTerm(f.cols[t.reg][r]))
+		}
+		return lang.EvalArith(t.lit)
+	}
+	a, err := b.evalArithRow(t.args[0], f, r)
+	if err != nil {
+		return 0, err
+	}
+	if len(t.args) == 1 {
+		return lang.ApplyArith1(t.functor, a)
+	}
+	c, err := b.evalArithRow(t.args[1], f, r)
+	if err != nil {
+		return 0, err
+	}
+	return lang.ApplyArith2(t.functor, a, c)
+}
+
+// headID materializes head column i for one row.
+func (b *blockRun) headID(i int, f *bframe, r int32) term.ID {
+	c := &b.cr.head[i]
+	switch c.op {
+	case kcolProbe:
+		return f.cols[c.reg][r]
+	case kcolBuild:
+		// Constructed head terms enter the store, so interning them is
+		// not probe-side waste.
+		return term.Intern(buildTermID(c.bld, f.cols, r))
+	default: // kcolConst
+		return b.bs.headConst[i]
+	}
+}
+
+// emit inserts (direct mode) or buffers (frozen mode) the selected
+// rows' head tuples, in row order — the block twin of kernelRun.emit,
+// with identical dedup, counter, and abort semantics per row.
+func (b *blockRun) emit(f *bframe, sel []int32) error {
+	cx, bs := b.cx, b.bs
+	if cx.buf != nil {
+		// Frozen mode: dedup against the stable head snapshot, buffer
+		// the rest. InsertIDs copies the row values, so the reusable
+		// scratch row never aliases the buffer.
+		row := bs.headRow
+		for _, r := range sel {
+			for i := range bs.headRow {
+				row[i] = b.headID(i, f, r)
+			}
+			if b.head.ContainsIDs(row) {
+				continue
+			}
+			added, err := cx.buf.InsertIDs(row)
+			if err != nil {
+				return err
+			}
+			if !added {
+				continue
+			}
+			if err := cx.recordBuffered(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Direct mode: materialize the block's head rows columnar and
+	// bulk-insert; onNew fires per genuinely new row, in row order, so
+	// TuplesDerived accounting and delta collection match the tuple
+	// executor's per-row emit exactly.
+	m := 0
+	for _, r := range sel {
+		for i := range bs.headIDs {
+			bs.headIDs[i][m] = b.headID(i, f, r)
+		}
+		m++
+	}
+	_, err := b.head.InsertRows(bs.headIDs, m, func(idx int) error {
+		return cx.recordInserted(b.headTag, b.head.TupleAt(idx), b.collect)
+	})
+	return err
+}

@@ -22,11 +22,15 @@ package eval
 // the whole rule application: no substitution maps, no Clone, no
 // ResolveAll, reused probe and match-index buffers, and one reusable
 // head buffer that only pays a copy when a derived tuple is genuinely
-// new. Rules the compiler cannot prove safe for this representation —
-// non-ground compound arguments needing real unification, head
-// compounds built from body bindings, goals whose EC point never
-// arrives — return nil and fall back to the generic joinBody
-// interpreter, preserving its answers and its error timing exactly.
+// new. Complex terms compile too: a compound argument with fresh
+// variables becomes a decomposition pattern (kcolPat / kMatch), a
+// compound whose variables are all bound becomes a construction
+// template (kcolBuild) in probes and head positions. Rules the
+// compiler still cannot prove safe for this representation — an "="
+// needing bidirectional unification, a head variable no body literal
+// binds, goals whose EC point never arrives — return nil and fall
+// back to the generic joinBody interpreter, preserving its answers
+// and its error timing exactly.
 
 import (
 	"ldl/internal/lang"
@@ -50,6 +54,17 @@ const (
 	// kcolChk: the variable first occurred earlier in this same literal
 	// — compare the candidate's column against the register.
 	kcolChk
+	// kcolPat: a compound argument containing at least one variable not
+	// yet bound — decompose the candidate's column against a pattern
+	// template, binding fresh registers (cons(H, T) pulling a list
+	// apart). Cannot join the probe mask: its value is unknown until
+	// the candidate arrives.
+	kcolPat
+	// kcolBuild: a compound argument (or head position) whose variables
+	// are all bound — construct the term from the registers. In a scan
+	// it joins the probe mask, exactly like the generic interpreter,
+	// whose per-row resolution makes such a column ground.
+	kcolBuild
 )
 
 // kcol is one column's compiled behavior.
@@ -57,6 +72,94 @@ type kcol struct {
 	op  kcolOp
 	reg int       // kcolProbe/kcolOut/kcolChk
 	val term.Term // kcolConst
+	pat *kpat     // kcolPat
+	bld *btmpl    // kcolBuild
+}
+
+// kpatKind discriminates pattern-template nodes.
+type kpatKind uint8
+
+const (
+	// patConst: the subterm must equal a ground compile-time constant.
+	patConst kpatKind = iota
+	// patProbe: the subterm must equal a register bound earlier (in an
+	// earlier step, or by a patOut to the left in this same pattern).
+	patProbe
+	// patOut: first occurrence of a variable — bind the register to the
+	// subterm.
+	patOut
+	// patComp: the subterm must be a compound with this functor and
+	// arity; recurse into the argument patterns left to right.
+	patComp
+)
+
+// kpat is a compiled decomposition pattern: one-way structural
+// unification of a pattern containing variables against a ground
+// candidate value. Matching walks candidates left to right, so a
+// variable bound by a patOut is visible to every patProbe after it —
+// the same order term.Unify resolves a non-ground pattern.
+type kpat struct {
+	kind    kpatKind
+	reg     int       // patProbe/patOut
+	lit     term.Term // patConst
+	functor string    // patComp
+	args    []*kpat   // patComp
+}
+
+// btmpl is a compiled construction template: a ground term assembled
+// structurally from registers and constants. Construction is purely
+// structural — arithmetic functors are built as compound terms, not
+// evaluated, exactly as the generic interpreter's ResolveAll leaves
+// them in head positions and probe columns.
+type btmpl struct {
+	reg     int       // >= 0: copy a register
+	lit     term.Term // ground literal
+	functor string    // compound node
+	args    []btmpl   // compound node arguments
+}
+
+// buildTerm assembles the template's term over the register frame.
+// Registers hold only ground values, so the result is always ground.
+func buildTerm(b *btmpl, regs []term.Term) term.Term {
+	if b.args != nil {
+		out := make([]term.Term, len(b.args))
+		for i := range b.args {
+			out[i] = buildTerm(&b.args[i], regs)
+		}
+		return term.Comp{Functor: b.functor, Args: out}
+	}
+	if b.reg >= 0 {
+		return regs[b.reg]
+	}
+	return b.lit
+}
+
+// matchPat matches a ground value against a pattern template, binding
+// fresh registers. It is the kernels' one-way unification: the value
+// side is ground (it came out of a relation or a bound template), so
+// no occurs check or bidirectional binding is needed.
+func matchPat(p *kpat, v term.Term, regs []term.Term) bool {
+	switch p.kind {
+	case patConst:
+		return term.Equal(p.lit, v)
+	case patProbe:
+		return term.Equal(regs[p.reg], v)
+	case patOut:
+		regs[p.reg] = v
+		return true
+	case patComp:
+		c, ok := v.(term.Comp)
+		if !ok || c.Functor != p.functor || len(c.Args) != len(p.args) {
+			return false
+		}
+		for i, ap := range p.args {
+			if !matchPat(ap, c.Args[i], regs) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
 }
 
 // kstepKind discriminates the step variants of a join program.
@@ -67,6 +170,7 @@ const (
 	kTest   kstepKind = iota // builtin comparison over bound values
 	kAssign                  // "=" binding a fresh variable to a value
 	kNeg                     // negated literal: membership anti-test
+	kMatch                   // "=" decomposing a bound value against a pattern
 )
 
 // testOp is the comparison operator of a kTest step.
@@ -101,13 +205,15 @@ type kstep struct {
 	// kScan
 	tag     string // predicate tag, resolved to a relation per application
 	scanIdx int    // index into kernelState.{rels, probes, idxs}
-	mask    uint32 // probe columns (kcolConst + kcolProbe)
+	mask    uint32 // probe columns (kcolConst + kcolProbe + kcolBuild)
 	cols    []kcol // per-column behavior, len == literal arity
+	nbound  int    // registers bound before this step (block executor carry)
 
-	// kTest / kAssign
+	// kTest / kAssign / kMatch
 	test     testOp
-	lhs, rhs tmpl // kTest: both sides; kAssign: rhs only
-	dstReg   int  // kAssign: register receiving the value
+	lhs, rhs tmpl  // kTest: both sides; kAssign/kMatch: rhs only
+	dstReg   int   // kAssign: register receiving the value
+	pat      *kpat // kMatch: pattern matched against rhs's value
 
 	// kNeg
 	negTag  string
@@ -201,6 +307,65 @@ func compileRule(r lang.Rule) *compiledRule {
 		}
 	}
 
+	// mkBuild compiles a construction template: every variable must be
+	// bound already. Construction is structural (see btmpl).
+	var mkBuild func(t term.Term) (btmpl, bool)
+	mkBuild = func(t term.Term) (btmpl, bool) {
+		switch x := t.(type) {
+		case term.Var:
+			reg, ok := regOf[x.Name]
+			if !ok {
+				return btmpl{}, false
+			}
+			return btmpl{reg: reg}, true
+		case term.Comp:
+			if term.Ground(t) {
+				return btmpl{reg: -1, lit: t}, true
+			}
+			args := make([]btmpl, len(x.Args))
+			for i, a := range x.Args {
+				bt, ok := mkBuild(a)
+				if !ok {
+					return btmpl{}, false
+				}
+				args[i] = bt
+			}
+			return btmpl{reg: -1, functor: x.Functor, args: args}, true
+		default:
+			return btmpl{reg: -1, lit: t}, true
+		}
+	}
+
+	// mkPat compiles a decomposition pattern. Fresh variables allocate
+	// registers and are marked in newHere, so a later plain occurrence
+	// in the same scan literal compiles to a compare (kcolChk), never a
+	// probe — the value only exists once the candidate arrives.
+	var mkPat func(t term.Term, newHere map[string]bool) *kpat
+	mkPat = func(t term.Term, newHere map[string]bool) *kpat {
+		switch x := t.(type) {
+		case term.Var:
+			if reg, have := regOf[x.Name]; have {
+				return &kpat{kind: patProbe, reg: reg}
+			}
+			p := &kpat{kind: patOut, reg: newReg(x.Name)}
+			if newHere != nil {
+				newHere[x.Name] = true
+			}
+			return p
+		case term.Comp:
+			if term.Ground(t) {
+				return &kpat{kind: patConst, lit: t}
+			}
+			args := make([]*kpat, len(x.Args))
+			for i, a := range x.Args {
+				args[i] = mkPat(a, newHere)
+			}
+			return &kpat{kind: patComp, functor: x.Functor, args: args}
+		default:
+			return &kpat{kind: patConst, lit: t}
+		}
+	}
+
 	boundSet := func() map[string]bool {
 		m := make(map[string]bool, len(regOf))
 		for v := range regOf {
@@ -255,17 +420,34 @@ func compileRule(r lang.Rule) *compiledRule {
 			}
 			// One side failed to template. EC guarantees at least one
 			// side is fully bound; if the other is a single fresh
-			// variable this is an assignment, anything else (compound
-			// with unbound vars) needs unification — fall back.
-			if v, isVar := lhs.(term.Var); isVar && !lok && rok {
-				cr.steps = append(cr.steps, kstep{kind: kAssign, dstReg: newReg(v.Name), rhs: rt})
+			// variable this is an assignment, and a compound with fresh
+			// variables is a decomposition match against the bound
+			// side's value. Both sides failing (a bound compound that
+			// is neither ground nor arithmetic on each side) needs
+			// bidirectional unification — fall back.
+			if !lok && !rok {
+				return false, false
+			}
+			value, pattern := lt, rhs
+			if !lok {
+				value, pattern = rt, lhs
+			}
+			if v, isVar := pattern.(term.Var); isVar {
+				cr.steps = append(cr.steps, kstep{kind: kAssign, dstReg: newReg(v.Name), rhs: value})
 				return true, true
 			}
-			if v, isVar := rhs.(term.Var); isVar && !rok && lok {
-				cr.steps = append(cr.steps, kstep{kind: kAssign, dstReg: newReg(v.Name), rhs: lt})
-				return true, true
+			// A pattern with an arithmetic top-level functor must stay
+			// generic: EvalBuiltin normalizes both sides, so the generic
+			// path evaluates it per row (typically to a per-row error,
+			// since it failed to template), where a match would compare
+			// it structurally. Below top level the generic path leaves
+			// arithmetic functors unevaluated, so patterns may contain
+			// them freely.
+			if lang.IsArithExpr(pattern) {
+				return false, false
 			}
-			return false, false
+			cr.steps = append(cr.steps, kstep{kind: kMatch, pat: mkPat(pattern, nil), rhs: value})
+			return true, true
 		}
 		var op testOp
 		switch l.Pred {
@@ -330,7 +512,7 @@ func compileRule(r lang.Rule) *compiledRule {
 		if len(l.Args) > lang.MaxAdornArity {
 			return nil // Validate rejects these; be safe
 		}
-		st := kstep{kind: kScan, tag: l.Tag(), scanIdx: cr.nscans, cols: make([]kcol, len(l.Args))}
+		st := kstep{kind: kScan, tag: l.Tag(), scanIdx: cr.nscans, cols: make([]kcol, len(l.Args)), nbound: cr.nregs}
 		newHere := map[string]bool{}
 		for ai, a := range l.Args {
 			if v, isVar := a.(term.Var); isVar {
@@ -348,7 +530,21 @@ func compileRule(r lang.Rule) *compiledRule {
 				continue
 			}
 			if !term.Ground(a) {
-				return nil // non-ground compound column: needs unification
+				// A compound with variables. All bound (and none bound
+				// first in this literal, whose value only exists per
+				// candidate): construct it per application and probe —
+				// the generic interpreter's per-row resolution makes
+				// such a column ground, so it probes on it too, and the
+				// candidate sets (hence the work counters) must agree.
+				// Otherwise: decompose the candidate's column against a
+				// pattern, binding the fresh variables.
+				if bt, ok := mkBuild(a); ok && !anyNewHere(a, newHere) {
+					st.cols[ai] = kcol{op: kcolBuild, bld: &bt}
+					st.mask |= 1 << uint(ai)
+					continue
+				}
+				st.cols[ai] = kcol{op: kcolPat, pat: mkPat(a, newHere)}
+				continue
 			}
 			st.cols[ai] = kcol{op: kcolConst, val: a}
 			st.mask |= 1 << uint(ai)
@@ -364,9 +560,10 @@ func compileRule(r lang.Rule) *compiledRule {
 	if len(pending) > 0 {
 		return nil // generic path raises "never became evaluable"
 	}
-	// Head template: registers and constants only. A head compound
-	// built from body bindings (e.g. cons(Y, P)) or a variable no body
-	// literal binds falls back to the generic path.
+	// Head template: registers, constants, and fully-bound construction
+	// templates (cons(Y, P) assembled from body bindings). A variable no
+	// body literal binds falls back to the generic path, which raises
+	// the unsafe-rule error — including one buried in a compound.
 	cr.head = make([]kcol, len(r.Head.Args))
 	for ai, a := range r.Head.Args {
 		if v, isVar := a.(term.Var); isVar {
@@ -378,11 +575,34 @@ func compileRule(r lang.Rule) *compiledRule {
 			continue
 		}
 		if !term.Ground(a) {
-			return nil
+			bt, ok := mkBuild(a)
+			if !ok {
+				return nil
+			}
+			cr.head[ai] = kcol{op: kcolBuild, bld: &bt}
+			continue
 		}
 		cr.head[ai] = kcol{op: kcolConst, val: a}
 	}
 	return cr
+}
+
+// anyNewHere reports whether t contains a variable first bound inside
+// the scan literal currently being compiled — such a variable has no
+// value until the candidate arrives, so a compound containing it can
+// never be constructed into the probe.
+func anyNewHere(t term.Term, newHere map[string]bool) bool {
+	switch x := t.(type) {
+	case term.Var:
+		return newHere[x.Name]
+	case term.Comp:
+		for _, a := range x.Args {
+			if anyNewHere(a, newHere) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // kernelState is the mutable, reusable execution state for one
@@ -398,6 +618,7 @@ type kernelState struct {
 	negRels []*store.Relation // per negation, resolved per application
 	negBufs []store.Tuple     // per negation, consts prefilled
 	headBuf store.Tuple       // consts prefilled
+	blk     *blockState       // vectorized executor state, built on demand (block.go)
 }
 
 func newKernelState(cr *compiledRule) *kernelState {
@@ -409,6 +630,12 @@ func newKernelState(cr *compiledRule) *kernelState {
 		negRels: make([]*store.Relation, cr.nnegs),
 		negBufs: make([]store.Tuple, cr.nnegs),
 		headBuf: make(store.Tuple, len(cr.head)),
+	}
+	for i := range ks.idxs {
+		// Pre-size the match-index buffers: fixpoint rounds reuse this
+		// state, and starting at a useful capacity avoids the regrow
+		// churn of the first rounds after every reset.
+		ks.idxs[i] = make([]int32, 0, 64)
 	}
 	for _, st := range cr.steps {
 		switch st.kind {
@@ -492,6 +719,17 @@ func (cx *evalCtx) applyCompiled(cr *compiledRule, deltaOcc int, deltas map[stri
 		headTag: cr.rule.Head.Tag(),
 		collect: collect,
 	}
+	// Vectorized execution batches a block of probes ahead of the
+	// emits they feed, so it requires that no scan or negation read
+	// the relation being inserted into. Frozen-mode applications
+	// (cx.buf != nil) never insert into a scanned relation; direct-mode
+	// applications qualify unless a body occurrence resolved to the
+	// head relation itself (seed rounds of recursive cliques, naive
+	// re-derivation rounds), which keep the tuple executor's
+	// mid-application visibility.
+	if bs := e.opts.BatchSize; bs > 1 && (cx.buf != nil || !ks.aliasesHead(k.head)) {
+		return k.applyBlocked(bs)
+	}
 	return k.step(0)
 }
 
@@ -529,8 +767,11 @@ func (k *kernelRun) step(si int) error {
 		}
 		probe := ks.probes[st.scanIdx]
 		for i, c := range st.cols {
-			if c.op == kcolProbe {
+			switch c.op {
+			case kcolProbe:
 				probe[i] = ks.regs[c.reg]
+			case kcolBuild:
+				probe[i] = buildTerm(c.bld, ks.regs)
 			}
 		}
 		// AppendMatches collects (and fully verifies) all match indexes
@@ -559,6 +800,16 @@ func (k *kernelRun) step(si int) error {
 			return err
 		}
 		ks.regs[st.dstReg] = v
+		return k.step(si + 1)
+	case kMatch:
+		cx.counters.BuiltinCalls++
+		v, err := k.resolveNorm(st.rhs)
+		if err != nil {
+			return err
+		}
+		if !matchPat(st.pat, v, ks.regs) {
+			return nil
+		}
 		return k.step(si + 1)
 	case kNeg:
 		cx.counters.Lookups++
@@ -604,6 +855,13 @@ func (k *kernelRun) scanCandidate(si int, st *kstep, t store.Tuple) error {
 			if st.mask == 0 && !term.Equal(regs[c.reg], t[i]) {
 				return nil
 			}
+		case kcolPat:
+			if !matchPat(c.pat, t[i], regs) {
+				return nil
+			}
+		case kcolBuild:
+			// Always part of the probe mask, so the candidate arrives
+			// pre-verified against the constructed value.
 		}
 	}
 	return k.step(si + 1)
@@ -700,8 +958,11 @@ func (k *kernelRun) evalArith(t tmpl) (term.Int, error) {
 func (k *kernelRun) emit() error {
 	cx, ks := k.cx, k.ks
 	for i, c := range k.cr.head {
-		if c.op == kcolProbe {
+		switch c.op {
+		case kcolProbe:
 			ks.headBuf[i] = ks.regs[c.reg]
+		case kcolBuild:
+			ks.headBuf[i] = buildTerm(c.bld, ks.regs)
 		}
 	}
 	t := ks.headBuf

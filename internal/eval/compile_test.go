@@ -37,13 +37,16 @@ func TestCompileRuleCompilability(t *testing.T) {
 		{"eq test both bound", "p(X) <- q(X), r(Y), X = Y.", true},
 		{"ground compound column", "p(X) <- q(f(a), X).", true},
 		{"constant head column", "p(X, 0) <- q(X).", true},
+		{"complex head term", "p(X, f(X)) <- q(X).", true},
+		{"non-ground compound column", "p(X) <- q(f(X)).", true},
+		{"bound compound probe column", "p(X) <- q(X), r(f(X)).", true},
+		{"eq needs unification", "p(X) <- q(Y), f(X) = Y.", true},
 
-		{"complex head term", "p(X, f(X)) <- q(X).", false},
-		{"non-ground compound column", "p(X) <- q(f(X)).", false},
 		{"unbound head variable", "p(X, Y) <- q(X).", false},
+		{"unbound head compound variable", "p(X, f(Y)) <- q(X).", false},
 		{"never-evaluable builtin", "p(X) <- X > Y, q(X).", false},
 		{"never-ground negation", "p(X) <- q(X), not r(X, Z).", false},
-		{"eq needs unification", "p(X) <- q(Y), f(X) = Y.", false},
+		{"eq both sides compound", "p(X, Y) <- q(X), r(Y), f(X) = f(Y).", false},
 		{"compound negation arg", "p(X) <- q(X), not r(f(X)).", false},
 	}
 	for _, c := range cases {
@@ -167,9 +170,14 @@ func TestKernelEquivalence(t *testing.T) {
 			}
 			modes := []mode{
 				{"generic/seq", Options{DisableKernels: true}},
-				{"compiled/seq", Options{}},
+				{"tuple/seq", Options{BatchSize: 1}},
+				{"batched/seq", Options{}},
+				// Tiny blocks force the flush-at-capacity path on every
+				// program, not just large workloads.
+				{"batched4/seq", Options{BatchSize: 4}},
 				{"generic/par", Options{DisableKernels: true, Parallel: 4}},
-				{"compiled/par", Options{Parallel: 4}},
+				{"tuple/par", Options{BatchSize: 1, Parallel: 4}},
+				{"batched/par", Options{Parallel: 4}},
 			}
 			for _, m := range []Method{Naive, SemiNaive} {
 				var ref string
@@ -187,11 +195,12 @@ func TestKernelEquivalence(t *testing.T) {
 					if got != ref {
 						t.Errorf("%v/%s: answers diverge\n got %s\nwant %s", m, md.name, got, ref)
 					}
-					// Counter parity between the two sequential engines:
-					// the kernels must do the same logical work, probe
-					// for probe (parallel rounds schedule differently,
-					// so only the sequential pair is comparable).
-					if md.name == "compiled/seq" {
+					// Counter parity among the sequential engines: the
+					// kernels — tuple and batched alike — must do the
+					// same logical work, probe for probe (parallel
+					// rounds schedule differently, so only the
+					// sequential modes are comparable).
+					if md.name == "tuple/seq" || md.name == "batched/seq" || md.name == "batched4/seq" {
 						cg, cc := refEng.Counters, eng.Counters
 						if cg.Lookups != cc.Lookups || cg.Unifications != cc.Unifications ||
 							cg.BuiltinCalls != cc.BuiltinCalls || cg.TuplesDerived != cc.TuplesDerived {
@@ -232,16 +241,24 @@ p(Y) <- n(X), X > 5, Y = X / 0.
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			for _, disable := range []bool{false, true} {
-				_, err := tryRun(c.src, SemiNaive, Options{DisableKernels: disable})
+			modes := []struct {
+				name string
+				opts Options
+			}{
+				{"generic", Options{DisableKernels: true}},
+				{"tuple", Options{BatchSize: 1}},
+				{"batched", Options{}},
+			}
+			for _, m := range modes {
+				_, err := tryRun(c.src, SemiNaive, m.opts)
 				if c.frag == "" {
 					if err != nil {
-						t.Errorf("kernels=%v: unexpected error %v", !disable, err)
+						t.Errorf("%s: unexpected error %v", m.name, err)
 					}
 					continue
 				}
 				if err == nil || !strings.Contains(err.Error(), c.frag) {
-					t.Errorf("kernels=%v: error %v, want substring %q", !disable, err, c.frag)
+					t.Errorf("%s: error %v, want substring %q", m.name, err, c.frag)
 				}
 			}
 		})

@@ -78,6 +78,13 @@ type Options struct {
 	// interpreter. The zero value — kernels on — is the default; the
 	// flag exists for A/B verification and as an escape hatch.
 	DisableKernels bool
+	// BatchSize sets the block size of the vectorized kernel executor
+	// (block.go): compiled rules push columnar frames of up to this
+	// many rows through each join step, amortizing probe and dispatch
+	// costs. 0 — the default — selects the tuned default block size;
+	// 1 (or any negative value) forces the tuple-at-a-time executor.
+	// Answers, errors, and work counters are identical in every mode.
+	BatchSize int
 	// Kernels, when non-nil, supplies precompiled join kernels for the
 	// program (built once with CompileProgram over the same *Program
 	// this engine evaluates). The engine then performs zero kernel
@@ -110,6 +117,9 @@ func (o *Options) norm() {
 	if o.Parallel < 0 {
 		o.Parallel = runtime.GOMAXPROCS(0)
 	}
+	if o.BatchSize == 0 {
+		o.BatchSize = DefaultBatchSize
+	}
 }
 
 // Counters expose how much work an evaluation did; experiments use them
@@ -124,6 +134,16 @@ type Counters struct {
 	// engine. Zero when Options.Kernels supplied every clique's
 	// programs — the assertion the prepared-plan cache tests make.
 	KernelCompiles int
+	// KernelFallbacks counts rule resolutions that fell back to the
+	// generic interpreter because the rule has no join kernel, per
+	// clique evaluation (mirroring KernelCompiles). Zero means every
+	// rule ran compiled. Always zero when kernels are disabled — the
+	// generic path is then chosen, not fallen back to.
+	KernelFallbacks int
+	// Blocks counts columnar frames the vectorized executor dispatched
+	// between join steps (scan outputs flushed downstream). Zero in
+	// tuple-at-a-time and generic modes.
+	Blocks int64
 }
 
 func (c *Counters) add(o *Counters) {
@@ -133,6 +153,8 @@ func (c *Counters) add(o *Counters) {
 	c.Lookups += o.Lookups
 	c.BuiltinCalls += o.BuiltinCalls
 	c.KernelCompiles += o.KernelCompiles
+	c.KernelFallbacks += o.KernelFallbacks
+	c.Blocks += o.Blocks
 }
 
 // Engine evaluates one program against one database.
@@ -470,15 +492,34 @@ func (e *Engine) compileRules(c *depgraph.Clique, rules []lang.Rule) []*compiled
 		for i, ri := range c.Rules {
 			crs[i] = pk.rules[ri]
 		}
+		e.noteFallbacks(crs, 0)
 		return crs
 	}
 	for i, r := range rules {
 		crs[i] = compileRule(r)
 	}
-	e.mu.Lock()
-	e.Counters.KernelCompiles += len(rules)
-	e.mu.Unlock()
+	e.noteFallbacks(crs, len(rules))
 	return crs
+}
+
+// noteFallbacks merges a clique's kernel-resolution counters under the
+// engine lock: compiled counts compilation work done here (zero on the
+// precompiled fast path), and every nil kernel is a generic-
+// interpreter fallback.
+func (e *Engine) noteFallbacks(crs []*compiledRule, compiled int) {
+	fallbacks := 0
+	for _, cr := range crs {
+		if cr == nil {
+			fallbacks++
+		}
+	}
+	if compiled == 0 && fallbacks == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.Counters.KernelCompiles += compiled
+	e.Counters.KernelFallbacks += fallbacks
+	e.mu.Unlock()
 }
 
 // joinBody enumerates the substitutions satisfying body[i:], carrying

@@ -90,12 +90,23 @@ func (e *Engine) runParallel() error {
 func (e *Engine) evalCliqueParallel(c *depgraph.Clique) error {
 	rules, method := e.cliqueRules(c)
 	crs := e.compileRules(c, rules)
+	// Kernel-state caches, one per worker slot, hoisted to clique scope:
+	// a fixpoint runs many rounds over the same compiled rules, and
+	// recreating the states every round would re-allocate every register
+	// frame, probe buffer, match-index buffer and vectorized block state
+	// each iteration. Worker w of every round uses slot w exclusively
+	// (and the rounds themselves are sequential), so the states are
+	// never shared between goroutines that run concurrently.
+	ksp := make([]map[*compiledRule]*kernelState, e.opts.Parallel)
+	for i := range ksp {
+		ksp[i] = map[*compiledRule]*kernelState{}
+	}
 	if !c.Recursive {
 		vs := make([]variant, len(rules))
 		for i, r := range rules {
 			vs[i] = variant{rule: r, cr: crs[i], deltaOcc: -1}
 		}
-		_, err := e.runRound(vs, nil, nil)
+		_, err := e.runRound(vs, nil, nil, ksp)
 		return err
 	}
 	deltas := e.newDeltas(c)
@@ -103,7 +114,7 @@ func (e *Engine) evalCliqueParallel(c *depgraph.Clique) error {
 	for i, r := range rules {
 		seed[i] = variant{rule: r, cr: crs[i], deltaOcc: -1}
 	}
-	if _, err := e.runRound(seed, nil, deltas); err != nil {
+	if _, err := e.runRound(seed, nil, deltas, ksp); err != nil {
 		return err
 	}
 	for iter := 0; ; iter++ {
@@ -143,7 +154,7 @@ func (e *Engine) evalCliqueParallel(c *depgraph.Clique) error {
 		for p, d := range deltas {
 			next[p] = store.NewRelationSized(p+"Δ", d.Arity, e.opts.SizeHints[p]/2)
 		}
-		if _, err := e.runRound(vs, deltas, next); err != nil {
+		if _, err := e.runRound(vs, deltas, next, ksp); err != nil {
 			return err
 		}
 		deltas = next
@@ -154,7 +165,7 @@ func (e *Engine) evalCliqueParallel(c *depgraph.Clique) error {
 // then merges the per-variant buffers into the head relations (and
 // newDeltas, when non-nil) in variant order. It returns the number of
 // genuinely new tuples.
-func (e *Engine) runRound(vs []variant, deltas, newDeltas map[string]*store.Relation) (int, error) {
+func (e *Engine) runRound(vs []variant, deltas, newDeltas map[string]*store.Relation, ksp []map[*compiledRule]*kernelState) (int, error) {
 	// A single-variant round has nothing to fan out; run it in direct
 	// mode — immediate head inserts, no buffer, no merge — exactly like
 	// the sequential engine, with counters kept round-local and merged
@@ -163,7 +174,7 @@ func (e *Engine) runRound(vs []variant, deltas, newDeltas map[string]*store.Rela
 	// buffer-and-merge tax for zero parallelism.
 	if len(vs) == 1 {
 		var local Counters
-		cx := &evalCtx{e: e, counters: &local}
+		cx := &evalCtx{e: e, counters: &local, kstates: ksp[0]}
 		var collect func(string, store.Tuple)
 		if newDeltas != nil {
 			collect = func(tag string, t store.Tuple) {
@@ -187,16 +198,16 @@ func (e *Engine) runRound(vs []variant, deltas, newDeltas map[string]*store.Rela
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(kstates map[*compiledRule]*kernelState) {
 			defer wg.Done()
 			// Worker-local counters keep the hot loop free of shared
 			// writes; merged under the engine lock at the end. The
-			// kernel-state cache is hoisted per worker goroutine so
-			// repeated variants of the same compiled rule reuse their
-			// register frames and probe buffers across jobs (a worker
-			// runs one job at a time, so the states are never shared).
+			// kernel-state cache lives at clique scope (slot w of ksp),
+			// so repeated variants of the same compiled rule reuse
+			// their register frames and probe buffers across jobs AND
+			// across rounds (a worker runs one job at a time and rounds
+			// are sequential, so the states are never shared).
 			var local Counters
-			kstates := map[*compiledRule]*kernelState{}
 			for i := range jobs {
 				if e.aborted.Load() {
 					continue
@@ -214,7 +225,7 @@ func (e *Engine) runRound(vs []variant, deltas, newDeltas map[string]*store.Rela
 			e.mu.Lock()
 			e.Counters.add(&local)
 			e.mu.Unlock()
-		}()
+		}(ksp[w])
 	}
 	for i := range vs {
 		jobs <- i

@@ -90,48 +90,67 @@ func (ev *evaluator) evalNode(n *Node, in []term.Subst) (*Rows, error) {
 	switch n.Kind {
 	case KindScan:
 		rel := db.Relation(n.Lit.Tag())
-		for _, s := range in {
-			if rel == nil {
-				continue
+		if rel == nil {
+			break
+		}
+		// The probe tuple and match-index buffer are hoisted out of the
+		// per-binding loop (and kept off the shared evaluator — union
+		// branches evaluate concurrently): one allocation each per scan
+		// node, reused across all incoming bindings instead of Scan's
+		// per-call buffer.
+		probe := make(store.Tuple, len(n.Lit.Args))
+		var idxBuf []int32
+		consume := func(s term.Subst, resolved []term.Term, t store.Tuple) error {
+			if err := gov.Tick(); err != nil {
+				return err
 			}
+			s2, ok := term.UnifyAll(resolved, []term.Term(t), s.Clone())
+			if !ok {
+				return nil
+			}
+			keep, err := applyFilters(n.Filters, s2)
+			if err != nil {
+				return err
+			}
+			if keep {
+				if err := gov.AddTuples(1); err != nil {
+					return err
+				}
+				out = append(out, s2)
+			}
+			return nil
+		}
+		for _, s := range in {
 			// Probe pushdown: ground argument positions become an
 			// indexed probe instead of a full scan, so a selective scan
-			// node touches only its matching tuples. Scan collects
-			// match indexes before yielding, so the iteration is stable
-			// regardless of what the caller does with the rows.
+			// node touches only its matching tuples. AppendMatches
+			// collects (and verifies) the match indexes before any row
+			// is consumed, so the iteration is stable regardless of
+			// what the caller does with the rows; the buffer is free to
+			// reuse on the next binding because each result is fully
+			// consumed before the next call.
 			resolved := s.ResolveAll(n.Lit.Args)
 			var mask uint32
-			probe := make(store.Tuple, len(resolved))
 			for ai, a := range resolved {
 				if term.Ground(a) {
 					mask |= 1 << uint(ai)
 					probe[ai] = a
 				}
 			}
-			var scanErr error
-			rel.Scan(mask, probe, func(t store.Tuple) bool {
-				if scanErr = gov.Tick(); scanErr != nil {
-					return false
-				}
-				s2, ok := term.UnifyAll(resolved, []term.Term(t), s.Clone())
-				if !ok {
-					return true
-				}
-				keep, err := applyFilters(n.Filters, s2)
-				if err != nil {
-					scanErr = err
-					return false
-				}
-				if keep {
-					if scanErr = gov.AddTuples(1); scanErr != nil {
-						return false
+			if mask == 0 {
+				n := rel.Len()
+				for ti := 0; ti < n; ti++ {
+					if err := consume(s, resolved, rel.TupleAt(ti)); err != nil {
+						return nil, err
 					}
-					out = append(out, s2)
 				}
-				return true
-			})
-			if scanErr != nil {
-				return nil, scanErr
+				continue
+			}
+			idxBuf = rel.AppendMatches(mask, probe, idxBuf[:0])
+			for _, j := range idxBuf {
+				if err := consume(s, resolved, rel.TupleAt(int(j))); err != nil {
+					return nil, err
+				}
 			}
 		}
 	case KindBuiltin:

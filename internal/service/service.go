@@ -82,6 +82,11 @@ type Stats struct {
 	Misses        int64
 	Evictions     int64
 	Invalidations int64
+	// Revalidations counts cache hits that survived an epoch advance:
+	// the entry's statistics fingerprint was rechecked against the new
+	// epoch's catalog and found unchanged, so the plan was kept instead
+	// of re-prepared.
+	Revalidations int64
 	Queries       int64
 	Loads         int64
 	Errors        int64
@@ -112,6 +117,7 @@ type Service struct {
 	lru     *list.List               // front = most recent
 
 	hits, misses, evictions, invalidations atomic.Int64
+	revalidations                          atomic.Int64
 	queries, loads, errs                   atomic.Int64
 }
 
@@ -223,9 +229,11 @@ func (s *Service) execOptions(ctx context.Context) []ldl.Option {
 }
 
 // lookup returns the cached prepared form for key if present and fresh.
-// A cached entry prepared under an older epoch is dropped (its plan was
-// optimized with stale statistics) and counts as an invalidation plus a
-// miss.
+// Freshness is epoch-delta aware: an entry prepared under an older
+// epoch is revalidated against the current catalog (Prepared.Fresh)
+// and kept when the statistics its plan was optimized over are
+// unchanged — only an entry whose inputs actually moved is dropped,
+// counting as an invalidation plus a miss.
 func (s *Service) lookup(sys *ldl.System, key string) (*ldl.Prepared, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -235,12 +243,16 @@ func (s *Service) lookup(sys *ldl.System, key string) (*ldl.Prepared, bool) {
 		return nil, false
 	}
 	ent := el.Value.(*entry)
-	if ent.p.Epoch() != sys.Epoch() {
+	fresh, revalidated := ent.p.Fresh()
+	if !fresh {
 		s.lru.Remove(el)
 		delete(s.entries, key)
 		s.invalidations.Add(1)
 		s.misses.Add(1)
 		return nil, false
+	}
+	if revalidated {
+		s.revalidations.Add(1)
 	}
 	s.lru.MoveToFront(el)
 	s.hits.Add(1)
@@ -315,6 +327,7 @@ func (s *Service) Stats() Stats {
 		Misses:        s.misses.Load(),
 		Evictions:     s.evictions.Load(),
 		Invalidations: s.invalidations.Load(),
+		Revalidations: s.revalidations.Load(),
 		Queries:       s.queries.Load(),
 		Loads:         s.loads.Load(),
 		Errors:        s.errs.Load(),

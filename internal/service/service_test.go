@@ -162,6 +162,60 @@ func TestFactLoadInvalidatesPlans(t *testing.T) {
 	}
 }
 
+// TestEpochDeltaRevalidation: an epoch advance that leaves a plan's
+// statistics inputs untouched (the load landed in a relation the plan
+// never reads) must NOT invalidate the cached plan — the entry is
+// revalidated against the new catalog and served as a hit, and the
+// answers still come from the new epoch's snapshot.
+func TestEpochDeltaRevalidation(t *testing.T) {
+	s := New(mustLoad(t, sgSrc+"other(k1, k2).\n"), Config{})
+	ctx := context.Background()
+	if _, err := s.Query(ctx, "sg(a1, Y)"); err != nil {
+		t.Fatal(err)
+	}
+	// Load into a relation the sg plan never scans: epoch bumps, the
+	// par statistics are unchanged.
+	if _, _, err := s.Load(ctx, "other(k3, k4)."); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Query(ctx, "sg(a2, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CacheHit {
+		t.Error("plan with unchanged stats inputs was not kept across the epoch advance")
+	}
+	if r.Stats.Epoch != 2 {
+		t.Errorf("executed against epoch %d, want 2 (revalidated plans still run on the current snapshot)", r.Stats.Epoch)
+	}
+	st := s.Stats()
+	if st.Revalidations != 1 || st.Invalidations != 0 {
+		t.Errorf("revalidations = %d, invalidations = %d, want 1, 0", st.Revalidations, st.Invalidations)
+	}
+	// The fingerprint result is cached per epoch: a further hit in the
+	// same epoch is plain, not another revalidation.
+	if _, err := s.Query(ctx, "sg(b1, Y)"); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Revalidations != 1 {
+		t.Errorf("revalidations = %d after same-epoch hit, want still 1", st.Revalidations)
+	}
+	// A load that DOES touch the plan's inputs invalidates as before.
+	if _, _, err := s.Load(ctx, "par(a9, b1)."); err != nil {
+		t.Fatal(err)
+	}
+	r, err = s.Query(ctx, "sg(a1, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHit {
+		t.Error("stale plan served after its base stats changed")
+	}
+	if st := s.Stats(); st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+}
+
 func TestReloadPurgesCache(t *testing.T) {
 	s := New(mustLoad(t, sgSrc), Config{})
 	ctx := context.Background()

@@ -11,3 +11,12 @@ func debugCheckInsert(r *Relation, t Tuple, ids []term.ID) {}
 // debugBorrow is the identity in release builds; under ldldebug it
 // cap-clamps borrowed views so append-past-snapshot misuse panics.
 func debugBorrow(ts []Tuple) []Tuple { return ts }
+
+// debugBorrowIDs is the identity in release builds.
+func debugBorrowIDs(ids []term.ID) []term.ID { return ids }
+
+// debugCheckProbe is compiled away outside ldldebug.
+func debugCheckProbe(r *Relation, cols uint32, probe Tuple) {}
+
+// debugCheckIDRow is compiled away outside ldldebug.
+func debugCheckIDRow(r *Relation, ids []term.ID) {}

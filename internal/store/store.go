@@ -188,8 +188,8 @@ type Relation struct {
 	Arity int
 
 	tuples []Tuple
-	ids    []term.ID // interned IDs, row-major, Arity per tuple
-	hashes []uint64  // full-row hash per tuple
+	cols   []idColumn // interned IDs, column-major, one slice per column
+	hashes []uint64   // full-row hash per tuple
 
 	// The dedup set: open-addressed, slot = tuple index + 1, keyed on
 	// hashes[idx] with ID-row equality on collision.
@@ -232,9 +232,12 @@ func NewRelationSized(name string, arity, capacity int) *Relation {
 	size := tableSize(capacity)
 	r.setSlots = make([]int32, size)
 	r.setMask = uint32(size - 1)
+	r.cols = make([]idColumn, arity)
 	if capacity > 0 {
 		r.tuples = make([]Tuple, 0, capacity)
-		r.ids = make([]term.ID, 0, capacity*arity)
+		for c := range r.cols {
+			r.cols[c] = make(idColumn, 0, capacity)
+		}
 		r.hashes = make([]uint64, 0, capacity)
 	}
 	empty := map[uint32]*colIndex{}
@@ -262,11 +265,13 @@ func (r *Relation) Snapshot() []Tuple {
 	return out
 }
 
+// idColumn is one column of interned term IDs, row-indexed.
+type idColumn = []term.ID
+
 // rowEqual reports whether the interned-ID row of tuple idx equals ids.
 func (r *Relation) rowEqual(idx int, ids []term.ID) bool {
-	row := r.ids[idx*r.Arity : (idx+1)*r.Arity]
-	for i, id := range row {
-		if id != ids[i] {
+	for c := range r.cols {
+		if r.cols[c][idx] != ids[c] {
 			return false
 		}
 	}
@@ -379,16 +384,26 @@ func (r *Relation) insert(t Tuple, copyOnAdd bool) (bool, error) {
 	if copyOnAdd {
 		t = t.Clone()
 	}
+	r.appendRow(t, r.scratch, h)
+	return true, nil
+}
+
+// appendRow is the shared tail of every insert path: the row is known
+// to be new, its IDs and full-row hash already computed. It appends the
+// tuple and its column IDs, updates the dedup set, every published
+// column index, and the distinct caches.
+func (r *Relation) appendRow(t Tuple, ids []term.ID, h uint64) {
 	idx := len(r.tuples)
 	r.tuples = append(r.tuples, t)
-	r.ids = append(r.ids, r.scratch...)
+	for c := range r.cols {
+		r.cols[c] = append(r.cols[c], ids[c])
+	}
 	r.hashes = append(r.hashes, h)
 	r.setInsert(h, idx)
 	for cols, ci := range *r.indexes.Load() {
 		ci.insert(maskedHash(t, cols), idx)
 	}
-	r.noteDistinct(r.ids[idx*r.Arity : (idx+1)*r.Arity])
-	return true, nil
+	r.noteDistinct(idx)
 }
 
 // InsertFrom adds row i of src, reusing src's interned IDs and row
@@ -399,20 +414,14 @@ func (r *Relation) InsertFrom(src *Relation, i int) (bool, error) {
 		return false, fmt.Errorf("store: %s: merging arity %d relation into arity %d relation", r.Name, src.Arity, r.Arity)
 	}
 	h := src.hashes[i]
-	ids := src.ids[i*src.Arity : (i+1)*src.Arity]
-	if r.findByIDs(h, ids) >= 0 {
+	r.scratch = r.scratch[:0]
+	for c := range src.cols {
+		r.scratch = append(r.scratch, src.cols[c][i])
+	}
+	if r.findByIDs(h, r.scratch) >= 0 {
 		return false, nil
 	}
-	t := src.tuples[i]
-	idx := len(r.tuples)
-	r.tuples = append(r.tuples, t)
-	r.ids = append(r.ids, ids...)
-	r.hashes = append(r.hashes, h)
-	r.setInsert(h, idx)
-	for cols, ci := range *r.indexes.Load() {
-		ci.insert(maskedHash(t, cols), idx)
-	}
-	r.noteDistinct(r.ids[idx*r.Arity : (idx+1)*r.Arity])
+	r.appendRow(src.tuples[i], r.scratch, h)
 	return true, nil
 }
 
@@ -534,13 +543,24 @@ func (r *Relation) Lookup(cols uint32, probe Tuple) []Tuple {
 
 // AppendMatches appends to dst the row indexes whose projection on
 // cols matches probe, fully verified (not just hash-matched), and
-// returns the extended slice. cols must be non-zero. Passing a reused
-// buffer as dst keeps steady-state probes allocation-free — this is
-// the compiled join kernels' probe primitive. Because the matches are
-// collected before the caller sees any of them, it is safe to insert
-// into the relation while consuming the result (row indexes stay valid
-// forever; relations only grow).
+// returns the extended slice. cols must be non-zero and every masked
+// probe position must hold a ground term (the ldldebug build tag
+// asserts both at the call site). Passing a reused buffer as dst keeps
+// steady-state probes allocation-free — this is the compiled join
+// kernels' probe primitive.
+//
+// Borrow lifetime: the returned slice aliases dst's backing array (the
+// caller owns it; the relation keeps no reference), and the row
+// indexes it holds are stable forever — relations only grow and rows
+// never move — so a match set may be consumed across later inserts,
+// including inserts into this same relation. The matches are collected
+// before the caller sees any of them, so insert-while-consuming never
+// observes a partially built result. What a reused buffer must NOT do
+// is survive into a second AppendMatches call while the first result
+// is still being read: the second call overwrites the shared backing
+// array.
 func (r *Relation) AppendMatches(cols uint32, probe Tuple, dst []int32) []int32 {
+	debugCheckProbe(r, cols, probe)
 	if len(r.tuples) == 0 {
 		return dst
 	}
@@ -627,24 +647,24 @@ func (r *Relation) ensureDistinct(i int) *distinctSet {
 		cur = make([]*distinctSet, r.Arity)
 	}
 	ds := &distinctSet{seen: make(map[term.ID]struct{}, len(r.tuples))}
-	for idx := range r.tuples {
-		ds.seen[r.ids[idx*r.Arity+i]] = struct{}{}
+	for _, id := range r.cols[i] {
+		ds.seen[id] = struct{}{}
 	}
 	cur[i] = ds
 	r.distincts.Store(&cur)
 	return ds
 }
 
-// noteDistinct folds a newly inserted row's IDs into whichever
-// per-column distinct sets exist. Writer-side (insert) only.
-func (r *Relation) noteDistinct(ids []term.ID) {
+// noteDistinct folds row idx's IDs into whichever per-column distinct
+// sets exist. Writer-side (insert) only.
+func (r *Relation) noteDistinct(idx int) {
 	dp := r.distincts.Load()
 	if dp == nil {
 		return
 	}
 	for c, ds := range *dp {
 		if ds != nil {
-			ds.seen[ids[c]] = struct{}{}
+			ds.seen[r.cols[c][idx]] = struct{}{}
 		}
 	}
 }
@@ -793,7 +813,10 @@ func (db *Database) Clone() *Database {
 func (r *Relation) clone() *Relation {
 	nr := &Relation{Name: r.Name, Arity: r.Arity}
 	nr.tuples = append([]Tuple(nil), r.tuples...)
-	nr.ids = append([]term.ID(nil), r.ids...)
+	nr.cols = make([]idColumn, r.Arity)
+	for c := range r.cols {
+		nr.cols[c] = append(idColumn(nil), r.cols[c]...)
+	}
 	nr.hashes = append([]uint64(nil), r.hashes...)
 	nr.setSlots = append([]int32(nil), r.setSlots...)
 	nr.setMask = r.setMask

@@ -109,6 +109,29 @@ func Intern(t Term) ID {
 	return id
 }
 
+// TryLookupID returns the ID of an already-interned ground term
+// without interning it — the probe-side companion of TryIntern.
+// Transient probe values (a constructed probe column that may match
+// nothing) must not grow the append-only table. ok is false when t is
+// non-ground or was never interned; a term with no ID cannot equal any
+// stored value, so such probes can skip the relation entirely.
+func TryLookupID(t Term) (ID, bool) {
+	h, ok := tryHashTerm(t)
+	if !ok {
+		return 0, false
+	}
+	sh := internTab[h>>(64-internShardBits)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, cand := range sh.byHash[h] {
+		_, i := unpackID(cand)
+		if Equal(sh.terms[i], t) {
+			return cand, true
+		}
+	}
+	return 0, false
+}
+
 // InternedTerm returns the canonical term interned under id.
 func InternedTerm(id ID) Term {
 	shard, i := unpackID(id)

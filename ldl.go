@@ -470,6 +470,7 @@ type options struct {
 	flatten   bool
 	parallel  int
 	noKernels bool
+	batch     int
 
 	// Resource governor configuration. Zero values mean "no limit";
 	// with everything zero no governor is built and the hot paths pay
@@ -526,7 +527,7 @@ func WithMaxIterations(n int) Option { return func(o *options) { o.maxIterations
 // explored states (join orders costed, c-permutations priced). On
 // exhaustion the optimizer degrades instead of failing: rule-ordering
 // search falls back to the quadratic KBZ strategy and the recursive
-//-clique search keeps the best candidate priced so far. Downgrades are
+// -clique search keeps the best candidate priced so far. Downgrades are
 // recorded in Plan.Explain. KBZ itself is exempt (it is the floor of
 // the ladder), so Optimize still returns a plan unless time runs out.
 func WithOptimizerBudget(n int) Option { return func(o *options) { o.optStates = n } }
@@ -552,6 +553,23 @@ func WithParallel(n int) Option { return func(o *options) { o.parallel = n } }
 // automatically use the generic interpreter. Answers are identical
 // either way; WithCompiledKernels(false) is the A/B escape hatch.
 func WithCompiledKernels(on bool) Option { return func(o *options) { o.noKernels = !on } }
+
+// WithBatchSize sets the block size of the vectorized kernel executor
+// (default 256 rows). Compiled join programs process a columnar frame
+// of up to n delta rows per step — probes, comparisons and head
+// insertion run as tight loops over dense interned-ID columns instead
+// of one register frame at a time. n = 1 restores tuple-at-a-time
+// execution; answers, errors and work counters are identical at every
+// size, so the flag is a pure performance knob (and the A/B escape
+// hatch for the vectorized path).
+func WithBatchSize(n int) Option {
+	return func(o *options) {
+		if n < 1 {
+			n = 1
+		}
+		o.batch = n
+	}
+}
 
 // WithFlattening enables the §8.3 rescue: when a query form has no
 // safe execution, non-recursive single-rule predicates are unfolded
@@ -650,6 +668,15 @@ type ExecStats struct {
 	// kernels, so it reports 0 here — the counter is the observable
 	// proof that the prepared path skips compilation.
 	KernelCompiles int
+	// KernelFallbacks counts rules that could not be compiled to join
+	// kernels and ran on the generic interpreter instead. With kernels
+	// disabled it is 0 (nothing attempted compilation); the counter
+	// exposes exactly which executions paid the generic path.
+	KernelFallbacks int
+	// Blocks counts columnar frames dispatched between steps by the
+	// vectorized executor; 0 means every application ran
+	// tuple-at-a-time (batch size 1, or head-aliasing applications).
+	Blocks int64
 	// Epoch identifies the fact-base snapshot the execution ran
 	// against.
 	Epoch uint64
@@ -690,6 +717,7 @@ func (p *Plan) ExecuteStats() (_ [][]string, es ExecStats, err error) {
 		MaxTuples: 5_000_000, MaxIterations: 200_000,
 		Parallel: p.opts.parallel, SizeHints: p.epoch.hints,
 		DisableKernels: p.opts.noKernels,
+		BatchSize:      p.opts.batch,
 		Gov:            p.opts.governor(),
 	})
 	if err != nil {
@@ -730,12 +758,14 @@ func methodOverrides(fixMethods map[string]cost.RecMethod, prog2 *lang.Program) 
 
 func execStats(e *eval.Engine, epoch uint64) ExecStats {
 	return ExecStats{
-		TuplesDerived:  e.Counters.TuplesDerived,
-		Iterations:     e.Counters.Iterations,
-		Unifications:   e.Counters.Unifications,
-		Lookups:        e.Counters.Lookups,
-		KernelCompiles: e.Counters.KernelCompiles,
-		Epoch:          epoch,
+		TuplesDerived:   e.Counters.TuplesDerived,
+		Iterations:      e.Counters.Iterations,
+		Unifications:    e.Counters.Unifications,
+		Lookups:         e.Counters.Lookups,
+		KernelCompiles:  e.Counters.KernelCompiles,
+		KernelFallbacks: e.Counters.KernelFallbacks,
+		Blocks:          e.Counters.Blocks,
+		Epoch:           epoch,
 	}
 }
 
@@ -812,7 +842,8 @@ func (s *System) EvaluateUnoptimized(goal string, opts ...Option) (_ [][]string,
 	e, err := eval.New(s.prog, ep.db, eval.Options{
 		Method: eval.SemiNaive, Parallel: o.parallel,
 		SizeHints: ep.hints, DisableKernels: o.noKernels,
-		Gov: o.governor(),
+		BatchSize: o.batch,
+		Gov:       o.governor(),
 	})
 	if err != nil {
 		return nil, es, err

@@ -21,17 +21,23 @@ package ldl
 // compilation per call.
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"ldl/internal/core"
 	"ldl/internal/depgraph"
 	"ldl/internal/eval"
 	"ldl/internal/lang"
 	"ldl/internal/parser"
+	"ldl/internal/stats"
 	"ldl/internal/term"
 )
 
@@ -137,6 +143,18 @@ type Prepared struct {
 	result   *core.Result
 	opts     options
 
+	// Statistics fingerprint for epoch-delta revalidation. A plan is
+	// only a function of the catalog entries its program reads, so an
+	// epoch advance that left those entries unchanged (facts landed in
+	// unrelated relations) does not stale the plan. baseTags is the
+	// sorted list of base relations the compiled program scans; statsFP
+	// hashes their catalog entries as of Prepare; validEpoch caches the
+	// newest epoch the fingerprint was verified against, so repeated
+	// lookups between loads pay one atomic read, not a rehash.
+	baseTags   []string
+	statsFP    uint64
+	validEpoch atomic.Uint64
+
 	// Compiled artifacts, nil when the form is unsafe.
 	prog      *lang.Program
 	kernels   *eval.ProgramKernels
@@ -170,7 +188,8 @@ func (s *System) Prepare(goal string, opts ...Option) (_ *Prepared, err error) {
 		return nil, err
 	}
 	ep := s.snapshot()
-	opt, err := core.New(s.prog, s.effectiveCat(ep), strat)
+	cat := s.effectiveCat(ep)
+	opt, err := core.New(s.prog, cat, strat)
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +205,11 @@ func (s *System) Prepare(goal string, opts ...Option) (_ *Prepared, err error) {
 	}
 	p := &Prepared{sys: s, key: key, shape: shape, paramPos: params, epochID: ep.id, result: res, opts: o}
 	if !res.Safe {
+		// The unsafe verdict is static (binding-pattern analysis), not
+		// statistical: the empty-fingerprint entry stays fresh across
+		// every epoch, so the serving layer never re-prepares a form
+		// that can never become safe.
+		p.statsFP = statsFingerprint(cat, nil)
 		return p, nil
 	}
 	compiled, err := res.Compile()
@@ -217,7 +241,88 @@ func (s *System) Prepare(goal string, opts ...Option) (_ *Prepared, err error) {
 	p.kernels = eval.CompileProgram(prog2)
 	p.methodFor = methodOverrides(compiled.FixMethods, prog2)
 	p.ansPred = compiled.AnswerTag[:strings.LastIndexByte(compiled.AnswerTag, '/')]
+	p.baseTags = progBaseTags(prog2)
+	p.statsFP = statsFingerprint(cat, p.baseTags)
 	return p, nil
+}
+
+// progBaseTags collects the base relations a compiled program scans:
+// every body tag that is not derived by the program itself, not a
+// builtin, and not a bind-time parameter relation. These are exactly
+// the catalog entries whose statistics the optimizer's choice depended
+// on.
+func progBaseTags(prog *lang.Program) []string {
+	derived := map[string]bool{}
+	for _, r := range prog.Rules {
+		derived[r.Head.Tag()] = true
+	}
+	seen := map[string]bool{}
+	var tags []string
+	for _, r := range prog.Rules {
+		for _, l := range r.Body {
+			tag := l.Tag()
+			if seen[tag] || derived[tag] || lang.IsBuiltin(l.Pred) ||
+				strings.HasPrefix(l.Pred, "ldl$p") {
+				continue
+			}
+			seen[tag] = true
+			tags = append(tags, tag)
+		}
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// statsFingerprint hashes the catalog entries of the given tags —
+// presence, cardinality, per-column distinct counts, acyclicity. Two
+// catalogs with equal fingerprints over a plan's baseTags yield the
+// same optimizer inputs for that plan.
+func statsFingerprint(cat *stats.Catalog, tags []string) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	w64 := func(v uint64) { binary.LittleEndian.PutUint64(buf[:], v); h.Write(buf[:]) }
+	for _, tag := range tags {
+		io.WriteString(h, tag)
+		h.Write([]byte{0})
+		if !cat.Has(tag) {
+			// Distinguish "served from Default" from a real entry that
+			// happens to equal it: gaining first-class stats must
+			// change the fingerprint.
+			h.Write([]byte{0xff})
+		}
+		rs := cat.Stats(tag)
+		w64(math.Float64bits(rs.Card))
+		w64(uint64(len(rs.Distinct)))
+		for _, d := range rs.Distinct {
+			w64(math.Float64bits(d))
+		}
+		if rs.Acyclic {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	return h.Sum64()
+}
+
+// Fresh reports whether the prepared plan is still current against the
+// system's latest epoch. It is epoch-delta aware: when the epoch has
+// advanced, the plan stays fresh if the catalog entries it was
+// optimized over are unchanged (the load touched unrelated relations)
+// — revalidated is true exactly when that check ran and passed.
+// Execution always runs against the current snapshot regardless, so
+// freshness is about plan optimality, never answer correctness. Safe
+// for concurrent use.
+func (p *Prepared) Fresh() (fresh, revalidated bool) {
+	ep := p.sys.snapshot()
+	if ep.id == p.epochID || ep.id == p.validEpoch.Load() {
+		return true, false
+	}
+	if statsFingerprint(p.sys.effectiveCat(ep), p.baseTags) != p.statsFP {
+		return false, false
+	}
+	p.validEpoch.Store(ep.id)
+	return true, true
 }
 
 // rewriteParams eliminates placeholder constants from a compiled rule:
@@ -412,6 +517,7 @@ func (p *Prepared) ExecuteStats(goal string, opts ...Option) (_ [][]string, es E
 		MaxTuples: 5_000_000, MaxIterations: 200_000,
 		Parallel: o.parallel, SizeHints: ep.hints,
 		DisableKernels: o.noKernels,
+		BatchSize:      o.batch,
 		Gov:            o.governor(),
 		Kernels:        p.kernels, Graph: p.graph,
 	})

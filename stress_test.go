@@ -68,7 +68,7 @@ func TestSharedDatabaseStress(t *testing.T) {
 				// Six arms cover {compiled, generic} × {sequential,
 				// parallel} bottom-up plus the optimized and top-down
 				// paths, all racing over one shared database.
-				switch (g + r) % 6 {
+				switch (g + r) % 8 {
 				case 0:
 					got, err = sys.Query("sg(a, Y)")
 					want = wantSG
@@ -87,6 +87,16 @@ func TestSharedDatabaseStress(t *testing.T) {
 				case 5:
 					got, _, err = sys.EvaluateUnoptimized("tc(1, Y)", WithParallel(4), WithCompiledKernels(false))
 					want = wantTC
+				case 6:
+					// Tuple-at-a-time kernels (the default is batched;
+					// this arm pins the vectorized path off).
+					got, _, err = sys.EvaluateUnoptimized("tc(1, Y)", WithBatchSize(1))
+					want = wantTC
+				case 7:
+					// Vectorized kernels with a tiny block, parallel:
+					// maximizes flush-boundary crossings under -race.
+					got, _, err = sys.EvaluateUnoptimized("sg(a, Y)", WithParallel(4), WithBatchSize(4))
+					want = wantSG
 				}
 				if err != nil {
 					errc <- fmt.Errorf("goroutine %d round %d: %v", g, r, err)
