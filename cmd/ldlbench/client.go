@@ -158,26 +158,60 @@ func (c *lineClient) do(line string) (status string, rows []string, err error) {
 }
 
 // runClient drives n requests against addr and prints a summary line.
-func runClient(addr, query, load string, n, retries int, backoff time.Duration, stdout io.Writer) error {
+// With mixEvery > 0 it interleaves the two templates into the
+// append→query workload incremental view maintenance serves: every
+// mixEvery-th request is a LOAD of fresh facts and the rest re-QUERY
+// the goal those appends keep maintained, so the run measures write
+// latency (maintenance included) and read latency against a base that
+// is growing under the reader.
+func runClient(addr, query, load string, n, mixEvery, retries int, backoff time.Duration, stdout io.Writer) error {
+	if mixEvery > 0 && (load == "" || query == "") {
+		return fmt.Errorf("-mix-every needs both -query and -load")
+	}
 	c := &lineClient{addr: addr, retries: retries, backoff: backoff, deadline: 30 * time.Second}
 	defer c.close()
 	start := time.Now()
 	var firstErr error
+	loads, queries := 0, 0
+	var loadTime, queryTime time.Duration
 	for i := 0; i < n; i++ {
+		isLoad := load != ""
+		if mixEvery > 0 {
+			isLoad = i%mixEvery == 0
+		}
 		line := "QUERY " + query
-		if load != "" {
+		if isLoad {
 			line = "LOAD " + strings.ReplaceAll(load, "%d", strconv.Itoa(i))
 		}
+		reqStart := time.Now()
 		if _, _, err := c.do(line); err != nil && firstErr == nil {
 			firstErr = err
+		}
+		if isLoad {
+			loads++
+			loadTime += time.Since(reqStart)
+		} else {
+			queries++
+			queryTime += time.Since(reqStart)
 		}
 	}
 	elapsed := time.Since(start)
 	st := c.stats
 	fmt.Fprintf(stdout, "client: n=%d ok=%d failures=%d retries=%d redirects=%d wire_requests=%d elapsed=%s\n",
 		n, st.ok, st.failures, st.retries, st.redirects, st.requests, elapsed.Round(time.Millisecond))
+	if mixEvery > 0 {
+		fmt.Fprintf(stdout, "client: mixed loads=%d avg_load=%s queries=%d avg_query=%s\n",
+			loads, avgDur(loadTime, loads), queries, avgDur(queryTime, queries))
+	}
 	if firstErr != nil {
 		return fmt.Errorf("first failure: %w", firstErr)
 	}
 	return nil
+}
+
+func avgDur(total time.Duration, n int) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	return (total / time.Duration(n)).Round(time.Microsecond)
 }

@@ -142,3 +142,36 @@ func TestRunClientMode(t *testing.T) {
 		t.Fatalf("summary = %q", got)
 	}
 }
+
+// TestRunClientMixedMode: -mix-every interleaves LOADs into the QUERY
+// stream at the requested rate and reports both arms separately.
+func TestRunClientMixedMode(t *testing.T) {
+	var loads, queries atomic.Int64
+	addr := fakeServer(t, func(line string) []string {
+		switch {
+		case strings.HasPrefix(line, "QUERY "):
+			queries.Add(1)
+			return []string{"OK 1", "a,b"}
+		case strings.HasPrefix(line, "LOAD "):
+			loads.Add(1)
+			return []string{"OK 1 epoch=2"}
+		}
+		return []string{"ERR bad"}
+	})
+	var out strings.Builder
+	err := run([]string{"-addr", addr, "-n", "10", "-mix-every", "5",
+		"-query", "sg(X, Y)", "-load", "par(x%d, y)."}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if loads.Load() != 2 || queries.Load() != 8 {
+		t.Fatalf("server saw loads=%d queries=%d, want 2/8", loads.Load(), queries.Load())
+	}
+	if got := out.String(); !strings.Contains(got, "mixed loads=2") || !strings.Contains(got, "queries=8") {
+		t.Fatalf("summary = %q", got)
+	}
+	// The mode refuses to run without both templates.
+	if err := run([]string{"-addr", addr, "-n", "4", "-mix-every", "2", "-load", "", "-query", "q(X)"}, &out); err == nil {
+		t.Fatal("mixed mode without -load accepted")
+	}
+}

@@ -11,6 +11,9 @@
 //	ldlbench -addr :7654 -n 100 -query "sg(b1, Y)"   # query load
 //	ldlbench -addr :7654 -n 100 -load "par(x%d, y)." # write load
 //
+//	ldlbench -addr :7654 -n 100 -mix-every 10 \
+//	    -query "sg(b1, Y)" -load "par(x%d, y)."      # mixed append→query load
+//
 // The client honors the server's failure vocabulary: overload
 // ("ERR overloaded retry: ...") is retried with bounded jittered
 // backoff, and a replica's write refusal ("ERR read-only
@@ -42,19 +45,20 @@ func run(args []string, stdout io.Writer) error {
 		exp  = fs.String("e", "", "experiment id (1..10, A1..A3); empty runs all")
 		list = fs.Bool("list", false, "list experiment ids and titles")
 
-		addr    = fs.String("addr", "", "ldlserver address: run as a benchmark client instead of the experiments")
-		query   = fs.String("query", "sg(b1, Y)", "client mode: goal each request queries")
-		load    = fs.String("load", "", "client mode: fact template each request loads (%d = request index); overrides -query")
-		n       = fs.Int("n", 100, "client mode: number of requests")
-		retries = fs.Int("retries", 5, "client mode: max retries per request on overload or transport failure")
-		backoff = fs.Duration("backoff", 10*time.Millisecond, "client mode: initial retry backoff (doubles, jittered)")
+		addr     = fs.String("addr", "", "ldlserver address: run as a benchmark client instead of the experiments")
+		query    = fs.String("query", "sg(b1, Y)", "client mode: goal each request queries")
+		load     = fs.String("load", "", "client mode: fact template each request loads (%d = request index); overrides -query")
+		n        = fs.Int("n", 100, "client mode: number of requests")
+		mixEvery = fs.Int("mix-every", 0, "client mode: interleave appends into the query stream — every Nth request LOADs the -load template, the rest QUERY the -query goal (the incremental-maintenance workload)")
+		retries  = fs.Int("retries", 5, "client mode: max retries per request on overload or transport failure")
+		backoff  = fs.Duration("backoff", 10*time.Millisecond, "client mode: initial retry backoff (doubles, jittered)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *addr != "" {
-		return runClient(*addr, *query, *load, *n, *retries, *backoff, stdout)
+		return runClient(*addr, *query, *load, *n, *mixEvery, *retries, *backoff, stdout)
 	}
 	if *list {
 		for _, t := range experiments.Index() {

@@ -82,6 +82,7 @@ func main() {
 		drain     = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 		replicaOf = flag.String("replica-of", "", "leader address to replicate from: boot as a read-only follower")
 		advertise = flag.String("advertise", "", "address advertised to followers for write redirects (default -addr)")
+		matMode   = flag.String("materialize", "", "maintain materialized views of the derived predicates: 'incremental' (semi-naive continuation across epochs) or 'scratch' (recompute per epoch; the A/B baseline). Empty disables")
 	)
 	flag.Parse()
 	if *program == "" {
@@ -102,6 +103,15 @@ func main() {
 			ldl.WithFsyncPolicy(policy, 0),
 			ldl.WithCheckpointBytes(*ckptBytes))
 	}
+	switch *matMode {
+	case "":
+	case "incremental":
+		sysOpts = append(sysOpts, ldl.WithMaterialized())
+	case "scratch":
+		sysOpts = append(sysOpts, ldl.WithMaterializedScratch())
+	default:
+		log.Fatalf("ldlserver: -materialize must be 'incremental', 'scratch' or empty, got %q", *matMode)
+	}
 	sys, err := ldl.Load(string(src), sysOpts...)
 	if err != nil {
 		log.Fatalf("ldlserver: load: %v", err)
@@ -114,6 +124,7 @@ func main() {
 		MaxConcurrent:  *workers,
 		MaxQueue:       *queue,
 		DefaultTimeout: *timeout,
+		SystemOptions:  sysOpts,
 	})
 	srv.idleTimeout = *idle
 	srv.advertise = *advertise
@@ -532,6 +543,19 @@ func (s *server) statsLines() []string {
 		add("recovery_checkpoint_epoch", rep.CheckpointEpoch)
 		add("recovery_records_replayed", rep.RecordsReplayed)
 		add("recovery_bytes_dropped", rep.BytesDropped)
+	}
+	if ivm := sys.IVMStats(); ivm.Enabled {
+		mode := "incremental"
+		if ivm.Scratch {
+			mode = "scratch"
+		}
+		add("materialized", mode)
+		add("ivm_epochs", ivm.Epochs)
+		add("ivm_incremental_rounds", ivm.IncrementalRounds)
+		add("ivm_scratch_fallbacks", ivm.ScratchFallbacks)
+		add("ivm_delta_rows", ivm.DeltaRows)
+		add("ivm_last_delta_rows", ivm.LastDeltaRows)
+		add("ivm_view_queries", st.ViewQueries)
 	}
 
 	sort.Slice(kv, func(i, j int) bool { return kv[i][0] < kv[j][0] })

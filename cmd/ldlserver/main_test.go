@@ -335,3 +335,66 @@ func TestConcurrentStress(t *testing.T) {
 		t.Errorf("no plan-cache hits across %d clients x %d rounds", clients, rounds)
 	}
 }
+
+// TestMaterializedServerStats boots a materialized server and checks
+// the protocol surface of the incremental path: queries served from
+// views, LOAD maintained incrementally, and the ivm_* STATS keys
+// operators watch to see when a program falls off the incremental path.
+func TestMaterializedServerStats(t *testing.T) {
+	sys, err := ldl.Load(serverSrc, ldl.WithMaterialized())
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	srv := newServer(sys, service.Config{SystemOptions: []ldl.SystemOption{ldl.WithMaterialized()}})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.serve(l); err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		l.Close()
+		<-done
+	})
+	c := dial(t, l.Addr().String())
+
+	status, before, err := c.query("anc(a1, Y)")
+	if err != nil || !strings.HasPrefix(status, "OK ") {
+		t.Fatalf("query: %q %v", status, err)
+	}
+	if status, err := c.roundTrip("LOAD par(c1, z1)."); err != nil || !strings.HasPrefix(status, "OK 1") {
+		t.Fatalf("load: %q %v", status, err)
+	}
+	_, after, err := c.query("anc(a1, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before)+1 {
+		t.Fatalf("after LOAD: %d rows, want %d (new fact visible through views)", len(after), len(before)+1)
+	}
+
+	st, err := c.stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["materialized"] != "incremental" {
+		t.Errorf("materialized = %q, want incremental", st["materialized"])
+	}
+	if st["ivm_epochs"] != "2" {
+		t.Errorf("ivm_epochs = %q, want 2", st["ivm_epochs"])
+	}
+	if st["ivm_scratch_fallbacks"] != "0" {
+		t.Errorf("ivm_scratch_fallbacks = %q, want 0 on a monotone program", st["ivm_scratch_fallbacks"])
+	}
+	if st["ivm_view_queries"] != "2" {
+		t.Errorf("ivm_view_queries = %q, want 2", st["ivm_view_queries"])
+	}
+	if st["ivm_last_delta_rows"] == "0" || st["ivm_last_delta_rows"] == "" {
+		t.Errorf("ivm_last_delta_rows = %q, want > 0", st["ivm_last_delta_rows"])
+	}
+}

@@ -65,6 +65,7 @@ type sysConfig struct {
 	fsync     FsyncPolicy
 	interval  time.Duration
 	ckptBytes int64
+	mat       matConfig
 }
 
 // WithDurability makes the System durable: InsertFacts batches are
@@ -137,7 +138,14 @@ func (s *System) attachWAL(db *store.Database, cfg sysConfig) error {
 	if id < 1 {
 		id = 1
 	}
-	s.epoch.Store(newEpoch(id, db, stats.Gather(db)))
+	ep := newEpoch(id, db, stats.Gather(db))
+	// Views are process-local (not logged, not checkpointed): recovery
+	// rebuilds them from the recovered fact base in one scratch run,
+	// after which maintenance is incremental again.
+	if err := s.materializeBoot(ep); err != nil {
+		return err
+	}
+	s.epoch.Store(ep)
 	return nil
 }
 

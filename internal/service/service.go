@@ -56,6 +56,11 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// Options are applied to every Prepare/Optimize and Execute.
 	Options []ldl.Option
+	// SystemOptions are applied when Reload builds a replacement System,
+	// so Load-time configuration (e.g. ldl.WithMaterialized) survives a
+	// program reload. The initial System is built by the caller; keep
+	// the two in sync.
+	SystemOptions []ldl.SystemOption
 }
 
 func (c Config) withDefaults() Config {
@@ -90,15 +95,22 @@ type Stats struct {
 	Queries       int64
 	Loads         int64
 	Errors        int64
-	Admission     resource.AdmissionStats
+	// ViewQueries counts answers served from the materialized views
+	// (bypassing the planner and the plan cache entirely).
+	ViewQueries int64
+	Admission   resource.AdmissionStats
 }
 
 // Response is one query's answer set plus provenance: which epoch it
-// saw, whether the plan came from the cache, and the work counters.
+// saw, whether the plan came from the cache (or the answer from the
+// materialized views), and the work counters.
 type Response struct {
 	Rows     [][]string
 	Stats    ldl.ExecStats
 	CacheHit bool
+	// FromViews marks an answer served directly from the materialized
+	// derived relations: no optimization, no fixpoint, an index probe.
+	FromViews bool
 }
 
 // Service serves queries against one System. All methods are safe for
@@ -119,6 +131,7 @@ type Service struct {
 	hits, misses, evictions, invalidations atomic.Int64
 	revalidations                          atomic.Int64
 	queries, loads, errs                   atomic.Int64
+	viewHits                               atomic.Int64
 }
 
 // entry is one cached prepared form.
@@ -173,6 +186,17 @@ func (s *Service) Query(ctx context.Context, goal string) (*Response, error) {
 
 func (s *Service) query(ctx context.Context, goal string) (*Response, error) {
 	sys := s.sys.Load()
+	// A materialized System serves straight from its views: the answers
+	// are the same epoch-consistent fixpoint the optimize path would
+	// compute, already maintained incrementally by the write path. Goals
+	// the views cannot serve (parse errors surface below; predicates the
+	// program does not define) fall through to the planner.
+	if sys.Materialized() {
+		if rows, ok, err := sys.AnswersFromViews(goal); err == nil && ok {
+			s.viewHits.Add(1)
+			return &Response{Rows: rows, Stats: ldl.ExecStats{Epoch: sys.Epoch()}, FromViews: true}, nil
+		}
+	}
 	opts := s.execOptions(ctx)
 	key, err := ldl.QueryForm(goal)
 	if errors.Is(err, ldl.ErrNotPreparable) {
@@ -299,7 +323,7 @@ func (s *Service) Load(ctx context.Context, facts string) (added int, epoch uint
 // Reload replaces the entire program (rules and facts) and purges the
 // plan cache.
 func (s *Service) Reload(src string) error {
-	sys, err := ldl.Load(src)
+	sys, err := ldl.Load(src, s.cfg.SystemOptions...)
 	if err != nil {
 		s.errs.Add(1)
 		return err
@@ -331,6 +355,7 @@ func (s *Service) Stats() Stats {
 		Queries:       s.queries.Load(),
 		Loads:         s.loads.Load(),
 		Errors:        s.errs.Load(),
+		ViewQueries:   s.viewHits.Load(),
 		Admission:     s.adm.Stats(),
 	}
 }

@@ -507,3 +507,53 @@ func TestPreparedThroughputBar(t *testing.T) {
 			float64(cold)/float64(warm), warm, cold)
 	}
 }
+
+// TestMaterializedServingPath pins the view-serving fast path: on a
+// materialized System, queries are answered from the views (FromViews,
+// ViewQueries advances, no plan is prepared or cached), answers match
+// the planner path byte for byte, and a LOAD is visible to the very
+// next query — the views ride the epoch publish.
+func TestMaterializedServingPath(t *testing.T) {
+	msys, err := ldl.Load(sgSrc, ldl.WithMaterialized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(msys, Config{})
+	ref := New(mustLoad(t, sgSrc), Config{})
+	ctx := context.Background()
+
+	for _, goal := range []string{"sg(a1, Y)", "anc(d1, Y)", "anc(X, Y)"} {
+		got, err := s.Query(ctx, goal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.FromViews {
+			t.Errorf("%s: not served from views", goal)
+		}
+		want, err := ref.Query(ctx, goal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rowsKey(got.Rows) != rowsKey(want.Rows) {
+			t.Errorf("%s: views %q != planner %q", goal, rowsKey(got.Rows), rowsKey(want.Rows))
+		}
+	}
+	st := s.Stats()
+	if st.ViewQueries != 3 {
+		t.Errorf("ViewQueries = %d, want 3", st.ViewQueries)
+	}
+	if st.PlanCacheSize != 0 {
+		t.Errorf("PlanCacheSize = %d, want 0 (views bypass the planner)", st.PlanCacheSize)
+	}
+
+	if _, _, err := s.Load(ctx, "par(z9, a1)."); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Query(ctx, "anc(z9, Y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.FromViews || len(got.Rows) == 0 {
+		t.Errorf("post-LOAD query: FromViews=%v rows=%v, want fresh facts visible from views", got.FromViews, got.Rows)
+	}
+}

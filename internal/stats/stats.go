@@ -119,21 +119,97 @@ func Gather(db *store.Database) *Catalog {
 // saw) are re-gathered from the live store — cardinality and per-column
 // distinct counts read from the relation's incrementally maintained
 // exact counters — while untouched relations keep their previous
-// statistics. This is the fact-ingest fast path: a batch touching k of
-// n relations costs O(k·|touched relations|) for the acyclicity
-// recheck, not O(database).
-func Update(prev *Catalog, db *store.Database, touched map[string]bool) *Catalog {
+// statistics. touched maps each grown relation's tag to its length at
+// the previous epoch (the insert-only watermark): everything past it is
+// this batch's appended suffix, which is all the acyclicity recheck
+// has to look at. A batch of b new edges costs O(b + region reachable
+// from them), not O(relation), on relations the previous catalog
+// already knew.
+func Update(prev *Catalog, db *store.Database, touched map[string]int) *Catalog {
 	if prev == nil {
 		return Gather(db)
 	}
 	c := prev.Clone()
 	for _, tag := range db.Tags() {
-		if !touched[tag] && prev.Has(tag) {
+		from, grown := touched[tag]
+		if !grown && prev.Has(tag) {
 			continue
 		}
-		c.Set(tag, GatherOne(db.Relation(tag)))
+		r := db.Relation(tag)
+		if grown && prev.Has(tag) {
+			c.Set(tag, UpdateOne(prev.Stats(tag), r, from))
+		} else {
+			c.Set(tag, GatherOne(r))
+		}
 	}
 	return c
+}
+
+// UpdateOne derives a grown relation's statistics from its statistics
+// at the watermark. Cardinality and distinct counts come from the
+// relation's live exact counters, like GatherOne. Acyclicity is
+// maintained incrementally: inserts never remove a cycle, so a cyclic
+// relation stays cyclic; a previously acyclic one acquires a cycle iff
+// some appended edge (u, v) closes a path v ⇝ u in the grown graph —
+// checked by depth-first reachability from each new edge's target,
+// probing the relation's first-column index, so the walk touches only
+// the region reachable from the batch instead of rebuilding the whole
+// adjacency map.
+func UpdateOne(prev RelStats, r *store.Relation, from int) RelStats {
+	s := RelStats{Card: float64(r.Len()), Distinct: make([]float64, r.Arity)}
+	for i := 0; i < r.Arity; i++ {
+		s.Distinct[i] = float64(r.Distinct(i))
+	}
+	s.Acyclic = prev.Acyclic && acyclicAfter(r, from)
+	return s
+}
+
+// acyclicAfter reports whether a relation known to be acyclic at the
+// watermark `from` is still acyclic: any cycle in the grown graph must
+// pass through an appended edge (u, v), and such a cycle exists iff u
+// is reachable from v.
+func acyclicAfter(r *store.Relation, from int) bool {
+	if r.Arity < 2 {
+		return true
+	}
+	tuples := r.Tuples()
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i < len(tuples); i++ {
+		if reaches(r, tuples[i][1], term.Key(tuples[i][0])) {
+			return false
+		}
+	}
+	return true
+}
+
+// reaches walks the relation's first-two-column digraph depth-first
+// from src, following out-edges via the column-0 index, and reports
+// whether the node keyed target is reachable (src itself included).
+func reaches(r *store.Relation, src term.Term, target string) bool {
+	if term.Key(src) == target {
+		return true
+	}
+	visited := map[string]bool{}
+	stack := []term.Term{src}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		k := term.Key(n)
+		if visited[k] {
+			continue
+		}
+		visited[k] = true
+		for _, t := range r.Lookup(1, store.Tuple{n, n}) {
+			w := t[1]
+			if term.Key(w) == target {
+				return true
+			}
+			stack = append(stack, w)
+		}
+	}
+	return false
 }
 
 // GatherOne reads one relation's exact statistics from its live

@@ -119,3 +119,72 @@ func TestSelectivities(t *testing.T) {
 		t.Errorf("degenerate JoinSelectivity = %v", got)
 	}
 }
+
+// TestUpdateIncrementalAcyclicity exercises the watermark-based
+// recheck: Update re-derives statistics for a grown relation from its
+// appended suffix only, so it must flip Acyclic exactly when a new
+// edge closes a cycle — and never flip it back, since inserts cannot
+// remove one.
+func TestUpdateIncrementalAcyclicity(t *testing.T) {
+	load := func(src string, db *store.Database) {
+		t.Helper()
+		prog, _, err := parser.ParseProgram(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.LoadFacts(prog); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := store.NewDatabase()
+	load("e(1, 2). e(2, 3). e(10, 11).", db)
+	c0 := Gather(db)
+	if !c0.Stats("e/2").Acyclic {
+		t.Fatal("chain reported cyclic")
+	}
+
+	// Growth that stays acyclic: a fresh component and a chain extension.
+	mark := db.Relation("e/2").Len()
+	load("e(20, 21). e(3, 4).", db)
+	c1 := Update(c0, db, map[string]int{"e/2": mark})
+	st := c1.Stats("e/2")
+	if !st.Acyclic {
+		t.Error("acyclic growth flipped the Acyclic bit")
+	}
+	if st.Card != 5 {
+		t.Errorf("Card = %v after growth", st.Card)
+	}
+
+	// A new edge that closes a cycle through old edges only.
+	mark = db.Relation("e/2").Len()
+	load("e(4, 1).", db)
+	c2 := Update(c1, db, map[string]int{"e/2": mark})
+	if c2.Stats("e/2").Acyclic {
+		t.Error("back edge 4->1 not detected as a cycle")
+	}
+
+	// Once cyclic, later acyclic-looking growth must keep it cyclic.
+	mark = db.Relation("e/2").Len()
+	load("e(30, 31).", db)
+	c3 := Update(c2, db, map[string]int{"e/2": mark})
+	if c3.Stats("e/2").Acyclic {
+		t.Error("cyclic relation reported acyclic after unrelated growth")
+	}
+
+	// A self-loop in the appended suffix is a cycle on its own.
+	db2 := store.NewDatabase()
+	load("f(1, 2).", db2)
+	c4 := Gather(db2)
+	mark = db2.Relation("f/2").Len()
+	load("f(7, 7).", db2)
+	if Update(c4, db2, map[string]int{"f/2": mark}).Stats("f/2").Acyclic {
+		t.Error("appended self-loop not detected")
+	}
+
+	// A relation the previous catalog never saw is gathered in full.
+	mark = 0
+	load("g(1, 2). g(2, 1).", db2)
+	if Update(c4, db2, map[string]int{"g/2": 2}).Stats("g/2").Acyclic {
+		t.Error("unseen relation's cycle missed (watermark must not apply)")
+	}
+}

@@ -1,0 +1,69 @@
+package store
+
+// Epoch-delta access paths. The epoch discipline is insert-only and
+// rows never move, so the state of a relation at any earlier moment is
+// exactly a length: everything at row index >= that watermark was
+// appended afterwards. These accessors expose that appended suffix —
+// borrowed, like Tuples/ColumnAt — and materialize it as a standalone
+// delta relation for the incremental fixpoint, which feeds deltas to
+// the same join kernels that consume full relations.
+
+import "ldl/internal/term"
+
+// RowsSince returns the tuples appended at or after the watermark
+// `from` (a row count captured earlier, e.g. a previous epoch's Len)
+// as a borrowed read-only view sharing its backing array with the live
+// relation. A watermark beyond the current length yields nil. Under
+// ldldebug the capacity is clamped so append-through panics.
+func (r *Relation) RowsSince(from int) []Tuple {
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(r.tuples) {
+		return nil
+	}
+	return debugBorrow(r.tuples[from:])
+}
+
+// ColumnSince returns the suffix of column c appended at or after the
+// watermark — the columnar twin of RowsSince, beside ColumnAt. Same
+// borrow contract: read-only, capture lengths before inserting.
+func (r *Relation) ColumnSince(c, from int) []term.ID {
+	if from < 0 {
+		from = 0
+	}
+	if c < 0 || c >= r.Arity || from >= len(r.tuples) {
+		return nil
+	}
+	return debugBorrowIDs(r.cols[c][from:])
+}
+
+// DeltaSince materializes the appended suffix as an independent
+// relation: the semi-naive seed delta for an epoch continuation. Cost
+// is O(suffix) — interned IDs and row hashes are reused, never
+// recomputed — and the result carries its own indexes/dedup state, so
+// the kernels can scan and probe it like any relation. The suffix of a
+// set is itself duplicate-free, so every row lands.
+func (r *Relation) DeltaSince(from int) *Relation {
+	if from < 0 {
+		from = 0
+	}
+	n := len(r.tuples) - from
+	if n < 0 {
+		n = 0
+	}
+	d := NewRelationSized(r.Name+"+", r.Arity, n)
+	for i := from; i < len(r.tuples); i++ {
+		if _, err := d.InsertFrom(r, i); err != nil {
+			// Same-arity by construction; unreachable.
+			panic(err)
+		}
+	}
+	return d
+}
+
+// CloneOwned returns an independent writable copy of the relation —
+// tuple store, dedup set, and column indexes — for continuing a
+// fixpoint from a prior epoch's derived relation without mutating the
+// published original. See clone for what is and isn't carried over.
+func (r *Relation) CloneOwned() *Relation { return r.clone() }

@@ -808,8 +808,15 @@ func (db *Database) Clone() *Database {
 	return c
 }
 
-// clone copies the relation's tuple store and dedup set (not indexes
-// or the distinct cache; both rebuild lazily on first use).
+// clone copies the relation's tuple store, dedup set, and published
+// column indexes. Indexes are cheap flat-array copies and stay correct
+// under the clone's future inserts because appendRow maintains every
+// published index incrementally — so an epoch fork that extends a large
+// relation never pays an O(n log n)-ish rebuild-by-rehash on its first
+// probe. The distinct cache is NOT carried over: writers update those
+// sets in place (noteDistinct), so sharing or copying them would let a
+// clone's inserts corrupt counts a concurrent reader of the parent is
+// using. It rebuilds lazily on first use.
 func (r *Relation) clone() *Relation {
 	nr := &Relation{Name: r.Name, Arity: r.Arity}
 	nr.tuples = append([]Tuple(nil), r.tuples...)
@@ -820,7 +827,22 @@ func (r *Relation) clone() *Relation {
 	nr.hashes = append([]uint64(nil), r.hashes...)
 	nr.setSlots = append([]int32(nil), r.setSlots...)
 	nr.setMask = r.setMask
-	empty := map[uint32]*colIndex{}
-	nr.indexes.Store(&empty)
+	old := *r.indexes.Load()
+	next := make(map[uint32]*colIndex, len(old))
+	for cols, ci := range old {
+		next[cols] = ci.clone()
+	}
+	nr.indexes.Store(&next)
 	return nr
+}
+
+// clone copies a column index: flat array copies, no rehash.
+func (ci *colIndex) clone() *colIndex {
+	return &colIndex{
+		cols:   ci.cols,
+		slots:  append([]int32(nil), ci.slots...),
+		hashes: append([]uint64(nil), ci.hashes...),
+		mask:   ci.mask,
+		n:      ci.n,
+	}
 }

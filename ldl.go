@@ -31,6 +31,7 @@ import (
 
 	"ldl/internal/core"
 	"ldl/internal/cost"
+	"ldl/internal/depgraph"
 	"ldl/internal/eval"
 	"ldl/internal/lang"
 	"ldl/internal/parser"
@@ -168,6 +169,17 @@ type System struct {
 	ckptBytes int64
 	ckptBusy  atomic.Bool
 	ckptMu    sync.Mutex
+
+	// Materialized views (zero unless Load saw WithMaterialized):
+	// maintenance configuration, the Load-time cached dependency graph
+	// and compiled kernels every epoch's maintenance reuses, and the
+	// lifetime telemetry behind IVMStats. The views themselves live on
+	// the epoch (epochState.mat) so they publish atomically with the
+	// facts.
+	matCfg   matConfig
+	matGraph *depgraph.Graph
+	matKern  *eval.ProgramKernels
+	ivm      ivmCounters
 }
 
 // epochState is one immutable published version of the fact base: the
@@ -178,6 +190,11 @@ type epochState struct {
 	db    *store.Database
 	cat   *stats.Catalog
 	hints map[string]int
+	// mat holds this epoch's materialized derived relations and base
+	// watermarks; nil when the System is not materialized or this
+	// epoch's maintenance degraded. Immutable after publication, like
+	// everything else here.
+	mat *matState
 }
 
 // newEpoch assembles an epoch, deriving the size hints: base predicates
@@ -257,13 +274,21 @@ func Load(src string, opts ...SystemOption) (_ *System, err error) {
 		return nil, err
 	}
 	s := &System{prog: prog, queries: queries, observed: map[string]stats.RelStats{}}
+	s.matCfg = cfg.mat
+	if err := s.matSetup(); err != nil {
+		return nil, err
+	}
 	if cfg.walDir != "" {
 		if err := s.attachWAL(db, cfg); err != nil {
 			return nil, err
 		}
 		return s, nil
 	}
-	s.epoch.Store(newEpoch(1, db, stats.Gather(db)))
+	ep := newEpoch(1, db, stats.Gather(db))
+	if err := s.materializeBoot(ep); err != nil {
+		return nil, err
+	}
+	s.epoch.Store(ep)
 	return s, nil
 }
 
@@ -309,10 +334,17 @@ func (s *System) InsertFacts(src string) (added int, epoch uint64, err error) {
 		}
 		ep := s.headState()
 		db2 := ep.db.Fork()
+		// Per-relation watermarks: the length each touched relation had
+		// before this batch, for the added count and for the catalog's
+		// incremental acyclicity recheck over exactly the appended suffix.
+		marks := make(map[string]int, len(touched))
 		before := 0
 		for tag := range touched {
 			if r := db2.Relation(tag); r != nil {
+				marks[tag] = r.Len()
 				before += r.Len()
+			} else {
+				marks[tag] = 0
 			}
 		}
 		if err := db2.LoadFacts(prog); err != nil {
@@ -323,7 +355,7 @@ func (s *System) InsertFacts(src string) (added int, epoch uint64, err error) {
 			after += db2.Relation(tag).Len()
 		}
 		added = after - before
-		next = newEpoch(ep.id+1, db2, stats.Update(ep.cat, db2, touched))
+		next = newEpoch(ep.id+1, db2, stats.Update(ep.cat, db2, marks))
 		if s.wal != nil {
 			var err error
 			if lsn, err = s.logBatch(next.id, prog.Facts); err != nil {
@@ -331,6 +363,10 @@ func (s *System) InsertFacts(src string) (added int, epoch uint64, err error) {
 			}
 			s.headLSN = lsn
 		}
+		// Carry the materialized views onto the new epoch by continuing
+		// the previous fixpoint from exactly this batch's rows. Done
+		// before the epoch is chained so views and facts publish together.
+		s.maintainViews(next, ep)
 		s.head = next
 		return nil
 	}(); err != nil {
@@ -381,10 +417,16 @@ func (s *System) effectiveCat(ep *epochState) *stats.Catalog {
 }
 
 // recordObserved walks the engine's derived relations after a run and
-// records the full extensions among them: a derived tag carrying the
+// records them into the feedback overlay. A derived tag carrying the
 // all-free adornment (pred.ff…f) is, by construction of the rewrites,
 // the complete extension of pred — its exact cardinality and distinct
-// counts are ground truth for the cost model, not an estimate.
+// counts are ground truth for the cost model, recorded under the plain
+// tag and overwritten freely. A partially bound adornment (pred.bf…)
+// is the extension restricted by this execution's constants; it is
+// recorded under the adorned tag itself — which is exactly what
+// statsOf looks up when costing the rewritten program of a later query
+// of the same form — aggregated as the max over the constants seen, the
+// safe estimate for an arbitrary future binding.
 func (s *System) recordObserved(e *eval.Engine) {
 	if !s.feedback.Load() {
 		return
@@ -395,25 +437,40 @@ func (s *System) recordObserved(e *eval.Engine) {
 			continue
 		}
 		name := tag[:slash]
-		if strings.ContainsRune(name, '$') {
-			continue // magic/counting auxiliary, not a user predicate
+		// The magic rewrite materializes the restricted extension of an
+		// adorned predicate as a$pred.adorn — strip the prefix so it is
+		// recorded under the adorned tag itself (the tag statsOf costs).
+		// The other rewrite auxiliaries (m$ seeds, c$ supplementaries,
+		// q$ answer projections) are not predicate extensions: skip.
+		if rest, ok := strings.CutPrefix(name, "a$"); ok {
+			name = rest
+		} else if strings.ContainsRune(name, '$') {
+			continue
 		}
 		dot := strings.LastIndexByte(name, '.')
 		if dot < 0 {
 			continue
 		}
 		pat := name[dot+1:]
-		if len(pat) == 0 || strings.Count(pat, "f") != len(pat) {
-			continue // restricted (partially bound) extension
+		if len(pat) == 0 || strings.Count(pat, "f")+strings.Count(pat, "b") != len(pat) {
+			continue // not an adornment pattern
 		}
 		r := e.RelationFor(tag)
 		if r == nil || r.Len() == 0 {
 			continue
 		}
-		base := name[:dot] + tag[slash:]
 		st := stats.GatherOne(r)
 		s.obsMu.Lock()
-		s.observed[base] = st
+		if strings.Count(pat, "f") == len(pat) {
+			// Full extension: ground truth, latest run wins.
+			s.observed[name[:dot]+tag[slash:]] = st
+		} else {
+			// Bound form: max over constants.
+			key := name + tag[slash:]
+			if old, ok := s.observed[key]; !ok || st.Card > old.Card {
+				s.observed[key] = st
+			}
+		}
 		s.obsMu.Unlock()
 	}
 }
@@ -448,6 +505,7 @@ func (s *System) SetStats(tag string, card float64, distinct []float64) {
 	cat := ep.cat.Clone()
 	cat.Set(tag, stats.RelStats{Card: card, Distinct: distinct})
 	next := newEpoch(ep.id+1, ep.db, cat)
+	next.mat = ep.mat // same facts, same views
 	s.head = next
 	lsn := s.headLSN
 	s.writeMu.Unlock()

@@ -93,20 +93,26 @@ func (s *System) ApplyReplicated(b wal.Batch) (err error) {
 		return nil // duplicate delivery
 	}
 	db2 := ep.db.Fork()
-	touched := make(map[string]bool, len(b.Rels))
+	touched := make(map[string]int, len(b.Rels))
 	for _, r := range b.Rels {
 		if s.prog.IsDerived(r.Tag) {
 			return fmt.Errorf("ldl: replicate: %s is a derived predicate in the current program (leader and follower programs differ?)", r.Tag)
 		}
 		rel := db2.EnsureOwned(r.Tag, r.Arity)
+		if _, seen := touched[r.Tag]; !seen {
+			touched[r.Tag] = rel.Len() // pre-batch watermark
+		}
 		for _, tup := range r.Tuples {
 			if _, err := rel.Insert(store.Tuple(tup)); err != nil {
 				return err
 			}
 		}
-		touched[r.Tag] = true
 	}
 	next := newEpoch(b.Epoch, db2, stats.Update(ep.cat, db2, touched))
+	// Followers maintain their views through the same incremental path
+	// the leader uses: the shipped batch's rows are this epoch's seed
+	// delta, so catch-up cost tracks the stream, not the database.
+	s.maintainViews(next, ep)
 	if s.wal != nil {
 		if err := s.wal.Append(b); err != nil {
 			return fmt.Errorf("ldl: replicate: follower log: %w", err)

@@ -40,6 +40,16 @@ func TestSharedDatabaseStress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// A second System over the same program with materialized views:
+	// its arms race incremental view maintenance (concurrent writers)
+	// against view-serving reads. The writers insert edges in fresh
+	// two-node components disconnected from node 1 and the sg ontology,
+	// so every insert does real delta propagation into tc while the
+	// reference answers below stay valid throughout.
+	msys, err := Load(stressSource(), WithMaterialized())
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Reference answers, computed once, sequentially.
 	wantTC, _, err := sys.EvaluateUnoptimized("tc(1, Y)")
 	if err != nil {
@@ -65,10 +75,12 @@ func TestSharedDatabaseStress(t *testing.T) {
 				var got [][]string
 				var want [][]string
 				var err error
-				// Six arms cover {compiled, generic} × {sequential,
-				// parallel} bottom-up plus the optimized and top-down
-				// paths, all racing over one shared database.
-				switch (g + r) % 8 {
+				// The arms cover {compiled, generic} × {sequential,
+				// parallel} bottom-up plus the optimized, top-down and
+				// materialized-view paths, all racing over shared
+				// databases; two arms write through the incremental
+				// maintenance path while the view arms read.
+				switch (g + r) % 10 {
 				case 0:
 					got, err = sys.Query("sg(a, Y)")
 					want = wantSG
@@ -97,6 +109,28 @@ func TestSharedDatabaseStress(t *testing.T) {
 					// maximizes flush-boundary crossings under -race.
 					got, _, err = sys.EvaluateUnoptimized("sg(a, Y)", WithParallel(4), WithBatchSize(4))
 					want = wantSG
+				case 8:
+					// Serve from the materialized views while other
+					// goroutines run incremental maintenance.
+					var ok bool
+					got, ok, err = msys.AnswersFromViews("tc(1, Y)")
+					if err == nil && !ok {
+						err = fmt.Errorf("views could not serve tc(1, Y)")
+					}
+					want = wantTC
+				case 9:
+					// Write through incremental maintenance (a fresh
+					// disconnected edge, then repeats of it — one real
+					// delta, then duplicate-batch epochs), and read the
+					// views the maintenance just published.
+					if _, _, err = msys.InsertFacts(fmt.Sprintf("e(%d, %d).", 1000+10*g, 1001+10*g)); err == nil {
+						var ok bool
+						got, ok, err = msys.AnswersFromViews("sg(a, Y)")
+						if err == nil && !ok {
+							err = fmt.Errorf("views could not serve sg(a, Y)")
+						}
+						want = wantSG
+					}
 				}
 				if err != nil {
 					errc <- fmt.Errorf("goroutine %d round %d: %v", g, r, err)
@@ -113,6 +147,20 @@ func TestSharedDatabaseStress(t *testing.T) {
 	close(errc)
 	for err := range errc {
 		t.Error(err)
+	}
+	// The maintenance under contention must have stayed on the
+	// incremental path (no negation in this program, so a scratch
+	// fallback would indicate a lost prior epoch), and the final views
+	// must still agree with the reference answers.
+	ist := msys.IVMStats()
+	if ist.ScratchFallbacks != 0 {
+		t.Errorf("materialized stress fell back to scratch %d times", ist.ScratchFallbacks)
+	}
+	if ist.Epochs < 2 {
+		t.Errorf("materialized stress published only %d epochs", ist.Epochs)
+	}
+	if got, ok, err := msys.AnswersFromViews("tc(1, Y)"); err != nil || !ok || !reflect.DeepEqual(got, wantTC) {
+		t.Errorf("final view answers diverged: ok=%v err=%v got %v want %v", ok, err, got, wantTC)
 	}
 }
 
