@@ -66,6 +66,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		flatten  = fs.Bool("flatten", false, "rescue unsafe queries by flattening (rule unfolding)")
 		timeout  = fs.Duration("timeout", 0, "wall-clock budget per optimize/execute call, e.g. 500ms (0 = none)")
 		maxTup   = fs.Int("max-tuples", 0, "max tuples an execution may derive (0 = none)")
+		storeDir = fs.String("storage-dir", "", "columnar storage directory: query the persisted fact base (segments + WAL) on top of the program")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,10 +82,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sys, err := ldl.Load(string(src))
+	var sysOpts []ldl.SystemOption
+	if *storeDir != "" {
+		sysOpts = append(sysOpts, ldl.WithStorageDir(*storeDir))
+	}
+	sys, err := ldl.Load(string(src), sysOpts...)
 	if err != nil {
 		return err
 	}
+	defer sys.Close()
 
 	goals := sys.Queries()
 	if *query != "" {

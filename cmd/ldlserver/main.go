@@ -76,6 +76,7 @@ func main() {
 		queue     = flag.Int("max-queue", 16, "max queries waiting for a slot")
 		plans     = flag.Int("max-plans", 128, "prepared-plan cache capacity")
 		dataDir   = flag.String("data-dir", "", "durability directory: recover on boot, write-ahead log every LOAD (empty = in-memory only)")
+		storeDir  = flag.String("storage-dir", "", "columnar storage directory: segment files + manifest + WAL; boot attaches segments instead of replaying history (subsumes -data-dir)")
 		fsync     = flag.String("fsync", "always", "log fsync policy: always, interval or never")
 		ckptBytes = flag.Int64("checkpoint-bytes", 4<<20, "log size that triggers a background checkpoint")
 		idle      = flag.Duration("idle-timeout", 2*time.Minute, "close connections idle longer than this (0 = never)")
@@ -93,13 +94,20 @@ func main() {
 		log.Fatalf("ldlserver: %v", err)
 	}
 	var sysOpts []ldl.SystemOption
-	if *dataDir != "" {
+	if *storeDir != "" && *dataDir != "" {
+		log.Fatal("ldlserver: -storage-dir subsumes -data-dir (the log lives in the storage directory); pass one or the other")
+	}
+	if *storeDir != "" || *dataDir != "" {
 		policy, err := ldl.ParseFsyncPolicy(*fsync)
 		if err != nil {
 			log.Fatalf("ldlserver: %v", err)
 		}
+		if *storeDir != "" {
+			sysOpts = append(sysOpts, ldl.WithStorageDir(*storeDir))
+		} else {
+			sysOpts = append(sysOpts, ldl.WithDurability(*dataDir))
+		}
 		sysOpts = append(sysOpts,
-			ldl.WithDurability(*dataDir),
 			ldl.WithFsyncPolicy(policy, 0),
 			ldl.WithCheckpointBytes(*ckptBytes))
 	}
@@ -543,6 +551,16 @@ func (s *server) statsLines() []string {
 		add("recovery_checkpoint_epoch", rep.CheckpointEpoch)
 		add("recovery_records_replayed", rep.RecordsReplayed)
 		add("recovery_bytes_dropped", rep.BytesDropped)
+	}
+	if sg := sys.StorageStats(); sg.Enabled {
+		add("seg_manifest_epoch", sg.ManifestEpoch)
+		add("seg_segments", sg.Segments)
+		add("seg_rows", sg.SegmentRows)
+		add("seg_tail_rows", sg.TailRows)
+		add("seg_flushes", sg.Flushes)
+		add("seg_bloom_prunes", sg.BloomPrunes)
+		add("seg_zone_prunes", sg.ZonePrunes)
+		add("seg_row_bloom_skips", sg.RowBloomSkips)
 	}
 	if ivm := sys.IVMStats(); ivm.Enabled {
 		mode := "incremental"

@@ -61,6 +61,7 @@ type SystemOption func(*sysConfig)
 
 type sysConfig struct {
 	walDir    string
+	segDir    string
 	walFS     wal.FS
 	fsync     FsyncPolicy
 	interval  time.Duration
@@ -213,6 +214,11 @@ func (s *System) Checkpoint() (err error) {
 	}
 	s.ckptMu.Lock()
 	defer s.ckptMu.Unlock()
+	if s.seg != nil {
+		// Storage tier: checkpoint = segment flush + manifest swap, not
+		// a monolithic snapshot.
+		return s.segCheckpoint()
+	}
 	// Rotation must see a frozen epoch<->log boundary: every record
 	// <= ep.id is in the retiring segments, every later batch lands in
 	// the new one. Holding writeMu across the rotate guarantees it. The

@@ -1,0 +1,256 @@
+// The manifest is the storage tier's root pointer: a single small file
+// naming, for every relation, the exact segment files that make up its
+// flushed prefix, the row watermark they cover, and the planner
+// statistics gathered when they were written. Boot reads the newest
+// valid manifest, attaches its segments, and replays only the WAL
+// suffix past the manifest's epoch — open, not replay. Writing a new
+// manifest is the commit point of a flush: until the rename lands, the
+// old manifest (and the longer WAL suffix it implies) fully describes
+// the durable state.
+
+package segment
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ldl/internal/stats"
+	"ldl/internal/wal"
+)
+
+const manifestMagic = uint64(0x4c444c4d414e3100) // "LDLMAN1\0"
+
+// RelEntry is one relation's flushed state in a manifest.
+type RelEntry struct {
+	Tag      string
+	Arity    int
+	Rows     int      // flush watermark: rows covered by Segments
+	Segments []string // segment file names, oldest first
+	Stats    stats.RelStats
+}
+
+// Manifest names the live segment set as of Epoch.
+type Manifest struct {
+	Epoch uint64
+	Rels  []RelEntry
+}
+
+// SegName returns the canonical segment file name for the part of tag
+// flushed at epoch with per-epoch sequence seq. The epoch prefix keeps
+// names unique across flushes; the manifest, not the name, decides
+// liveness.
+func SegName(epoch uint64, tag string, seq int) string {
+	return fmt.Sprintf("seg-%016x-%03d-%s", epoch, seq, sanitize(tag))
+}
+
+// ManifestName returns the manifest file name for epoch.
+func ManifestName(epoch uint64) string {
+	return fmt.Sprintf("manifest-%016x", epoch)
+}
+
+// sanitize maps a relation tag onto filename-safe characters.
+func sanitize(tag string) string {
+	var b strings.Builder
+	for _, r := range tag {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('~')
+		}
+	}
+	return b.String()
+}
+
+// manifestEpoch parses a manifest file name, reporting ok=false for
+// anything else.
+func manifestEpoch(name string) (uint64, bool) {
+	rest, found := strings.CutPrefix(name, "manifest-")
+	if !found || len(rest) != 16 {
+		return 0, false
+	}
+	e, err := strconv.ParseUint(rest, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return e, true
+}
+
+// isSegName reports whether name looks like a segment file.
+func isSegName(name string) bool {
+	return strings.HasPrefix(name, "seg-") && !strings.HasSuffix(name, ".tmp")
+}
+
+// encodeManifest serializes m as one CRC frame over a magic-prefixed
+// payload.
+func encodeManifest(m *Manifest) []byte {
+	var p []byte
+	p = binary.LittleEndian.AppendUint64(p, manifestMagic)
+	p = binary.LittleEndian.AppendUint64(p, m.Epoch)
+	p = appendUvarint(p, uint64(len(m.Rels)))
+	for _, r := range m.Rels {
+		p = appendString(p, r.Tag)
+		p = appendUvarint(p, uint64(r.Arity))
+		p = appendUvarint(p, uint64(r.Rows))
+		p = appendUvarint(p, uint64(len(r.Segments)))
+		for _, s := range r.Segments {
+			p = appendString(p, s)
+		}
+		p = binary.LittleEndian.AppendUint64(p, uint64(int64(r.Stats.Card*256)))
+		p = appendUvarint(p, uint64(len(r.Stats.Distinct)))
+		for _, d := range r.Stats.Distinct {
+			p = binary.LittleEndian.AppendUint64(p, uint64(int64(d*256)))
+		}
+		if r.Stats.Acyclic {
+			p = append(p, 1)
+		} else {
+			p = append(p, 0)
+		}
+	}
+	return appendFrame(nil, p)
+}
+
+// decodeManifest parses an encoded manifest, rejecting malformed input
+// without panicking.
+func decodeManifest(data []byte) (*Manifest, error) {
+	p, rest, err := readFrame(data)
+	if err != nil || len(rest) != 0 {
+		return nil, errCorrupt
+	}
+	if len(p) < 16 || binary.LittleEndian.Uint64(p) != manifestMagic {
+		return nil, errCorrupt
+	}
+	m := &Manifest{Epoch: binary.LittleEndian.Uint64(p[8:])}
+	p = p[16:]
+	nRels, p, err := decodeUvarint(p)
+	if err != nil || nRels > uint64(len(data)) {
+		return nil, errCorrupt
+	}
+	for i := uint64(0); i < nRels; i++ {
+		var r RelEntry
+		if r.Tag, p, err = decodeString(p); err != nil {
+			return nil, errCorrupt
+		}
+		var v uint64
+		if v, p, err = decodeUvarint(p); err != nil || v > maxArity {
+			return nil, errCorrupt
+		}
+		r.Arity = int(v)
+		if v, p, err = decodeUvarint(p); err != nil {
+			return nil, errCorrupt
+		}
+		r.Rows = int(v)
+		var nSegs int
+		if nSegs, p, err = decodeLen(p); err != nil {
+			return nil, errCorrupt
+		}
+		for s := 0; s < nSegs; s++ {
+			var name string
+			if name, p, err = decodeString(p); err != nil || !isSegName(name) {
+				return nil, errCorrupt
+			}
+			r.Segments = append(r.Segments, name)
+		}
+		if len(p) < 8 {
+			return nil, errCorrupt
+		}
+		r.Stats.Card = float64(int64(binary.LittleEndian.Uint64(p))) / 256
+		p = p[8:]
+		var nDist uint64
+		if nDist, p, err = decodeUvarint(p); err != nil || nDist > maxArity || nDist*8 > uint64(len(p)) {
+			return nil, errCorrupt
+		}
+		for d := uint64(0); d < nDist; d++ {
+			r.Stats.Distinct = append(r.Stats.Distinct, float64(int64(binary.LittleEndian.Uint64(p)))/256)
+			p = p[8:]
+		}
+		if len(p) < 1 || p[0] > 1 {
+			return nil, errCorrupt
+		}
+		r.Stats.Acyclic = p[0] == 1
+		p = p[1:]
+		m.Rels = append(m.Rels, r)
+	}
+	if len(p) != 0 {
+		return nil, errCorrupt
+	}
+	return m, nil
+}
+
+// WriteManifest durably writes m as dir/manifest-<epoch>. The rename is
+// the flush's commit point.
+func WriteManifest(fs wal.FS, dir string, m *Manifest) error {
+	return writeDurable(fs, dir, ManifestName(m.Epoch), encodeManifest(m))
+}
+
+// LoadManifest returns the newest manifest in dir that validates, or
+// (nil, nil) when none exists. Invalid manifests are skipped in favor
+// of older ones — a half-written manifest from a crashed flush must not
+// mask the previous good state.
+func LoadManifest(fs wal.FS, dir string) (*Manifest, error) {
+	names, err := fs.List(dir)
+	if err != nil {
+		return nil, fmt.Errorf("segment: load manifest: %w", err)
+	}
+	var epochs []uint64
+	for _, n := range names {
+		if e, ok := manifestEpoch(n); ok {
+			epochs = append(epochs, e)
+		}
+	}
+	sort.Slice(epochs, func(i, j int) bool { return epochs[i] > epochs[j] })
+	for _, e := range epochs {
+		data, err := fs.ReadFile(dir + "/" + ManifestName(e))
+		if err != nil {
+			continue
+		}
+		m, derr := decodeManifest(data)
+		if derr != nil || m.Epoch != e {
+			continue
+		}
+		return m, nil
+	}
+	return nil, nil
+}
+
+// Sweep removes storage-tier debris from dir: *.tmp files left by
+// crashed flushes, manifests other than keep, and segment files keep
+// does not reference. keep == nil removes every manifest and segment.
+// Removal failures are ignored — stale files are harmless to recovery,
+// which is exactly why sweeping them is safe.
+func Sweep(fs wal.FS, dir string, keep *Manifest) {
+	live := make(map[string]bool)
+	var keepName string
+	if keep != nil {
+		keepName = ManifestName(keep.Epoch)
+		for _, r := range keep.Rels {
+			for _, s := range r.Segments {
+				live[s] = true
+			}
+		}
+	}
+	names, err := fs.List(dir)
+	if err != nil {
+		return
+	}
+	removed := false
+	for _, n := range names {
+		switch {
+		case strings.HasSuffix(n, ".tmp") && (strings.HasPrefix(n, "seg-") || strings.HasPrefix(n, "manifest-")):
+		case isSegName(n) && !live[n]:
+		default:
+			if _, ok := manifestEpoch(n); !ok || n == keepName {
+				continue
+			}
+		}
+		if fs.Remove(dir+"/"+n) == nil {
+			removed = true
+		}
+	}
+	if removed {
+		fs.SyncDir(dir)
+	}
+}

@@ -23,14 +23,14 @@ import (
 // into the same relation (append may extend the array in place;
 // existing elements never move). Under ldldebug the capacity is
 // clamped so append-through or past-snapshot access panics.
-func (r *Relation) ColumnAt(c int) []term.ID { return debugBorrowIDs(r.cols[c]) }
+func (r *Relation) ColumnAt(c int) []term.ID { return debugBorrowIDs(r.allColView(c)) }
 
 // AppendRows gathers column c of the given row indexes into dst and
 // returns the extended slice — the block executor's candidate-gather
 // primitive, pairing with AppendMatchesID the way TupleAt pairs with
 // AppendMatches but without per-row Tuple copies.
 func (r *Relation) AppendRows(rows []int32, c int, dst []term.ID) []term.ID {
-	col := r.cols[c]
+	col := r.allColView(c)
 	for _, j := range rows {
 		dst = append(dst, col[j])
 	}
@@ -47,6 +47,11 @@ func idRowHash(ids []term.ID) uint64 {
 	}
 	return h
 }
+
+// IDRowHash exposes the row-hash fold to the segment tier, which must
+// recompute part hashes from re-interned IDs at open with exactly the
+// values insert would have produced.
+func IDRowHash(ids []term.ID) uint64 { return idRowHash(ids) }
 
 // maskedIDHash hashes the projection of an ID row onto cols — the
 // ID-space twin of maskedHash.
@@ -67,33 +72,16 @@ func maskedIDHash(ids []term.ID, cols uint32) uint64 {
 // non-zero ID. The returned slice aliases dst and carries row indexes
 // that stay valid forever (see AppendMatches for the borrow contract).
 func (r *Relation) AppendMatchesID(cols uint32, probe []term.ID, dst []int32) []int32 {
-	if len(r.tuples) == 0 {
+	if r.Len() == 0 {
 		return dst
 	}
-	ci := r.ensureIndex(cols)
-	base := len(dst)
-	dst = ci.lookup(maskedIDHash(probe, cols), dst)
-	keep := base
-	for _, j := range dst[base:] {
-		ok := true
-		for c := range r.cols {
-			if cols&(1<<uint(c)) != 0 && r.cols[c][j] != probe[c] {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			dst[keep] = j
-			keep++
-		}
-	}
-	return dst[:keep]
+	return r.appendMatchesIDs(cols, probe, dst)
 }
 
 // ContainsIDs reports whether the relation holds the tuple given as a
 // full interned-ID row.
 func (r *Relation) ContainsIDs(ids []term.ID) bool {
-	if len(ids) != r.Arity || len(r.tuples) == 0 {
+	if len(ids) != r.Arity || r.Len() == 0 {
 		return false
 	}
 	return r.findByIDs(idRowHash(ids), ids) >= 0
@@ -149,7 +137,7 @@ func (r *Relation) InsertRows(cols [][]term.ID, n int, onNew func(idx int) error
 		r.appendRow(t, row, h)
 		added++
 		if onNew != nil {
-			if err := onNew(len(r.tuples) - 1); err != nil {
+			if err := onNew(r.Len() - 1); err != nil {
 				r.scratch = row[:0]
 				return added, err
 			}

@@ -1,0 +1,76 @@
+package store
+
+// Bloom is a fixed-size blocked-free bloom filter over 64-bit hashes.
+// Segments persist one per column (over structural term hashes, which
+// are process-stable) plus one per part over full-row hashes, so a
+// probe can skip a cold part without touching its arrays. The zero
+// Bloom is "absent": MayContain always answers true.
+type Bloom struct {
+	bits []uint64
+	k    int
+}
+
+// NewBloom sizes a filter for n keys at roughly bitsPerKey bits each
+// (rounded up to a power-of-two word count). n <= 0 yields the absent
+// filter.
+func NewBloom(n, bitsPerKey int) Bloom {
+	if n <= 0 {
+		return Bloom{}
+	}
+	words := 1
+	for words*64 < n*bitsPerKey {
+		words <<= 1
+	}
+	return Bloom{bits: make([]uint64, words), k: 3}
+}
+
+// BloomFromWords reconstructs a filter from its serialized form. An
+// empty word slice yields the absent filter.
+func BloomFromWords(words []uint64, k int) Bloom {
+	if len(words) == 0 || len(words)&(len(words)-1) != 0 || k <= 0 || k > 16 {
+		return Bloom{}
+	}
+	return Bloom{bits: words, k: k}
+}
+
+// Words exposes the filter's bit array for serialization (nil when
+// absent).
+func (b Bloom) Words() []uint64 { return b.bits }
+
+// K is the filter's probe count.
+func (b Bloom) K() int { return b.k }
+
+// Empty reports whether the filter is absent (never filters).
+func (b Bloom) Empty() bool { return len(b.bits) == 0 }
+
+// Add records a hash. No-op on the absent filter.
+func (b Bloom) Add(h uint64) {
+	if len(b.bits) == 0 {
+		return
+	}
+	mask := uint64(len(b.bits))*64 - 1
+	// Double hashing: the two halves of a well-mixed 64-bit hash act as
+	// independent probes; the odd step keeps the sequence full-period.
+	h2 := h>>32 | 1
+	for i := 0; i < b.k; i++ {
+		pos := (h + uint64(i)*h2) & mask
+		b.bits[pos>>6] |= 1 << (pos & 63)
+	}
+}
+
+// MayContain reports whether the hash may have been added. False means
+// definitely absent; the absent filter always answers true.
+func (b Bloom) MayContain(h uint64) bool {
+	if len(b.bits) == 0 {
+		return true
+	}
+	mask := uint64(len(b.bits))*64 - 1
+	h2 := h>>32 | 1
+	for i := 0; i < b.k; i++ {
+		pos := (h + uint64(i)*h2) & mask
+		if b.bits[pos>>6]&(1<<(pos&63)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -19,10 +19,16 @@ func (r *Relation) RowsSince(from int) []Tuple {
 	if from < 0 {
 		from = 0
 	}
-	if from >= len(r.tuples) {
+	if from >= r.Len() {
 		return nil
 	}
-	return debugBorrow(r.tuples[from:])
+	if ti := from - r.partRows; ti >= 0 {
+		// The common incremental case: the watermark is past the frozen
+		// prefix, so the suffix is the owned tail — no combined-view
+		// materialization.
+		return debugBorrow(r.tuples[ti:])
+	}
+	return debugBorrow(r.allTuplesView()[from:])
 }
 
 // ColumnSince returns the suffix of column c appended at or after the
@@ -32,10 +38,13 @@ func (r *Relation) ColumnSince(c, from int) []term.ID {
 	if from < 0 {
 		from = 0
 	}
-	if c < 0 || c >= r.Arity || from >= len(r.tuples) {
+	if c < 0 || c >= r.Arity || from >= r.Len() {
 		return nil
 	}
-	return debugBorrowIDs(r.cols[c][from:])
+	if ti := from - r.partRows; ti >= 0 {
+		return debugBorrowIDs(r.cols[c][ti:])
+	}
+	return debugBorrowIDs(r.allColView(c)[from:])
 }
 
 // DeltaSince materializes the appended suffix as an independent
@@ -48,12 +57,12 @@ func (r *Relation) DeltaSince(from int) *Relation {
 	if from < 0 {
 		from = 0
 	}
-	n := len(r.tuples) - from
+	n := r.Len() - from
 	if n < 0 {
 		n = 0
 	}
 	d := NewRelationSized(r.Name+"+", r.Arity, n)
-	for i := from; i < len(r.tuples); i++ {
+	for i := from; i < r.Len(); i++ {
 		if _, err := d.InsertFrom(r, i); err != nil {
 			// Same-arity by construction; unreachable.
 			panic(err)
@@ -66,4 +75,7 @@ func (r *Relation) DeltaSince(from int) *Relation {
 // tuple store, dedup set, and column indexes — for continuing a
 // fixpoint from a prior epoch's derived relation without mutating the
 // published original. See clone for what is and isn't carried over.
+// On a relation whose prefix was frozen (Frozen), the parts are shared
+// by pointer and only the tail is copied, so the per-epoch clone that
+// incremental view maintenance pays is O(delta), not O(relation).
 func (r *Relation) CloneOwned() *Relation { return r.clone() }

@@ -183,13 +183,30 @@ func (ci *colIndex) lookup(h uint64, dst []int32) []int32 {
 
 // Relation is a set of same-arity ground tuples with optional hash
 // indexes on column subsets.
+//
+// Representation: an immutable shared prefix of Parts (rows flushed to
+// segment files or frozen by Frozen — see part.go) followed by an owned
+// in-memory tail. A relation with no parts is exactly the old flat
+// layout and pays nothing for the split. Global row index i < partRows
+// addresses the prefix; i - partRows addresses the tail arrays below.
 type Relation struct {
 	Name  string
 	Arity int
 
+	// The immutable shared prefix. parts/partOff/partRows are fixed for
+	// the life of a Relation value: freezing produces a new Relation.
+	parts    []*Part
+	partOff  []int // partOff[k] = global index of parts[k]'s first row
+	partRows int
+
 	tuples []Tuple
 	cols   []idColumn // interned IDs, column-major, one slice per column
 	hashes []uint64   // full-row hash per tuple
+
+	// Combined prefix+tail views, built lazily for parts-backed
+	// relations (see part.go).
+	allT atomic.Pointer[tupleViewCache]
+	allC atomic.Pointer[colViewCache]
 
 	// The dedup set: open-addressed, slot = tuple index + 1, keyed on
 	// hashes[idx] with ID-row equality on collision.
@@ -246,29 +263,33 @@ func NewRelationSized(name string, arity, capacity int) *Relation {
 }
 
 // Len is the cardinality of the relation.
-func (r *Relation) Len() int { return len(r.tuples) }
+func (r *Relation) Len() int { return r.partRows + len(r.tuples) }
 
 // Tuples exposes the stored tuples as a borrowed read-only view: the
 // returned slice shares its backing array with the live relation.
 // Callers must not mutate it, and must not hold it across an Insert if
 // they need a stable length (append may extend in place — existing
 // elements never move or change, so iterating a previously taken view
-// is always safe). Use Snapshot for an independent copy.
-func (r *Relation) Tuples() []Tuple { return r.tuples }
+// is always safe). Use Snapshot for an independent copy. On a
+// parts-backed relation the first call materializes the combined view
+// (O(n)); block-executor paths that stay in ID space never trigger it.
+func (r *Relation) Tuples() []Tuple { return r.allTuplesView() }
 
 // Snapshot returns an independent copy of the tuple slice, decoupled
 // from subsequent Inserts. The parallel evaluator snapshots relations
 // it iterates while another goroutine may later extend them.
 func (r *Relation) Snapshot() []Tuple {
-	out := make([]Tuple, len(r.tuples))
-	copy(out, r.tuples)
+	all := r.allTuplesView()
+	out := make([]Tuple, len(all))
+	copy(out, all)
 	return out
 }
 
 // idColumn is one column of interned term IDs, row-indexed.
 type idColumn = []term.ID
 
-// rowEqual reports whether the interned-ID row of tuple idx equals ids.
+// rowEqual reports whether the interned-ID row of *tail-local* index
+// idx equals ids.
 func (r *Relation) rowEqual(idx int, ids []term.ID) bool {
 	for c := range r.cols {
 		if r.cols[c][idx] != ids[c] {
@@ -278,8 +299,15 @@ func (r *Relation) rowEqual(idx int, ids []term.ID) bool {
 	return true
 }
 
-// findByIDs probes the dedup set for an interned ID row.
+// findByIDs probes for an interned ID row — every part's dedup set
+// (row blooms short-circuit cold parts), then the tail's — returning
+// the global row index or -1.
 func (r *Relation) findByIDs(h uint64, ids []term.ID) int {
+	for k, p := range r.parts {
+		if local := p.find(h, ids); local >= 0 {
+			return r.partOff[k] + local
+		}
+	}
 	i := uint32(h) & r.setMask
 	for {
 		v := r.setSlots[i]
@@ -288,34 +316,7 @@ func (r *Relation) findByIDs(h uint64, ids []term.ID) int {
 		}
 		idx := int(v - 1)
 		if r.hashes[idx] == h && r.rowEqual(idx, ids) {
-			return idx
-		}
-		i = (i + 1) & r.setMask
-	}
-}
-
-// findByTerms probes the dedup set comparing terms structurally — the
-// probe side, which never interns.
-func (r *Relation) findByTerms(h uint64, t Tuple) int {
-	i := uint32(h) & r.setMask
-	for {
-		v := r.setSlots[i]
-		if v == 0 {
-			return -1
-		}
-		idx := int(v - 1)
-		if r.hashes[idx] == h {
-			cand := r.tuples[idx]
-			eq := true
-			for c := range t {
-				if !term.Equal(t[c], cand[c]) {
-					eq = false
-					break
-				}
-			}
-			if eq {
-				return idx
-			}
+			return r.partRows + idx
 		}
 		i = (i + 1) & r.setMask
 	}
@@ -401,9 +402,17 @@ func (r *Relation) appendRow(t Tuple, ids []term.ID, h uint64) {
 	r.hashes = append(r.hashes, h)
 	r.setInsert(h, idx)
 	for cols, ci := range *r.indexes.Load() {
-		ci.insert(maskedHash(t, cols), idx)
+		ci.insert(maskedIDHash(ids, cols), r.partRows+idx)
 	}
-	r.noteDistinct(idx)
+	if v := r.allT.Load(); v != nil {
+		v.rows = append(v.rows, t)
+	}
+	if v := r.allC.Load(); v != nil {
+		for c := range v.cols {
+			v.cols[c] = append(v.cols[c], ids[c])
+		}
+	}
+	r.noteDistinct(ids)
 }
 
 // InsertFrom adds row i of src, reusing src's interned IDs and row
@@ -413,15 +422,22 @@ func (r *Relation) InsertFrom(src *Relation, i int) (bool, error) {
 	if src.Arity != r.Arity {
 		return false, fmt.Errorf("store: %s: merging arity %d relation into arity %d relation", r.Name, src.Arity, r.Arity)
 	}
-	h := src.hashes[i]
+	h := src.hashAt(i)
 	r.scratch = r.scratch[:0]
-	for c := range src.cols {
-		r.scratch = append(r.scratch, src.cols[c][i])
+	if ti := i - src.partRows; ti >= 0 {
+		for c := range src.cols {
+			r.scratch = append(r.scratch, src.cols[c][ti])
+		}
+	} else {
+		p, local := src.partAt(i)
+		for c := range p.cols {
+			r.scratch = append(r.scratch, p.cols[c][local])
+		}
 	}
 	if r.findByIDs(h, r.scratch) >= 0 {
 		return false, nil
 	}
-	r.appendRow(src.tuples[i], r.scratch, h)
+	r.appendRow(src.tupleAt(i), r.scratch, h)
 	return true, nil
 }
 
@@ -435,12 +451,29 @@ func (r *Relation) MustInsert(t Tuple) bool {
 	return ok
 }
 
-// Contains reports whether the relation holds the tuple.
+// Contains reports whether the relation holds the tuple. The probe is
+// resolved to interned IDs without interning (TryLookupID): a term the
+// intern table has never seen cannot equal any stored value, so such
+// probes answer false without touching the relation at all.
 func (r *Relation) Contains(t Tuple) bool {
-	if len(t) != r.Arity || len(r.tuples) == 0 {
+	if len(t) != r.Arity || r.Len() == 0 {
 		return false
 	}
-	return r.findByTerms(maskedHash(t, ^uint32(0)), t) >= 0
+	var idbuf [16]term.ID
+	ids := idbuf[:0]
+	if len(t) > len(idbuf) {
+		ids = make([]term.ID, 0, len(t))
+	}
+	h := hashSeed
+	for _, x := range t {
+		id, ok := term.TryLookupID(x)
+		if !ok {
+			return false
+		}
+		ids = append(ids, id)
+		h = combineHash(h, term.IDHash(id))
+	}
+	return r.findByIDs(h, ids) >= 0
 }
 
 // BuildIndex creates (or refreshes) a hash index on the column set.
@@ -457,10 +490,16 @@ func (r *Relation) BuildIndex(cols uint32) {
 	r.indexes.Store(&next)
 }
 
+// buildColIndex indexes the owned tail (parts carry their own shared
+// indexes); slot values are global row indexes.
 func (r *Relation) buildColIndex(cols uint32) *colIndex {
 	ci := newColIndex(cols, len(r.tuples))
-	for i, t := range r.tuples {
-		ci.insert(maskedHash(t, cols), i)
+	row := make([]term.ID, r.Arity)
+	for i := range r.tuples {
+		for c := range r.cols {
+			row[c] = r.cols[c][i]
+		}
+		ci.insert(maskedIDHash(row, cols), r.partRows+i)
 	}
 	return ci
 }
@@ -513,32 +552,45 @@ func (r *Relation) ensureIndex(cols uint32) *colIndex {
 // collects match indexes up front and is insert-during-yield safe.
 func (r *Relation) Lookup(cols uint32, probe Tuple) []Tuple {
 	if cols == 0 {
-		return debugBorrow(r.tuples)
+		return debugBorrow(r.allTuplesView())
 	}
-	if len(r.tuples) == 0 {
+	if r.Len() == 0 {
 		return nil
 	}
-	ci := r.ensureIndex(cols)
+	var idbuf [16]term.ID
+	ids, ok := probeIDs(probe, cols, idbuf[:0])
+	if !ok {
+		return nil
+	}
 	var stack [16]int32
-	idxs := ci.lookup(maskedHash(probe, cols), stack[:0])
+	idxs := r.appendMatchesIDs(cols, ids, stack[:0])
 	if len(idxs) == 0 {
 		return nil
 	}
 	out := make([]Tuple, 0, len(idxs))
 	for _, j := range idxs {
-		cand := r.tuples[j]
-		ok := true
-		for c := range cand {
-			if cols&(1<<uint(c)) != 0 && !term.Equal(probe[c], cand[c]) {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			out = append(out, cand)
-		}
+		out = append(out, r.tupleAt(int(j)))
 	}
 	return out
+}
+
+// probeIDs resolves the masked positions of a term probe to interned
+// IDs without interning (unmasked positions get the zero sentinel). ok
+// is false when some masked term was never interned — it then cannot
+// match any stored row.
+func probeIDs(probe Tuple, cols uint32, dst []term.ID) ([]term.ID, bool) {
+	for i, x := range probe {
+		if cols&(1<<uint(i)) == 0 {
+			dst = append(dst, 0)
+			continue
+		}
+		id, ok := term.TryLookupID(x)
+		if !ok {
+			return nil, false
+		}
+		dst = append(dst, id)
+	}
+	return dst, true
 }
 
 // AppendMatches appends to dst the row indexes whose projection on
@@ -561,20 +613,42 @@ func (r *Relation) Lookup(cols uint32, probe Tuple) []Tuple {
 // array.
 func (r *Relation) AppendMatches(cols uint32, probe Tuple, dst []int32) []int32 {
 	debugCheckProbe(r, cols, probe)
+	if r.Len() == 0 {
+		return dst
+	}
+	var idbuf [16]term.ID
+	ids, ok := probeIDs(probe, cols, idbuf[:0])
+	if !ok {
+		return dst
+	}
+	return r.appendMatchesIDs(cols, ids, dst)
+}
+
+// appendMatchesIDs is the shared probe core: every part's index (zone
+// maps and blooms pruning cold parts first), then the tail's, with
+// per-column ID verification compacting candidates in place. Appended
+// indexes are global.
+func (r *Relation) appendMatchesIDs(cols uint32, probe []term.ID, dst []int32) []int32 {
+	h := maskedIDHash(probe, cols)
+	for k, p := range r.parts {
+		if p.mayMatch(cols, probe) {
+			dst = p.appendMatches(cols, probe, h, r.partOff[k], dst)
+		}
+	}
 	if len(r.tuples) == 0 {
 		return dst
 	}
 	ci := r.ensureIndex(cols)
 	base := len(dst)
-	dst = ci.lookup(maskedHash(probe, cols), dst)
+	dst = ci.lookup(h, dst)
 	// Verify candidates column-wise, compacting in place: hash collisions
 	// between distinct probe values share a slot cluster.
 	keep := base
 	for _, j := range dst[base:] {
-		cand := r.tuples[j]
+		local := int(j) - r.partRows
 		ok := true
-		for c := range cand {
-			if cols&(1<<uint(c)) != 0 && !term.Equal(probe[c], cand[c]) {
+		for c := range r.cols {
+			if cols&(1<<uint(c)) != 0 && r.cols[c][local] != probe[c] {
 				ok = false
 				break
 			}
@@ -595,9 +669,10 @@ func (r *Relation) AppendMatches(cols uint32, probe Tuple, dst []int32) []int32 
 // collects match indexes before yielding.
 func (r *Relation) Scan(cols uint32, probe Tuple, yield func(Tuple) bool) {
 	if cols == 0 {
-		n := len(r.tuples)
+		all := r.allTuplesView()
+		n := len(all)
 		for i := 0; i < n; i++ {
-			if !yield(r.tuples[i]) {
+			if !yield(all[i]) {
 				return
 			}
 		}
@@ -605,15 +680,16 @@ func (r *Relation) Scan(cols uint32, probe Tuple, yield func(Tuple) bool) {
 	}
 	var stack [16]int32
 	for _, j := range r.AppendMatches(cols, probe, stack[:0]) {
-		if !yield(r.tuples[j]) {
+		if !yield(r.tupleAt(int(j))) {
 			return
 		}
 	}
 }
 
 // TupleAt returns the tuple at row index i. Row indexes are stable:
-// relations only grow and rows never move.
-func (r *Relation) TupleAt(i int) Tuple { return r.tuples[i] }
+// relations only grow and rows never move (freezing a tail into a part
+// preserves every global index).
+func (r *Relation) TupleAt(i int) Tuple { return r.tupleAt(i) }
 
 // Distinct counts the distinct values in column i — exact, via
 // interned IDs. The count is served from a per-column cache built on
@@ -646,7 +722,12 @@ func (r *Relation) ensureDistinct(i int) *distinctSet {
 	} else {
 		cur = make([]*distinctSet, r.Arity)
 	}
-	ds := &distinctSet{seen: make(map[term.ID]struct{}, len(r.tuples))}
+	ds := &distinctSet{seen: make(map[term.ID]struct{}, r.Len())}
+	for _, p := range r.parts {
+		for _, id := range p.cols[i] {
+			ds.seen[id] = struct{}{}
+		}
+	}
 	for _, id := range r.cols[i] {
 		ds.seen[id] = struct{}{}
 	}
@@ -655,16 +736,16 @@ func (r *Relation) ensureDistinct(i int) *distinctSet {
 	return ds
 }
 
-// noteDistinct folds row idx's IDs into whichever per-column distinct
-// sets exist. Writer-side (insert) only.
-func (r *Relation) noteDistinct(idx int) {
+// noteDistinct folds a just-inserted row's IDs into whichever
+// per-column distinct sets exist. Writer-side (insert) only.
+func (r *Relation) noteDistinct(ids []term.ID) {
 	dp := r.distincts.Load()
 	if dp == nil {
 		return
 	}
 	for c, ds := range *dp {
 		if ds != nil {
-			ds.seen[r.cols[c][idx]] = struct{}{}
+			ds.seen[ids[c]] = struct{}{}
 		}
 	}
 }
@@ -757,6 +838,26 @@ func (db *Database) Fork() *Database {
 	return c
 }
 
+// FrozenFork returns a database holding the Frozen() form of every
+// relation in db — tails converted to immutable shared parts, so
+// future epoch forks copy O(delta) instead of O(n) and probes prune
+// through the part blooms and zone maps. Relations that are already
+// fully frozen are shared by pointer. Like Frozen itself, the receiver
+// database's relations must not be written afterwards; the storage
+// tier calls this on a published (immutable) epoch right before
+// flushing the frozen parts to segment files.
+func (db *Database) FrozenFork() *Database {
+	c := &Database{
+		rels:   make(map[string]*Relation, len(db.rels)),
+		shared: make(map[string]bool, len(db.rels)),
+	}
+	for tag, r := range db.rels {
+		c.rels[tag] = r.Frozen()
+		c.shared[tag] = true
+	}
+	return c
+}
+
 // EnsureOwned returns a relation for tag that is safe to insert into:
 // the existing relation if this database already owns it, a
 // copy-on-write clone if it is shared with a parent fork, or a fresh
@@ -819,6 +920,13 @@ func (db *Database) Clone() *Database {
 // using. It rebuilds lazily on first use.
 func (r *Relation) clone() *Relation {
 	nr := &Relation{Name: r.Name, Arity: r.Arity}
+	// The immutable prefix is shared by pointer — a clone after Frozen
+	// costs O(tail), which is what makes per-epoch copy-on-write of a
+	// large frozen relation cheap. Parts' lazy sets/indexes are shared
+	// too (built once, used by every epoch).
+	nr.parts = r.parts
+	nr.partOff = r.partOff
+	nr.partRows = r.partRows
 	nr.tuples = append([]Tuple(nil), r.tuples...)
 	nr.cols = make([]idColumn, r.Arity)
 	for c := range r.cols {

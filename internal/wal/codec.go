@@ -125,6 +125,18 @@ func appendTerm(buf []byte, t term.Term) ([]byte, error) {
 	}
 }
 
+// AppendTerm appends the codec encoding of one ground term — the
+// shared term wire format the segment tier reuses for its dictionaries,
+// so a term round-trips identically through log records and segment
+// files. Returns an error (not a panic) on non-ground terms.
+func AppendTerm(buf []byte, t term.Term) ([]byte, error) { return appendTerm(buf, t) }
+
+// DecodeTerm reads one term encoded by AppendTerm, returning it and the
+// remaining bytes. Hostile input yields an error, never a panic or an
+// oversized allocation (lengths are bounded by the buffer, nesting by
+// the codec's depth cap).
+func DecodeTerm(b []byte) (term.Term, []byte, error) { return decodeTerm(b, 0) }
+
 // decodeUvarint reads a uvarint bounded by the remaining buffer.
 func decodeUvarint(b []byte) (uint64, []byte, error) {
 	v, n := binary.Uvarint(b)

@@ -85,21 +85,25 @@ func Recover(dir string, fs FS, apply func(Batch) error) (*RecoveryReport, error
 	if fs == nil {
 		fs = OS()
 	}
-	return recoverDir(dir, fs, apply)
+	return recoverDir(dir, fs, 0, apply)
 }
 
-func recoverDir(dir string, fs FS, apply func(Batch) error) (*RecoveryReport, error) {
+func recoverDir(dir string, fs FS, baseEpoch uint64, apply func(Batch) error) (*RecoveryReport, error) {
 	snaps, segs, err := scanDir(dir, fs) // snapshots newest first, segments oldest first
 	if err != nil {
 		return nil, fmt.Errorf("wal: recover: %w", err)
 	}
 
-	rep := &RecoveryReport{}
+	rep := &RecoveryReport{Epoch: baseEpoch}
 
 	// Load the newest checkpoint that validates; remember the ones that
 	// do not. A snapshot is one framed record whose epoch must match its
-	// filename.
+	// filename. Snapshots at or below the external base epoch carry
+	// nothing the base doesn't already have.
 	for _, e := range snaps {
+		if e <= baseEpoch {
+			continue
+		}
 		name := snapshotName(e)
 		data, err := fs.ReadFile(join(dir, name))
 		if err != nil {

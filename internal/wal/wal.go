@@ -83,6 +83,12 @@ type Options struct {
 	Interval time.Duration
 	// Now is the clock SyncInterval reads; nil means time.Now.
 	Now func() time.Time
+	// BaseEpoch tells recovery that state up to and including this
+	// epoch is already durable elsewhere (the segment tier's manifest):
+	// records at or below it are skipped instead of replayed, exactly
+	// as if a snapshot at that epoch had been applied. Zero means no
+	// external base.
+	BaseEpoch uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -392,6 +398,41 @@ func (l *Log) Checkpoint(epoch uint64, rels []RelFacts) error {
 	return nil
 }
 
+// Retire deletes the log segments (and any snapshots) that an external
+// checkpoint at epoch supersedes — the segment tier's counterpart of
+// Checkpoint's cleanup, for callers whose durable base state lives
+// outside the log (a segment manifest). The caller must have Rotated
+// to epoch first and made the external state durable: after Retire,
+// recovery of the remaining log replays only records beyond epoch.
+// Cleanup failures are harmless (recovery tolerates stale files) and
+// not reported.
+func (l *Log) Retire(epoch uint64) error {
+	fs := l.opts.FS
+	l.mu.Lock()
+	if epoch > l.lastCkpt {
+		l.lastCkpt = epoch
+	}
+	active := segmentName(l.base)
+	l.mu.Unlock()
+	names, err := fs.List(l.dir)
+	if err != nil {
+		return nil
+	}
+	for _, name := range names {
+		if name == active {
+			continue
+		}
+		if b, ok := parseSeq(name, "log-"); ok && b < epoch {
+			fs.Remove(join(l.dir, name))
+		}
+		if e, ok := parseSeq(name, "snapshot-"); ok && e < epoch {
+			fs.Remove(join(l.dir, name))
+		}
+	}
+	fs.SyncDir(l.dir)
+	return nil
+}
+
 // LastCheckpoint reports the epoch of the newest successful checkpoint
 // this Log took (0 = none since Open; boot-time state is in the
 // RecoveryReport).
@@ -445,7 +486,7 @@ func Open(dir string, opts Options, apply func(Batch) error) (*Log, *RecoveryRep
 	if err := fs.MkdirAll(dir); err != nil {
 		return nil, nil, fmt.Errorf("wal: open: %w", err)
 	}
-	rep, err := recoverDir(dir, fs, apply)
+	rep, err := recoverDir(dir, fs, opts.BaseEpoch, apply)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -170,6 +170,12 @@ type System struct {
 	ckptBusy  atomic.Bool
 	ckptMu    sync.Mutex
 
+	// Storage tier (nil unless Load saw WithStorageDir): the segment
+	// directory state behind segCheckpoint and StorageStats. seg.man is
+	// guarded by ckptMu; segFlushes is the lifetime flush counter.
+	seg        *segState
+	segFlushes atomic.Int64
+
 	// Materialized views (zero unless Load saw WithMaterialized):
 	// maintenance configuration, the Load-time cached dependency graph
 	// and compiled kernels every epoch's maintenance reuses, and the
@@ -269,13 +275,24 @@ func Load(src string, opts ...SystemOption) (_ *System, err error) {
 	if err != nil {
 		return nil, err
 	}
-	db := store.NewDatabase()
-	if err := db.LoadFacts(prog); err != nil {
-		return nil, err
-	}
 	s := &System{prog: prog, queries: queries, observed: map[string]stats.RelStats{}}
 	s.matCfg = cfg.mat
 	if err := s.matSetup(); err != nil {
+		return nil, err
+	}
+	if cfg.segDir != "" {
+		// The storage tier builds the database itself: segment parts
+		// must attach before any tail row (program facts included).
+		if cfg.walDir != "" && cfg.walDir != cfg.segDir {
+			return nil, fmt.Errorf("ldl: WithStorageDir(%q) conflicts with WithDurability(%q): the log lives in the storage directory", cfg.segDir, cfg.walDir)
+		}
+		if err := s.attachStorage(cfg); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	db := store.NewDatabase()
+	if err := db.LoadFacts(prog); err != nil {
 		return nil, err
 	}
 	if cfg.walDir != "" {

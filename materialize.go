@@ -157,7 +157,13 @@ func (s *System) buildMat(ep *epochState, prev *matState) (*matState, eval.Incre
 	}
 	rels := make(map[string]*store.Relation)
 	for _, tag := range e.DerivedTags() {
-		rels[tag] = e.RelationFor(tag)
+		// Freeze each view's tail into an immutable shared part: the
+		// next epoch's maintenance clones these (CloneOwned) to continue
+		// the fixpoint, and a frozen relation clones at O(appended
+		// delta) instead of O(view) — the epoch cost the watermark
+		// machinery promises. Relations untouched since the last freeze
+		// return themselves, so steady-state epochs add no parts.
+		rels[tag] = e.RelationFor(tag).Frozen()
 	}
 	marks := make(map[string]int)
 	for _, tag := range ep.db.Tags() {

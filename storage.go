@@ -1,0 +1,335 @@
+package ldl
+
+// The persistent columnar segment tier: beyond-RAM fact bases and
+// open-not-replay boot.
+//
+// A System opened with WithStorageDir keeps its fact base in three
+// layers under one directory: immutable columnar segment files (the
+// flushed prefix of every base relation, as dictionary-compressed
+// term columns with bloom filters and zone maps), a manifest naming
+// the exact live segment set plus the planner statistics gathered
+// when it was written, and the ordinary write-ahead log carrying
+// everything newer than the manifest. Checkpoint — background,
+// explicit, or at Close — flushes each relation's in-memory tail to a
+// new segment, writes the next manifest (tmp → fsync → rename, the
+// flush's single commit point), and only then retires the covered log
+// prefix, so a crash at any step leaves either the old manifest with
+// the longer log suffix or the new manifest with the shorter one —
+// both exactly the acknowledged state.
+//
+// Boot inverts checkpoint instead of replaying it: read the newest
+// valid manifest, attach each segment as an immutable relation part
+// (re-interning only the per-segment term dictionary, not the rows),
+// seed the statistics catalog from the manifest entries, and replay
+// only the WAL records newer than the manifest epoch. Opening a
+// fact base costs the segment bytes plus the unflushed suffix — not a
+// replay of history — and the attached parts keep serving probes
+// through their persisted blooms and zone maps.
+
+import (
+	"fmt"
+
+	"ldl/internal/segment"
+	"ldl/internal/stats"
+	"ldl/internal/store"
+	"ldl/internal/term"
+	"ldl/internal/wal"
+)
+
+// WithStorageDir opens the System on the persistent columnar storage
+// tier rooted at dir (created if missing): segment files hold each
+// base relation's flushed prefix, the WAL holds everything newer, and
+// boot attaches segments instead of replaying history. It subsumes
+// WithDurability — the log lives in the same directory — and accepts
+// the same WithFsyncPolicy / WithCheckpointBytes knobs. Combining it
+// with WithDurability on a different directory is a Load error.
+func WithStorageDir(dir string) SystemOption {
+	return func(c *sysConfig) { c.segDir = dir }
+}
+
+// segState is the storage tier's runtime state. man is the manifest
+// the directory currently commits to; it is read at boot and advanced
+// only by segCheckpoint (under ckptMu).
+type segState struct {
+	dir string
+	fs  wal.FS
+	man *segment.Manifest
+}
+
+// attachStorage boots a System from the storage directory: manifest →
+// segments → program facts → WAL suffix. Called by Load instead of
+// attachWAL when WithStorageDir is set; unlike attachWAL it builds the
+// database itself, because segment parts must attach before any tail
+// row (program facts included) is inserted.
+func (s *System) attachStorage(cfg sysConfig) error {
+	fs := cfg.walFS
+	if fs == nil {
+		fs = wal.OS()
+	}
+	dir := cfg.segDir
+	if err := fs.MkdirAll(dir); err != nil {
+		return fmt.Errorf("ldl: storage: %w", err)
+	}
+	man, err := segment.LoadManifest(fs, dir)
+	if err != nil {
+		return fmt.Errorf("ldl: storage: %w", err)
+	}
+	// Clear crash debris before touching anything: stale *.tmp files
+	// from an interrupted flush, superseded manifests, and segment
+	// files nothing references.
+	segment.Sweep(fs, dir, man)
+
+	db := store.NewDatabase()
+	if man != nil {
+		for _, re := range man.Rels {
+			rel := db.Ensure(re.Tag, re.Arity)
+			got := 0
+			for _, name := range re.Segments {
+				sg, err := segment.Open(fs, dir, name)
+				if err != nil {
+					return fmt.Errorf("ldl: storage: %w", err)
+				}
+				if sg.Tag != re.Tag || sg.Arity != re.Arity {
+					return fmt.Errorf("ldl: storage: segment %s holds %s/%d, manifest expects %s/%d",
+						name, sg.Tag, sg.Arity, re.Tag, re.Arity)
+				}
+				if err := rel.AttachPart(sg.PartData()); err != nil {
+					return fmt.Errorf("ldl: storage: attaching %s: %w", name, err)
+				}
+				got += sg.Rows
+			}
+			if got != re.Rows {
+				return fmt.Errorf("ldl: storage: %s: segments hold %d rows, manifest records %d", re.Tag, got, re.Rows)
+			}
+		}
+	}
+	// Program facts merge on top; rows already flushed to segments
+	// dedup against the attached parts (row-bloom short-circuit), so a
+	// clean boot leaves every fully-flushed relation exactly at its
+	// manifest watermark.
+	if err := db.LoadFacts(s.prog); err != nil {
+		return err
+	}
+
+	// Replay only the log suffix past the manifest: BaseEpoch makes
+	// recovery skip every record and snapshot the manifest already
+	// covers.
+	var baseEpoch uint64
+	if man != nil {
+		baseEpoch = man.Epoch
+	}
+	apply := func(b wal.Batch) error {
+		for _, r := range b.Rels {
+			if s.prog.IsDerived(r.Tag) {
+				return fmt.Errorf("ldl: recovery: %s is a derived predicate in the current program (program changed since the log was written?)", r.Tag)
+			}
+			rel := db.EnsureOwned(r.Tag, r.Arity)
+			for _, tup := range r.Tuples {
+				if _, err := rel.Insert(store.Tuple(tup)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	log, rep, err := wal.Open(dir, wal.Options{
+		FS:        cfg.walFS,
+		Sync:      cfg.fsync,
+		Interval:  cfg.interval,
+		BaseEpoch: baseEpoch,
+	}, apply)
+	if err != nil {
+		return err
+	}
+	s.wal, s.recovery = log, rep
+	s.walDir, s.walFS = dir, fs
+	s.ckptBytes = cfg.ckptBytes
+	if s.ckptBytes == 0 {
+		s.ckptBytes = 4 << 20
+	}
+	if man == nil {
+		man = &segment.Manifest{}
+	}
+	s.seg = &segState{dir: dir, fs: fs, man: man}
+
+	// Catalog: manifest entries carry the statistics gathered when they
+	// were flushed, so a clean boot skips the O(n) gather entirely.
+	// Only relations that grew past their watermark (WAL suffix, or
+	// program facts the segments have not absorbed) pay an incremental
+	// update over the appended rows.
+	cat := stats.NewCatalog()
+	watermark := map[string]int{}
+	for _, re := range man.Rels {
+		watermark[re.Tag] = re.Rows
+		cat.Set(re.Tag, re.Stats)
+	}
+	for _, tag := range db.Tags() {
+		r := db.Relation(tag)
+		if w, ok := watermark[tag]; ok {
+			if r.Len() > w {
+				cat.Set(tag, stats.UpdateOne(cat.Stats(tag), r, w))
+			}
+		} else {
+			cat.Set(tag, stats.GatherOne(r))
+		}
+	}
+
+	id := rep.Epoch
+	if man.Epoch > id {
+		id = man.Epoch
+	}
+	if id < 1 {
+		id = 1
+	}
+	ep := newEpoch(id, db, cat)
+	if err := s.materializeBoot(ep); err != nil {
+		return err
+	}
+	s.epoch.Store(ep)
+	return nil
+}
+
+// segCheckpoint is Checkpoint on the storage tier: freeze the epoch's
+// relation tails into immutable parts, flush every relation's rows
+// past its manifest watermark to a new segment file, commit the new
+// manifest, and retire the covered log prefix. Caller holds ckptMu.
+//
+// Ordering is the crash-safety argument. The log rotates at the head
+// epoch before anything is written, so the retiring prefix and the
+// manifest cover exactly the same records; segments land before the
+// manifest that names them (rename is the commit point); the log
+// prefix retires only after the manifest is durable. A crash before
+// the manifest rename leaves orphan segment files (swept at next
+// boot) and the old manifest + full log; a crash after it leaves the
+// new manifest + a log suffix recovery already knows to skip.
+func (s *System) segCheckpoint() error {
+	// Phase 1, under writeMu: drain any in-flight group commit (the
+	// retiring log must not hold acknowledged records past the
+	// snapshot), rotate, and republish the same epoch with every tail
+	// frozen. Freezing here is what makes the flush below read stable
+	// arrays — and what makes every later epoch fork pay O(delta).
+	s.writeMu.Lock()
+	ep := s.headState()
+	if s.headLSN > 0 {
+		if err := s.wal.Commit(s.headLSN); err != nil {
+			s.writeMu.Unlock()
+			return err
+		}
+		s.publish(ep)
+	}
+	if ep.id == s.seg.man.Epoch {
+		s.writeMu.Unlock()
+		return nil // nothing newer than the last successful flush
+	}
+	if err := s.wal.Rotate(ep.id); err != nil {
+		s.writeMu.Unlock()
+		return err
+	}
+	frozen := &epochState{id: ep.id, db: ep.db.FrozenFork(), cat: ep.cat, hints: ep.hints, mat: ep.mat}
+	s.head = frozen
+	// Same epoch id, same facts: publish() refuses id <= current, so
+	// swap directly. Safe because head cannot advance while writeMu is
+	// held and a racing phase-2 publish of this id is a no-op.
+	s.epoch.Store(frozen)
+	s.writeMu.Unlock()
+
+	// Phase 2, no locks: write the new segments and the manifest. The
+	// epoch is immutable, so the flush races nothing; a failure leaves
+	// the old manifest in force and the next checkpoint retries from
+	// the same watermarks.
+	prev := s.seg.man
+	prevRows := make(map[string]int, len(prev.Rels))
+	prevSegs := make(map[string][]string, len(prev.Rels))
+	for _, re := range prev.Rels {
+		prevRows[re.Tag] = re.Rows
+		prevSegs[re.Tag] = re.Segments
+	}
+	next := &segment.Manifest{Epoch: ep.id}
+	seq := 0
+	for _, tag := range frozen.db.Tags() {
+		r := frozen.db.Relation(tag)
+		w, n := prevRows[tag], r.Len()
+		segs := prevSegs[tag]
+		if n > w {
+			name := segment.SegName(ep.id, tag, seq)
+			seq++
+			cols := make([][]term.ID, r.Arity)
+			for c := range cols {
+				cols[c] = r.ColumnSince(c, w)
+			}
+			if err := segment.Write(s.seg.fs, s.seg.dir, name, tag, r.Arity, cols, n-w); err != nil {
+				return err
+			}
+			segs = append(segs[:len(segs):len(segs)], name)
+		}
+		next.Rels = append(next.Rels, segment.RelEntry{
+			Tag: tag, Arity: r.Arity, Rows: n, Segments: segs,
+			Stats: ep.cat.Stats(tag),
+		})
+	}
+	if err := segment.WriteManifest(s.seg.fs, s.seg.dir, next); err != nil {
+		return err
+	}
+	s.seg.man = next
+	s.segFlushes.Add(1)
+
+	// The manifest is durable: the log prefix and snapshots it covers
+	// are dead weight, as are the previous manifest and any segment it
+	// alone referenced.
+	if err := s.wal.Retire(ep.id); err != nil {
+		return err
+	}
+	segment.Sweep(s.seg.fs, s.seg.dir, next)
+	return nil
+}
+
+// StorageStats is the segment-tier health snapshot STATS exposes.
+type StorageStats struct {
+	// Enabled reports whether the System runs on WithStorageDir; the
+	// other fields are zero when it does not.
+	Enabled bool
+	// ManifestEpoch is the epoch of the manifest the directory commits
+	// to (0 = nothing flushed yet).
+	ManifestEpoch uint64
+	// Segments and SegmentRows count the live segment files and the
+	// rows they hold; TailRows is the in-memory suffix the next flush
+	// will cover.
+	Segments    int
+	SegmentRows int
+	TailRows    int
+	// Flushes counts successful segment flushes by this process.
+	Flushes int64
+	// BloomPrunes / ZonePrunes / RowBloomSkips are the process-wide
+	// part-pruning counters: probes a segment's column bloom filter,
+	// zone map, or row bloom answered without touching row data.
+	BloomPrunes   int64
+	ZonePrunes    int64
+	RowBloomSkips int64
+}
+
+// StorageStats reports the segment-tier counters.
+func (s *System) StorageStats() StorageStats {
+	bloom, zone, row := store.PruneStats()
+	st := StorageStats{BloomPrunes: bloom, ZonePrunes: zone, RowBloomSkips: row}
+	if s.seg == nil {
+		return st
+	}
+	st.Enabled = true
+	st.Flushes = s.segFlushes.Load()
+	s.ckptMu.Lock()
+	man := s.seg.man
+	s.ckptMu.Unlock()
+	st.ManifestEpoch = man.Epoch
+	for _, re := range man.Rels {
+		st.Segments += len(re.Segments)
+		st.SegmentRows += re.Rows
+	}
+	for _, tag := range s.snapshot().db.Tags() {
+		st.TailRows += s.snapshot().db.Relation(tag).Len()
+	}
+	st.TailRows -= st.SegmentRows
+	if st.TailRows < 0 {
+		st.TailRows = 0
+	}
+	return st
+}
