@@ -21,12 +21,19 @@ import (
 
 // clientStats counts what the run did, retries and redirects included.
 type clientStats struct {
-	requests  int // attempts sent over the wire
-	ok        int // requests answered OK
-	retries   int // overload retries
-	redirects int // read-only leader redirects followed
-	failures  int // requests that exhausted their attempt budget
+	requests   int // attempts sent over the wire
+	ok         int // requests answered OK
+	retries    int // overload and transport retries
+	lagRetries int // read-your-writes waits answered "lagging", retried
+	redirects  int // read-only leader redirects followed
+	failures   int // requests that exhausted their attempt budget
 }
+
+// maxRedirectHops bounds a redirect *chain* within one request: during a
+// failover, each hop can itself be a replica pointing somewhere else, so
+// the client follows the chain — but a misconfigured ring of replicas
+// pointing at each other must fail fast, not bounce forever.
+const maxRedirectHops = 5
 
 // lineClient is one connection to an ldlserver, with the retry policy.
 type lineClient struct {
@@ -109,6 +116,8 @@ func (c *lineClient) do(line string) (status string, rows []string, err error) {
 	if backoff <= 0 {
 		backoff = 10 * time.Millisecond
 	}
+	hops := 0
+	visited := map[string]bool{c.addr: true}
 	for attempt := 0; ; attempt++ {
 		c.stats.requests++
 		status, rows, err = c.send(line)
@@ -123,15 +132,28 @@ func (c *lineClient) do(line string) (status string, rows []string, err error) {
 		case strings.HasPrefix(status, "ERR overloaded retry:"):
 			// Shed load: the server did no work; retrying after a backoff
 			// is exactly what the message invites.
+		case strings.HasPrefix(status, "ERR lagging behind="):
+			// A read-your-writes wait the replica could not satisfy in
+			// time. The write exists; the replica just has not applied it
+			// yet — backing off and re-asking is correct and bounded.
 		case strings.HasPrefix(status, "ERR read-only leader="):
 			leader := strings.TrimSpace(strings.TrimPrefix(status, "ERR read-only leader="))
 			if leader == "" {
 				c.stats.failures++
 				return status, nil, fmt.Errorf("replica refused write and advertised no leader")
 			}
+			if hops++; hops > maxRedirectHops {
+				c.stats.failures++
+				return status, nil, fmt.Errorf("redirect chain exceeded %d hops (last: %s)", maxRedirectHops, leader)
+			}
+			if visited[leader] {
+				c.stats.failures++
+				return status, nil, fmt.Errorf("redirect loop: %s already visited this request", leader)
+			}
+			visited[leader] = true
 			c.stats.redirects++
 			c.addr = leader
-			c.close() // next send dials the leader
+			c.close() // next send dials the advertised leader
 		default:
 			// A genuine error (bad query, unknown command): retrying
 			// cannot help.
@@ -145,8 +167,13 @@ func (c *lineClient) do(line string) (status string, rows []string, err error) {
 			}
 			return status, nil, err
 		}
-		if strings.HasPrefix(status, "ERR overloaded retry:") || err != nil {
-			c.stats.retries++
+		if lagged := strings.HasPrefix(status, "ERR lagging behind="); lagged ||
+			strings.HasPrefix(status, "ERR overloaded retry:") || err != nil {
+			if lagged {
+				c.stats.lagRetries++
+			} else {
+				c.stats.retries++
+			}
 			// Jittered exponential backoff, mirroring the follower's
 			// reconnect policy: sleep in [backoff/2, backoff).
 			time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1)))
@@ -164,16 +191,27 @@ func (c *lineClient) do(line string) (status string, rows []string, err error) {
 // the goal those appends keep maintained, so the run measures write
 // latency (maintenance included) and read latency against a base that
 // is growing under the reader.
-func runClient(addr, query, load string, n, mixEvery, retries int, backoff time.Duration, stdout io.Writer) error {
+//
+// With ryw set the mixed run additionally asserts read-your-writes:
+// each LOAD reply's epoch=<E> is remembered and every following QUERY
+// carries wait=<E>, so the server must not answer from a state older
+// than the last acknowledged write. Pointing the QUERYs at a replica
+// while the LOADs redirect to the leader makes this a true cross-node
+// session-consistency check.
+func runClient(addr, query, load string, n, mixEvery, retries int, backoff time.Duration, ryw bool, stdout io.Writer) error {
 	if mixEvery > 0 && (load == "" || query == "") {
 		return fmt.Errorf("-mix-every needs both -query and -load")
+	}
+	if ryw && mixEvery <= 0 {
+		return fmt.Errorf("-ryw needs -mix-every (it checks reads against interleaved writes)")
 	}
 	c := &lineClient{addr: addr, retries: retries, backoff: backoff, deadline: 30 * time.Second}
 	defer c.close()
 	start := time.Now()
 	var firstErr error
-	loads, queries := 0, 0
+	loads, queries, rywWaits := 0, 0, 0
 	var loadTime, queryTime time.Duration
+	var lastEpoch uint64
 	for i := 0; i < n; i++ {
 		isLoad := load != ""
 		if mixEvery > 0 {
@@ -182,14 +220,25 @@ func runClient(addr, query, load string, n, mixEvery, retries int, backoff time.
 		line := "QUERY " + query
 		if isLoad {
 			line = "LOAD " + strings.ReplaceAll(load, "%d", strconv.Itoa(i))
+		} else if ryw && lastEpoch > 0 {
+			line = fmt.Sprintf("QUERY %s wait=%d", query, lastEpoch)
+			rywWaits++
 		}
 		reqStart := time.Now()
-		if _, _, err := c.do(line); err != nil && firstErr == nil {
+		status, _, err := c.do(line)
+		if err != nil && firstErr == nil {
 			firstErr = err
 		}
 		if isLoad {
 			loads++
 			loadTime += time.Since(reqStart)
+			if err == nil {
+				if e, ok := parseEpochField(status); ok {
+					lastEpoch = e
+				} else if ryw && firstErr == nil {
+					firstErr = fmt.Errorf("-ryw: LOAD reply %q carries no epoch=", status)
+				}
+			}
 		} else {
 			queries++
 			queryTime += time.Since(reqStart)
@@ -197,16 +246,31 @@ func runClient(addr, query, load string, n, mixEvery, retries int, backoff time.
 	}
 	elapsed := time.Since(start)
 	st := c.stats
-	fmt.Fprintf(stdout, "client: n=%d ok=%d failures=%d retries=%d redirects=%d wire_requests=%d elapsed=%s\n",
-		n, st.ok, st.failures, st.retries, st.redirects, st.requests, elapsed.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "client: n=%d ok=%d failures=%d retries=%d lag_retries=%d redirects=%d wire_requests=%d elapsed=%s\n",
+		n, st.ok, st.failures, st.retries, st.lagRetries, st.redirects, st.requests, elapsed.Round(time.Millisecond))
 	if mixEvery > 0 {
 		fmt.Fprintf(stdout, "client: mixed loads=%d avg_load=%s queries=%d avg_query=%s\n",
 			loads, avgDur(loadTime, loads), queries, avgDur(queryTime, queries))
+	}
+	if ryw {
+		fmt.Fprintf(stdout, "client: ryw waits=%d last_epoch=%d\n", rywWaits, lastEpoch)
 	}
 	if firstErr != nil {
 		return fmt.Errorf("first failure: %w", firstErr)
 	}
 	return nil
+}
+
+// parseEpochField extracts the epoch=<E> token a LOAD (or PROMOTE)
+// acknowledgement carries.
+func parseEpochField(status string) (uint64, bool) {
+	for _, f := range strings.Fields(status) {
+		if v, ok := strings.CutPrefix(f, "epoch="); ok {
+			e, err := strconv.ParseUint(v, 10, 64)
+			return e, err == nil
+		}
+	}
+	return 0, false
 }
 
 func avgDur(total time.Duration, n int) time.Duration {

@@ -175,3 +175,153 @@ func TestRunClientMixedMode(t *testing.T) {
 		t.Fatal("mixed mode without -load accepted")
 	}
 }
+
+// TestClientFollowsRedirectChain: during a failover each hop can itself
+// be a replica pointing onward; the client walks the whole chain.
+func TestClientFollowsRedirectChain(t *testing.T) {
+	leader := fakeServer(t, func(line string) []string {
+		return []string{"OK 1 epoch=9 term=2"}
+	})
+	mid := fakeServer(t, func(line string) []string {
+		return []string{"ERR read-only leader=" + leader}
+	})
+	edge := fakeServer(t, func(line string) []string {
+		return []string{"ERR read-only leader=" + mid}
+	})
+	c := &lineClient{addr: edge, retries: 5, backoff: time.Millisecond}
+	defer c.close()
+	status, _, err := c.do("LOAD par(x, y).")
+	if err != nil || status != "OK 1 epoch=9 term=2" {
+		t.Fatalf("do = %q, %v", status, err)
+	}
+	if c.stats.redirects != 2 {
+		t.Errorf("redirects = %d, want 2 (edge -> mid -> leader)", c.stats.redirects)
+	}
+}
+
+// TestClientDetectsRedirectLoop: two replicas pointing at each other
+// must fail the request immediately, not bounce until the retry budget.
+func TestClientDetectsRedirectLoop(t *testing.T) {
+	var bAddr string
+	a := fakeServer(t, func(line string) []string {
+		return []string{"ERR read-only leader=" + bAddr}
+	})
+	bAddr = fakeServer(t, func(line string) []string {
+		return []string{"ERR read-only leader=" + a}
+	})
+	c := &lineClient{addr: a, retries: 50, backoff: time.Millisecond}
+	defer c.close()
+	_, _, err := c.do("LOAD par(x, y).")
+	if err == nil || !strings.Contains(err.Error(), "loop") {
+		t.Fatalf("do = %v, want redirect loop error", err)
+	}
+	if c.stats.requests > 4 {
+		t.Errorf("loop burned %d wire requests before failing", c.stats.requests)
+	}
+}
+
+// TestClientBoundsRedirectHops: a long chain is cut at the hop limit.
+func TestClientBoundsRedirectHops(t *testing.T) {
+	// Build a chain strictly longer than maxRedirectHops.
+	next := ""
+	for i := 0; i <= maxRedirectHops+1; i++ {
+		target := next
+		next = fakeServer(t, func(line string) []string {
+			if target == "" {
+				return []string{"OK 1 epoch=1"}
+			}
+			return []string{"ERR read-only leader=" + target}
+		})
+	}
+	c := &lineClient{addr: next, retries: 50, backoff: time.Millisecond}
+	defer c.close()
+	_, _, err := c.do("LOAD par(x, y).")
+	if err == nil || !strings.Contains(err.Error(), "hops") {
+		t.Fatalf("do = %v, want hop-limit error", err)
+	}
+}
+
+// TestClientRetriesLaggingWait: "ERR lagging behind=<n>" means the
+// write exists and the replica is catching up — retry, bounded.
+func TestClientRetriesLaggingWait(t *testing.T) {
+	var calls atomic.Int64
+	addr := fakeServer(t, func(line string) []string {
+		if calls.Add(1) <= 2 {
+			return []string{"ERR lagging behind=3"}
+		}
+		return []string{"OK 1", "a,b"}
+	})
+	c := &lineClient{addr: addr, retries: 5, backoff: time.Millisecond}
+	defer c.close()
+	status, rows, err := c.do("QUERY sg(b1, Y) wait=7")
+	if err != nil || status != "OK 1" || len(rows) != 1 {
+		t.Fatalf("do = %q (%d rows), %v", status, len(rows), err)
+	}
+	if c.stats.lagRetries != 2 || c.stats.retries != 0 {
+		t.Errorf("stats = %+v, want 2 lag retries and 0 plain retries", c.stats)
+	}
+
+	// A replica that never catches up exhausts the budget.
+	slow := fakeServer(t, func(line string) []string {
+		return []string{"ERR lagging behind=9"}
+	})
+	c2 := &lineClient{addr: slow, retries: 2, backoff: time.Millisecond}
+	defer c2.close()
+	if _, _, err := c2.do("QUERY sg(b1, Y) wait=7"); err == nil {
+		t.Fatal("permanently lagging wait succeeded")
+	}
+	if c2.stats.failures != 1 || c2.stats.requests != 3 {
+		t.Errorf("stats = %+v, want 1 failure over 3 requests", c2.stats)
+	}
+}
+
+// TestRunClientRYWMode: -ryw threads each LOAD's acknowledged epoch
+// into the following QUERYs as wait=<E>.
+func TestRunClientRYWMode(t *testing.T) {
+	var epoch atomic.Int64
+	var waited atomic.Int64
+	addr := fakeServer(t, func(line string) []string {
+		switch {
+		case strings.HasPrefix(line, "LOAD "):
+			return []string{fmt.Sprintf("OK 1 epoch=%d term=1", epoch.Add(1)+10)}
+		case strings.HasPrefix(line, "QUERY "):
+			if i := strings.LastIndex(line, " wait="); i >= 0 {
+				want := line[i+len(" wait="):]
+				if want != fmt.Sprintf("%d", epoch.Load()+10) {
+					return []string{"ERR wait for stale epoch " + want}
+				}
+				waited.Add(1)
+			}
+			return []string{"OK 1", "a,b"}
+		}
+		return []string{"ERR bad"}
+	})
+	var out strings.Builder
+	err := run([]string{"-addr", addr, "-n", "9", "-mix-every", "3", "-ryw",
+		"-query", "sg(X, Y)", "-load", "par(x%d, y)."}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	// Requests 0,3,6 are LOADs; all 6 queries follow a load, so all wait.
+	if waited.Load() != 6 {
+		t.Fatalf("server saw %d waited queries, want 6\n%s", waited.Load(), out.String())
+	}
+	if got := out.String(); !strings.Contains(got, "ryw waits=6") || !strings.Contains(got, "last_epoch=13") {
+		t.Fatalf("summary = %q", got)
+	}
+	// -ryw without -mix-every is refused.
+	if err := run([]string{"-addr", addr, "-n", "3", "-ryw", "-query", "q(X)"}, &out); err == nil {
+		t.Fatal("-ryw without -mix-every accepted")
+	}
+	// A LOAD reply without epoch= is a ryw contract violation.
+	bare := fakeServer(t, func(line string) []string {
+		if strings.HasPrefix(line, "LOAD ") {
+			return []string{"OK 1"}
+		}
+		return []string{"OK 0"}
+	})
+	if err := run([]string{"-addr", bare, "-n", "4", "-mix-every", "2", "-ryw",
+		"-query", "q(X)", "-load", "p(x%d)."}, &out); err == nil || !strings.Contains(err.Error(), "no epoch=") {
+		t.Fatalf("epoch-less LOAD reply = %v, want ryw violation", err)
+	}
+}

@@ -14,10 +14,21 @@
 //	ldlbench -addr :7654 -n 100 -mix-every 10 \
 //	    -query "sg(b1, Y)" -load "par(x%d, y)."      # mixed append→query load
 //
+//	ldlbench -addr :7655 -n 100 -mix-every 10 -ryw \
+//	    -query "sg(b1, Y)" -load "par(x%d, y)."      # read-your-writes check
+//
 // The client honors the server's failure vocabulary: overload
-// ("ERR overloaded retry: ...") is retried with bounded jittered
+// ("ERR overloaded retry: ...") and an unsatisfied read-your-writes
+// wait ("ERR lagging behind=<n>") are retried with bounded jittered
 // backoff, and a replica's write refusal ("ERR read-only
-// leader=<addr>") redirects the connection to the advertised leader.
+// leader=<addr>") redirects the connection to the advertised leader —
+// following redirect chains hop by hop during a failover, bounded by a
+// hop limit and loop detection.
+//
+// -ryw turns a mixed run into a session-consistency assertion: each
+// LOAD acknowledgement's epoch=<E> becomes the wait=<E> of every
+// following QUERY, so a replica may be stale but must never answer a
+// session's read from before that session's last write.
 package main
 
 import (
@@ -50,15 +61,16 @@ func run(args []string, stdout io.Writer) error {
 		load     = fs.String("load", "", "client mode: fact template each request loads (%d = request index); overrides -query")
 		n        = fs.Int("n", 100, "client mode: number of requests")
 		mixEvery = fs.Int("mix-every", 0, "client mode: interleave appends into the query stream — every Nth request LOADs the -load template, the rest QUERY the -query goal (the incremental-maintenance workload)")
-		retries  = fs.Int("retries", 5, "client mode: max retries per request on overload or transport failure")
+		retries  = fs.Int("retries", 5, "client mode: max retries per request on overload, lagging wait, or transport failure")
 		backoff  = fs.Duration("backoff", 10*time.Millisecond, "client mode: initial retry backoff (doubles, jittered)")
+		ryw      = fs.Bool("ryw", false, "client mode: read-your-writes — each QUERY carries wait=<E> of the last acknowledged LOAD, asserting session consistency (needs -mix-every)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	if *addr != "" {
-		return runClient(*addr, *query, *load, *n, *mixEvery, *retries, *backoff, stdout)
+		return runClient(*addr, *query, *load, *n, *mixEvery, *retries, *backoff, *ryw, stdout)
 	}
 	if *list {
 		for _, t := range experiments.Index() {

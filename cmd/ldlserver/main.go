@@ -13,13 +13,14 @@
 // Protocol (one request per line, responses terminated by a blank line
 // is NOT used — the first token tells the client how much to read):
 //
-//	QUERY <goal>          -> OK <n> \n <n data lines, comma-separated>
-//	LOAD <facts>          -> OK <added> epoch=<e>
+//	QUERY <goal> [wait=<E>] -> OK <n> \n <n data lines, comma-separated)
+//	LOAD <facts>          -> OK <added> epoch=<e> term=<t>
 //	STATS                 -> OK <n> \n <n key=value lines>
 //	PING                  -> OK 0
-//	PROMOTE               -> OK promoted epoch=<e>   (replicas only)
-//	REPL <epoch>          -> OK repl epoch=<e> leader=<addr>, then a
-//	                         binary replication stream (internal/repl)
+//	HELLO [term=<t>]      -> OK hello role=<r> term=<t> epoch=<e> leader=<addr>
+//	PROMOTE               -> OK promoted epoch=<e> term=<t>  (replicas only)
+//	REPL <epoch> [term=<t>] -> OK repl epoch=<e> leader=<addr> term=<t>,
+//	                         then a binary replication stream (internal/repl)
 //	anything else         -> ERR <message>
 //
 // Overload is reported as "ERR overloaded retry: ..." so clients can
@@ -33,9 +34,25 @@
 // replicates continuously from the leader, serves QUERY/STATS with the
 // replication lag visible under STATS, and refuses LOAD with the
 // machine-parseable "ERR read-only leader=<addr>" so clients can
-// redirect writes. PROMOTE is manual failover: the follower stops
-// replicating, keeps its applied epoch-prefix, and starts accepting
-// writes.
+// redirect writes. A durable follower also answers REPL itself —
+// chained replication — forwarding its known leader in the welcome so
+// downstream clients still learn where writes go.
+//
+// Failover is term-fenced and self-healing. Every promotion bumps a
+// WAL-persisted leader term; streams, heartbeats, and probes all carry
+// it, and anything below a node's high-water mark is fenced — a deposed
+// leader can never slip writes to a converged follower, and hearing a
+// higher term latches the old leader read-only. PROMOTE is the manual
+// path. With -peers a follower that loses its leader probes the
+// successor list (HELLO) and re-attaches to the highest-term writable
+// peer by itself; with -auto-promote-after the designated successor
+// self-promotes when no leader answers for that long.
+//
+// Read-your-writes: LOAD acknowledges with the published epoch, and
+// "QUERY ... wait=<E>" blocks (up to -ryw-timeout) until the serving
+// node has applied epoch E, failing with the machine-parseable "ERR
+// lagging behind=<n>" when it cannot — so a client can write through
+// the leader and read its own write from any replica.
 //
 // On SIGINT or SIGTERM the server stops accepting connections, stops
 // the replication follower if any, drains in-flight requests through
@@ -56,6 +73,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -82,6 +100,9 @@ func main() {
 		idle      = flag.Duration("idle-timeout", 2*time.Minute, "close connections idle longer than this (0 = never)")
 		drain     = flag.Duration("drain-timeout", 10*time.Second, "max wait for in-flight requests on shutdown")
 		replicaOf = flag.String("replica-of", "", "leader address to replicate from: boot as a read-only follower")
+		peers     = flag.String("peers", "", "comma-separated successor addresses a follower probes when its leader dies (failover candidates)")
+		autoProm  = flag.Duration("auto-promote-after", 0, "follower self-promotes when no leader has answered for this long (0 = never; set on the designated successor only)")
+		rywWait   = flag.Duration("ryw-timeout", 2*time.Second, "max wait for 'QUERY ... wait=<E>' before ERR lagging")
 		advertise = flag.String("advertise", "", "address advertised to followers for write redirects (default -addr)")
 		matMode   = flag.String("materialize", "", "maintain materialized views of the derived predicates: 'incremental' (semi-naive continuation across epochs) or 'scratch' (recompute per epoch; the A/B baseline). Empty disables")
 	)
@@ -135,6 +156,7 @@ func main() {
 		SystemOptions:  sysOpts,
 	})
 	srv.idleTimeout = *idle
+	srv.rywTimeout = *rywWait
 	srv.advertise = *advertise
 	if srv.advertise == "" {
 		srv.advertise = *addr
@@ -145,16 +167,30 @@ func main() {
 		// replication stream; local writes are refused with a redirect.
 		sys.SetReadOnly(*replicaOf)
 		f := &repl.Follower{
-			Target:  *replicaOf,
-			Applied: sys.Epoch,
-			Apply:   sys.ApplyReplicated,
+			Target:      *replicaOf,
+			Peers:       splitPeers(*peers),
+			Applied:     sys.Epoch,
+			Apply:       sys.ApplyReplicated,
+			Term:        sys.Term,
+			ObserveTerm: func(t uint64) { sys.ObserveTerm(t) },
+			AutoPromoteAfter: *autoProm,
+			Promote: func() {
+				// The deadman fired: no writable leader answered for the
+				// full grace period. The term bump fences whatever is
+				// left of the old chain.
+				if ep, tm, err := sys.Promote(); err != nil {
+					log.Printf("ldlserver: auto-promote failed (staying read-only): %v", err)
+				} else {
+					log.Printf("ldlserver: auto-promoted: epoch=%d term=%d", ep, tm)
+				}
+			},
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		srv.follower = f
 		srv.stopFollower = cancel
 		go f.Run(ctx)
 		defer cancel()
-		log.Printf("ldlserver: replicating from %s", *replicaOf)
+		log.Printf("ldlserver: replicating from %s (peers: %q)", *replicaOf, *peers)
 	}
 
 	if *addr == "" {
@@ -195,10 +231,24 @@ func main() {
 	log.Printf("ldlserver: shutdown complete")
 }
 
+// splitPeers parses the -peers flag: a comma-separated address list,
+// blanks dropped.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // server binds the service to the line protocol.
 type server struct {
 	svc         *service.Service
 	idleTimeout time.Duration
+	// rywTimeout bounds a "QUERY ... wait=<E>" read-your-writes wait.
+	rywTimeout time.Duration
 
 	// advertise is the leader address sent in replication welcomes —
 	// where follower clients should redirect writes.
@@ -330,27 +380,36 @@ func (s *server) serveRepl(conn net.Conn, out *bufio.Writer, line string) {
 		out.WriteString("ERR " + msg + "\n")
 		out.Flush()
 	}
-	from, err := repl.ParseHello(line)
+	from, fterm, err := repl.ParseHello(line)
 	if err != nil {
 		refuse(s.errLine(err))
 		return
 	}
 	sys := s.svc.System()
+	// A follower carrying a higher term than ours is proof we were
+	// deposed: adopt the term (latching read-only if we were leading)
+	// before deciding what to ship.
+	if sys.ObserveTerm(fterm) {
+		log.Printf("ldlserver: deposed by follower hello (term %d); now read-only", fterm)
+	}
 	dir, fs, ok := sys.WALAccess()
 	if !ok {
-		refuse("replication requires a durable leader (-data-dir)")
+		refuse("replication requires a durable node (-data-dir)")
 		return
 	}
 	// Replication connections are long-lived and mostly idle; the
 	// follower's heartbeat timeout is the liveness check, not ours.
 	conn.SetDeadline(time.Time{})
-	out.WriteString(repl.WelcomeLine(sys.Epoch(), s.advertise) + "\n")
+	// Chained replication: a replica serves the stream too, advertising
+	// its own leader so downstream peers still learn where writes go.
+	out.WriteString(repl.WelcomeLine(sys.Epoch(), s.writeAddr(sys), sys.Term()) + "\n")
 	if out.Flush() != nil {
 		return
 	}
 	ship := &repl.Shipper{
 		Dir: dir, FS: fs,
 		Head:      sys.Epoch,
+		Term:      sys.Term,
 		Advertise: s.advertise,
 		Poll:      s.shipPoll,
 		Heartbeat: s.shipHeartbeat,
@@ -424,11 +483,41 @@ func (s *server) handleLine(line string) []string {
 		return []string{"OK 0"}
 	case "STATS":
 		return s.statsLines()
+	case "HELLO":
+		// The failover probe: who are you, which term, how far along,
+		// where do writes go. A probe carrying a higher term than ours
+		// is also how a deposed leader finds out.
+		pterm, err := repl.ParseProbe(line)
+		if err != nil {
+			return []string{"ERR " + s.errLine(err)}
+		}
+		sys := s.svc.System()
+		if sys.ObserveTerm(pterm) {
+			log.Printf("ldlserver: deposed by probe (term %d); now read-only", pterm)
+		}
+		role := repl.RoleLeader
+		if ro, _ := sys.ReadOnly(); ro {
+			role = repl.RoleReplica
+		}
+		return []string{repl.ProbeReplyLine(repl.Probe{
+			Role: role, Term: sys.Term(), Epoch: sys.Epoch(), Leader: s.writeAddr(sys),
+		})}
 	case "QUERY":
-		if rest == "" {
+		goal, wait, err := splitWait(rest)
+		if err != nil {
+			return []string{"ERR " + s.errLine(err)}
+		}
+		if goal == "" {
 			return []string{"ERR QUERY needs a goal"}
 		}
-		resp, err := s.svc.Query(context.Background(), strings.TrimSuffix(rest, "?"))
+		if wait > 0 {
+			// Read-your-writes: block until this node has applied the
+			// epoch the client saw acknowledged, bounded by -ryw-timeout.
+			if err := s.svc.WaitEpoch(context.Background(), wait, s.rywTimeout); err != nil {
+				return []string{"ERR " + s.errLine(err)}
+			}
+		}
+		resp, err := s.svc.Query(context.Background(), strings.TrimSuffix(goal, "?"))
 		if err != nil {
 			return []string{"ERR " + s.errLine(err)}
 		}
@@ -446,7 +535,9 @@ func (s *server) handleLine(line string) []string {
 		if err != nil {
 			return []string{"ERR " + s.errLine(err)}
 		}
-		return []string{fmt.Sprintf("OK %d epoch=%d", added, epoch)}
+		// The epoch is the client's read-your-writes token; the term
+		// lets it detect a failover between its writes.
+		return []string{fmt.Sprintf("OK %d epoch=%d term=%d", added, epoch, s.svc.System().Term())}
 	case "PROMOTE":
 		sys := s.svc.System()
 		if ro, _ := sys.ReadOnly(); !ro {
@@ -455,7 +546,12 @@ func (s *server) handleLine(line string) []string {
 		if s.stopFollower != nil {
 			s.stopFollower()
 		}
-		return []string{fmt.Sprintf("OK promoted epoch=%d", sys.Promote())}
+		epoch, term, err := sys.Promote()
+		if err != nil {
+			return []string{"ERR " + s.errLine(err)}
+		}
+		log.Printf("ldlserver: promoted to leader: epoch=%d term=%d", epoch, term)
+		return []string{fmt.Sprintf("OK promoted epoch=%d term=%d", epoch, term)}
 	case "REPL":
 		// Reachable only from the stdin loop; TCP connections are
 		// hijacked in handleConn before dispatch.
@@ -463,6 +559,35 @@ func (s *server) handleLine(line string) []string {
 	default:
 		return []string{"ERR unknown command " + verb}
 	}
+}
+
+// splitWait strips a trailing "wait=<E>" token off a QUERY goal.
+func splitWait(rest string) (goal string, wait uint64, err error) {
+	i := strings.LastIndexByte(rest, ' ')
+	if i < 0 || !strings.HasPrefix(rest[i+1:], "wait=") {
+		return rest, 0, nil
+	}
+	wait, err = strconv.ParseUint(rest[i+1+len("wait="):], 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("malformed wait token %q", rest[i+1:])
+	}
+	return strings.TrimSpace(rest[:i]), wait, nil
+}
+
+// writeAddr is where writes should be sent: this node when it leads,
+// its known leader when it is a replica (the live leader learned from
+// the stream, falling back to the bootstrap -replica-of address).
+func (s *server) writeAddr(sys *ldl.System) string {
+	ro, leader := sys.ReadOnly()
+	if !ro {
+		return s.advertise
+	}
+	if s.follower != nil {
+		if st := s.follower.Stats(); st.Leader != "" {
+			return st.Leader
+		}
+	}
+	return leader
 }
 
 // errLine flattens an error to a single protocol-safe line. Two classes
@@ -482,6 +607,12 @@ func (s *server) errLine(err error) string {
 			}
 		}
 		return "read-only leader=" + leader
+	}
+	var le *service.LaggingError
+	if errors.As(err, &le) {
+		// Machine-parseable: the client's wait=<E> could not be served;
+		// behind says how far off this replica still is.
+		return fmt.Sprintf("lagging behind=%d", le.Behind())
 	}
 	msg := strings.ReplaceAll(err.Error(), "\n", " ")
 	if errors.Is(err, service.ErrOverloaded) {
@@ -526,18 +657,26 @@ func (s *server) statsLines() []string {
 	} else {
 		add("role", "leader")
 	}
+	add("term", sys.Term())
+	fenced := sys.FencedEvents()
 	if s.follower != nil {
 		fst := s.follower.Stats()
 		if fst.Leader != "" {
 			leader = fst.Leader
 		}
+		fenced += fst.Fenced
 		add("repl_connected", b2i(fst.Connected))
 		add("repl_applied", fst.Applied)
 		add("repl_leader_epoch", fst.LeaderEpoch)
 		add("repl_lag", fst.Lag)
 		add("repl_dials", fst.Dials)
 		add("repl_seeds", fst.Seeds)
+		add("repl_retargets", fst.Retargets)
+		add("repl_probes", fst.Probes)
+		add("repl_target", fst.Target)
+		add("repl_auto_promotions", fst.AutoPromotions)
 	}
+	add("repl_fenced", fenced)
 	if leader != "" {
 		add("repl_leader", leader)
 	}

@@ -164,7 +164,7 @@ func TestProtocolBasics(t *testing.T) {
 			status2, len(rows2), err, status, len(rows))
 	}
 
-	if got, err := c.roundTrip("LOAD par(z1, z2)."); err != nil || got != "OK 1 epoch=2" {
+	if got, err := c.roundTrip("LOAD par(z1, z2)."); err != nil || got != "OK 1 epoch=2 term=1" {
 		t.Fatalf("LOAD = %q, %v", got, err)
 	}
 

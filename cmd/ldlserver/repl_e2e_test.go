@@ -43,6 +43,19 @@ func startLeader(t *testing.T, dir string) (addr string, sys *ldl.System, shutdo
 
 // startReplica boots a follower server replicating from leaderAddr.
 func startReplica(t *testing.T, leaderAddr string, opts ...ldl.SystemOption) (addr string, sys *ldl.System, srv *server) {
+	return startFollower(t, leaderAddr, followerCfg{}, opts...)
+}
+
+// followerCfg is the failover wiring of a test follower server.
+type followerCfg struct {
+	peers            []string
+	autoPromoteAfter time.Duration
+}
+
+// startFollower boots a follower server with the full production
+// wiring — term observation, peer re-targeting, optional auto-promote —
+// mirroring what main() builds from -replica-of/-peers/-auto-promote-after.
+func startFollower(t *testing.T, leaderAddr string, fc followerCfg, opts ...ldl.SystemOption) (addr string, sys *ldl.System, srv *server) {
 	t.Helper()
 	sys, err := ldl.Load(serverSrc, opts...)
 	if err != nil {
@@ -51,9 +64,18 @@ func startReplica(t *testing.T, leaderAddr string, opts ...ldl.SystemOption) (ad
 	sys.SetReadOnly(leaderAddr)
 	f := &repl.Follower{
 		Target:           leaderAddr,
+		Peers:            fc.peers,
 		Applied:          sys.Epoch,
 		Apply:            sys.ApplyReplicated,
-		HeartbeatTimeout: 2 * time.Second,
+		Term:             sys.Term,
+		ObserveTerm:      func(tm uint64) { sys.ObserveTerm(tm) },
+		AutoPromoteAfter: fc.autoPromoteAfter,
+		Promote: func() {
+			if _, _, err := sys.Promote(); err != nil {
+				t.Errorf("auto-promote: %v", err)
+			}
+		},
+		HeartbeatTimeout: 500 * time.Millisecond,
 		BackoffBase:      2 * time.Millisecond,
 		BackoffMax:       50 * time.Millisecond,
 	}
@@ -68,7 +90,13 @@ func startReplica(t *testing.T, leaderAddr string, opts ...ldl.SystemOption) (ad
 	addr, srv, _ = startCustom(t, sys, service.Config{}, func(s *server) {
 		s.follower = f
 		s.stopFollower = cancel
+		s.shipPoll = time.Millisecond
+		s.shipHeartbeat = 20 * time.Millisecond
+		s.rywTimeout = 2 * time.Second
 	})
+	// Advertise the follower's own dial address: if it is ever promoted,
+	// peers re-targeting to it must be told a reachable write address.
+	srv.advertise = addr
 	return addr, sys, srv
 }
 
@@ -222,8 +250,8 @@ func TestPromoteFailover(t *testing.T) {
 
 	rc := dial(t, rAddr)
 	got, err := rc.roundTrip("PROMOTE")
-	if err != nil || got != fmt.Sprintf("OK promoted epoch=%d", leaderEpoch) {
-		t.Fatalf("PROMOTE = %q, %v; want OK promoted epoch=%d", got, err, leaderEpoch)
+	if err != nil || got != fmt.Sprintf("OK promoted epoch=%d term=2", leaderEpoch) {
+		t.Fatalf("PROMOTE = %q, %v; want OK promoted epoch=%d term=2", got, err, leaderEpoch)
 	}
 	// Byte-identical answers to everything the dead leader acknowledged.
 	if got := replCollect(t, rc); got != want {
@@ -231,8 +259,8 @@ func TestPromoteFailover(t *testing.T) {
 	}
 	// The promoted server is a leader now: writes land, epochs continue
 	// after the applied prefix, STATS reflects the role change.
-	if got, err := rc.roundTrip("LOAD par(post, b1)."); err != nil || got != fmt.Sprintf("OK 1 epoch=%d", leaderEpoch+1) {
-		t.Fatalf("post-promotion LOAD = %q, %v; want OK 1 epoch=%d", got, err, leaderEpoch+1)
+	if got, err := rc.roundTrip("LOAD par(post, b1)."); err != nil || got != fmt.Sprintf("OK 1 epoch=%d term=2", leaderEpoch+1) {
+		t.Fatalf("post-promotion LOAD = %q, %v; want OK 1 epoch=%d term=2", got, err, leaderEpoch+1)
 	}
 	kv, err := rc.stats()
 	if err != nil {
@@ -270,5 +298,221 @@ func TestReplVerbRefusals(t *testing.T) {
 	srv.handle(strings.NewReader("REPL 1\n"), &out)
 	if got := strings.TrimSpace(out.String()); got != "ERR REPL requires a TCP connection" {
 		t.Fatalf("stdin REPL = %q", got)
+	}
+}
+
+// TestThreeNodeFailover is the acceptance scenario: leader L, durable
+// follower R1, and follower R2 configured with -peers naming R1. L is
+// killed, an operator promotes R1, and R2 must re-target to R1 on its
+// own — then a write accepted by R1 must be readable on R2 through
+// "QUERY ... wait=<E>" (read-your-writes across the failover).
+func TestThreeNodeFailover(t *testing.T) {
+	lAddr, lsys, lShutdown := startLeader(t, t.TempDir())
+	r1Addr, r1sys, _ := startFollower(t, lAddr, followerCfg{}, ldl.WithDurability(t.TempDir()))
+	r2Addr, r2sys, _ := startFollower(t, lAddr, followerCfg{peers: []string{r1Addr}})
+
+	lc := dial(t, lAddr)
+	for i := 0; i < 4; i++ {
+		if got, err := lc.roundTrip(fmt.Sprintf("LOAD par(r%d, b1). par(b1, rr%d).", i, i)); err != nil || !strings.HasPrefix(got, "OK 2 ") {
+			t.Fatalf("LOAD %d = %q, %v", i, got, err)
+		}
+	}
+	leaderEpoch := lsys.Epoch()
+	waitFor(t, "both followers caught up", func() bool {
+		return r1sys.Epoch() == leaderEpoch && r2sys.Epoch() == leaderEpoch
+	})
+
+	// The leader dies without warning.
+	lShutdown(time.Second)
+	if err := lsys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Operator promotes R1: terms 1 -> 2, persisted in R1's WAL.
+	rc1 := dial(t, r1Addr)
+	if got, err := rc1.roundTrip("PROMOTE"); err != nil || got != fmt.Sprintf("OK promoted epoch=%d term=2", leaderEpoch) {
+		t.Fatalf("PROMOTE R1 = %q, %v; want OK promoted epoch=%d term=2", got, err, leaderEpoch)
+	}
+
+	// R2 notices the dead leader, walks its peer list, and re-attaches
+	// to R1 with no operator involvement.
+	rc2 := dial(t, r2Addr)
+	waitFor(t, "R2 re-target to R1", func() bool {
+		kv, err := rc2.stats()
+		if err != nil {
+			return false
+		}
+		return kv["repl_target"] == r1Addr && kv["repl_connected"] == "1"
+	})
+
+	// Read-your-writes across the new chain: a write acknowledged by R1
+	// names its epoch, and a wait=<E> query on R2 observes it.
+	got, err := rc1.roundTrip("LOAD par(post, postkid).")
+	if err != nil || got != fmt.Sprintf("OK 1 epoch=%d term=2", leaderEpoch+1) {
+		t.Fatalf("post-failover LOAD on R1 = %q, %v; want OK 1 epoch=%d term=2", got, err, leaderEpoch+1)
+	}
+	status, rows, err := rc2.query(fmt.Sprintf("anc(post, Y) wait=%d", leaderEpoch+1))
+	if err != nil || status != "OK 1" {
+		t.Fatalf("wait-query on R2 = %q, %v (rows %v); want OK 1", status, err, rows)
+	}
+	if len(rows) != 1 || !strings.Contains(rows[0], "postkid") {
+		t.Fatalf("wait-query rows = %v, want the row written on R1", rows)
+	}
+
+	kv, err := rc2.stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv["term"] != "2" {
+		t.Errorf("R2 STATS term = %q, want 2 (adopted from R1's stream)", kv["term"])
+	}
+	if n, _ := strconv.Atoi(kv["repl_retargets"]); n < 1 {
+		t.Errorf("R2 STATS repl_retargets = %q, want >= 1", kv["repl_retargets"])
+	}
+}
+
+// TestAutoPromoteFailover: a durable follower with -auto-promote-after
+// set self-promotes once the leader stays unreachable past the deadman
+// deadline, and then accepts writes under the new term.
+func TestAutoPromoteFailover(t *testing.T) {
+	lAddr, lsys, lShutdown := startLeader(t, t.TempDir())
+	rAddr, rsys, _ := startFollower(t, lAddr, followerCfg{autoPromoteAfter: 200 * time.Millisecond}, ldl.WithDurability(t.TempDir()))
+
+	lc := dial(t, lAddr)
+	for i := 0; i < 3; i++ {
+		if got, err := lc.roundTrip(fmt.Sprintf("LOAD par(r%d, b1). par(b1, rr%d).", i, i)); err != nil || !strings.HasPrefix(got, "OK 2 ") {
+			t.Fatalf("LOAD %d = %q, %v", i, got, err)
+		}
+	}
+	leaderEpoch := lsys.Epoch()
+	waitFor(t, "follower catch-up", func() bool { return rsys.Epoch() == leaderEpoch })
+
+	lShutdown(time.Second)
+	if err := lsys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// No operator: the deadman fires after the probes keep coming back
+	// empty, and the follower promotes itself.
+	waitFor(t, "auto-promotion", func() bool { ro, _ := rsys.ReadOnly(); return !ro })
+	if rsys.Term() != 2 {
+		t.Errorf("auto-promoted term = %d, want 2", rsys.Term())
+	}
+
+	rc := dial(t, rAddr)
+	if got, err := rc.roundTrip("LOAD par(post, b1)."); err != nil || got != fmt.Sprintf("OK 1 epoch=%d term=2", leaderEpoch+1) {
+		t.Fatalf("post-auto-promotion LOAD = %q, %v; want OK 1 epoch=%d term=2", got, err, leaderEpoch+1)
+	}
+	kv, err := rc.stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv["role"] != "leader" || kv["repl_auto_promotions"] != "1" {
+		t.Errorf("STATS role=%q repl_auto_promotions=%q, want leader and 1", kv["role"], kv["repl_auto_promotions"])
+	}
+}
+
+// TestChainedReplication: followers serve REPL themselves, so a replica
+// can replicate from another replica. L -> R1 -> R2, with R2's write
+// redirect still naming the root leader's advertised address (the
+// welcome line forwards it hop by hop).
+func TestChainedReplication(t *testing.T) {
+	lAddr, lsys, _ := startLeader(t, t.TempDir())
+	r1Addr, _, r1srv := startReplica(t, lAddr, ldl.WithDurability(t.TempDir()))
+	// Let R1 finish its handshake with L (learning the advertised leader)
+	// before R2 attaches, so R1's welcome to R2 forwards the real address.
+	waitFor(t, "R1 learns the advertised leader", func() bool {
+		return r1srv.follower.Stats().Leader == leaderAdvertise
+	})
+	r2Addr, r2sys, _ := startReplica(t, r1Addr)
+
+	lc := dial(t, lAddr)
+	for i := 0; i < 5; i++ {
+		if got, err := lc.roundTrip(fmt.Sprintf("LOAD par(r%d, b1). par(b1, rr%d).", i, i)); err != nil || !strings.HasPrefix(got, "OK 2 ") {
+			t.Fatalf("LOAD %d = %q, %v", i, got, err)
+		}
+	}
+	waitFor(t, "chain catch-up", func() bool { return r2sys.Epoch() == lsys.Epoch() })
+
+	rc2 := dial(t, r2Addr)
+	if want, got := replCollect(t, lc), replCollect(t, rc2); got != want {
+		t.Fatalf("tail-of-chain answers differ:\nleader:\n%s\nR2:\n%s", want, got)
+	}
+	// The redirect R2 hands out is the ROOT leader, not R1: R1's welcome
+	// forwarded the address it would redirect writes to.
+	if got, err := rc2.roundTrip("LOAD par(x, y)."); err != nil || got != "ERR read-only leader="+leaderAdvertise {
+		t.Fatalf("R2 LOAD = %q, %v; want ERR read-only leader=%s", got, err, leaderAdvertise)
+	}
+}
+
+// TestHelloDeposesStaleLeader: the HELLO probe reports role, term, head
+// epoch, and advertised leader — and a probe carrying a higher term
+// fences a live leader into read-only (it has provably been superseded).
+func TestHelloDeposesStaleLeader(t *testing.T) {
+	lAddr, lsys, _ := startLeader(t, t.TempDir())
+	lc := dial(t, lAddr)
+
+	got, err := lc.roundTrip("HELLO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := repl.ParseProbeReply(got)
+	if err != nil {
+		t.Fatalf("HELLO reply %q: %v", got, err)
+	}
+	if p.Role != repl.RoleLeader || p.Term != 1 || p.Leader != leaderAdvertise || p.Epoch != lsys.Epoch() {
+		t.Fatalf("HELLO reply = %+v, want leader/term 1/epoch %d/%s", p, lsys.Epoch(), leaderAdvertise)
+	}
+
+	// A probe from the future: this leader has been superseded. It must
+	// latch read-only before answering.
+	got, err = lc.roundTrip("HELLO term=9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, err = repl.ParseProbeReply(got); err != nil || p.Role != repl.RoleReplica || p.Term != 9 {
+		t.Fatalf("deposing HELLO reply = %q (%+v, %v), want role=replica term=9", got, p, err)
+	}
+	if got, err := lc.roundTrip("LOAD par(x, y)."); err != nil || !strings.HasPrefix(got, "ERR read-only") {
+		t.Fatalf("LOAD on deposed leader = %q, %v; want ERR read-only", got, err)
+	}
+	kv, err := lc.stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv["role"] != "replica" || kv["term"] != "9" || kv["repl_fenced"] != "1" {
+		t.Errorf("deposed STATS role=%q term=%q repl_fenced=%q, want replica/9/1", kv["role"], kv["term"], kv["repl_fenced"])
+	}
+}
+
+// TestQueryWaitLagging pins the bounded read-your-writes failure: a
+// wait=<E> the replica cannot reach inside rywTimeout fails with the
+// machine-readable lag, and a reachable wait succeeds.
+func TestQueryWaitLagging(t *testing.T) {
+	lAddr, lsys, _ := startLeader(t, t.TempDir())
+	rAddr, rsys, rsrv := startReplica(t, lAddr)
+
+	lc := dial(t, lAddr)
+	if got, err := lc.roundTrip("LOAD par(r0, b1). par(b1, rr0)."); err != nil || !strings.HasPrefix(got, "OK 2 ") {
+		t.Fatalf("LOAD = %q, %v", got, err)
+	}
+	waitFor(t, "replica catch-up", func() bool { return rsys.Epoch() == lsys.Epoch() })
+	// Shrink the wait budget before dialing: this test wants the timeout.
+	rsrv.rywTimeout = 20 * time.Millisecond
+
+	rc := dial(t, rAddr)
+	want := rsys.Epoch() + 5
+	status, _, err := rc.query(fmt.Sprintf("anc(X, Y) wait=%d", want))
+	if err != nil || status != "ERR lagging behind=5" {
+		t.Fatalf("unreachable wait = %q, %v; want ERR lagging behind=5", status, err)
+	}
+	// A wait at the current epoch answers immediately.
+	status, rows, err := rc.query(fmt.Sprintf("anc(X, Y) wait=%d", rsys.Epoch()))
+	if err != nil || !strings.HasPrefix(status, "OK ") || len(rows) == 0 {
+		t.Fatalf("satisfied wait = %q, %v (%d rows); want OK with rows", status, err, len(rows))
+	}
+	// Malformed wait counts are refused, not treated as goal text.
+	if status, _, err := rc.query("anc(X, Y) wait=oops"); err != nil || !strings.HasPrefix(status, "ERR ") {
+		t.Fatalf("malformed wait = %q, %v; want ERR", status, err)
 	}
 }

@@ -126,6 +126,9 @@ func (s *System) attachWAL(db *store.Database, cfg sysConfig) error {
 		return err
 	}
 	s.wal, s.recovery = log, rep
+	if rep.Term > s.term {
+		s.term = rep.Term // restore the fencing high-water mark
+	}
 	s.walDir = cfg.walDir
 	s.walFS = cfg.walFS
 	if s.walFS == nil {
@@ -178,7 +181,7 @@ func (s *System) logBatch(epoch uint64, facts []lang.Rule) (int64, error) {
 	for i, tag := range tags {
 		rels[i] = *byTag[tag]
 	}
-	lsn, err := s.wal.AppendCommit(wal.Batch{Epoch: epoch, Rels: rels})
+	lsn, err := s.wal.AppendCommit(wal.Batch{Epoch: epoch, Term: s.term, Rels: rels})
 	if err != nil {
 		return 0, fmt.Errorf("ldl: InsertFacts: write-ahead log: %w", err)
 	}

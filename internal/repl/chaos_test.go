@@ -68,6 +68,7 @@ type chaosLeader struct {
 	fs   *wal.MemFS
 	log  *wal.Log
 	head atomic.Uint64
+	term atomic.Uint64
 	ship *Shipper
 
 	mu    sync.Mutex
@@ -83,9 +84,11 @@ func newChaosLeader(t *testing.T) *chaosLeader {
 	}
 	ld := &chaosLeader{t: t, fs: fs, log: log}
 	ld.head.Store(1)
+	ld.term.Store(1)
 	ld.ship = &Shipper{
 		Dir: dir, FS: fs,
 		Head:      ld.head.Load,
+		Term:      ld.term.Load,
 		Advertise: "leader:9999",
 		Poll:      time.Millisecond,
 		Heartbeat: 15 * time.Millisecond,
@@ -112,6 +115,18 @@ func (ld *chaosLeader) append(e uint64) {
 	ld.head.Store(e)
 }
 
+// appendT logs one batch stamped with the leader's current term — the
+// shape every batch has once terms exist; the fencing cells depend on
+// the stamp.
+func (ld *chaosLeader) appendT(e uint64) {
+	b := mkBatch(e)
+	b.Term = ld.term.Load()
+	if err := ld.log.Append(b); err != nil {
+		ld.t.Fatal(err)
+	}
+	ld.head.Store(e)
+}
+
 // checkpoint snapshots the cumulative state at e and retires the log
 // prefix, so a follower behind e can only catch up via reseed.
 func (ld *chaosLeader) checkpoint(e uint64) {
@@ -128,8 +143,10 @@ func (ld *chaosLeader) checkpoint(e uint64) {
 }
 
 // dial is the Follower.Dial hook: one net.Pipe per call, server side
-// (possibly fault-wrapped) handled by a handshake+Serve goroutine.
-func (ld *chaosLeader) dial() (net.Conn, error) {
+// (possibly fault-wrapped) handled by a handshake+Serve goroutine. The
+// goroutine answers both verbs the follower sends — REPL (stream) and
+// HELLO (probe) — like the real server front end.
+func (ld *chaosLeader) dial(string) (net.Conn, error) {
 	cli, srv := net.Pipe()
 	var conn net.Conn = srv
 	ld.mu.Lock()
@@ -146,11 +163,22 @@ func (ld *chaosLeader) dial() (net.Conn, error) {
 		if err != nil {
 			return
 		}
-		from, err := ParseHello(strings.TrimSpace(line))
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "HELLO") {
+			if _, err := ParseProbe(line); err != nil {
+				return
+			}
+			fmt.Fprintf(conn, "%s\n", ProbeReplyLine(Probe{
+				Role: RoleLeader, Term: ld.term.Load(),
+				Epoch: ld.head.Load(), Leader: ld.ship.Advertise,
+			}))
+			return
+		}
+		from, _, err := ParseHello(line)
 		if err != nil {
 			return
 		}
-		if _, err := fmt.Fprintf(conn, "%s\n", WelcomeLine(ld.head.Load(), ld.ship.Advertise)); err != nil {
+		if _, err := fmt.Fprintf(conn, "%s\n", WelcomeLine(ld.head.Load(), ld.ship.Advertise, ld.term.Load())); err != nil {
 			return
 		}
 		ld.ship.Serve(conn, from)
@@ -283,7 +311,7 @@ func TestChaosRepeatedFaults(t *testing.T) {
 	m := &prefixModel{t: t}
 	baseDial := ld.dial
 	f := &Follower{
-		Dial:             func() (net.Conn, error) { armEach(); return baseDial() },
+		Dial:             func(addr string) (net.Conn, error) { armEach(); return baseDial(addr) },
 		Applied:          m.Applied,
 		Apply:            m.Apply,
 		HeartbeatTimeout: 60 * time.Millisecond,
@@ -315,5 +343,278 @@ func TestChaosRepeatedFaults(t *testing.T) {
 	}
 	cancel()
 	ld.closeAll()
+	done.Wait()
+}
+
+// termMark is the test's stand-in for the serving layer's term
+// high-water mark: monotone, raised by ObserveTerm, read by Term.
+type termMark struct{ v atomic.Uint64 }
+
+func (m *termMark) load() uint64 { return m.v.Load() }
+func (m *termMark) observe(t uint64) {
+	for {
+		cur := m.v.Load()
+		if t <= cur || m.v.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// bumpConn raises a term mark after the Nth successful Read on the
+// connection — the test's way of landing a promotion at an exact point
+// in the stream (each leader write is one pipe Read on this side).
+type bumpConn struct {
+	net.Conn
+	after int32
+	reads atomic.Int32
+	bump  func()
+}
+
+func (c *bumpConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 && c.reads.Add(1) == c.after {
+		c.bump()
+	}
+	return n, err
+}
+
+// TestChaosStaleLeaderFenced is the deposed-leader schedule: the
+// follower learns of term 2 (from elsewhere) after its Nth apply while
+// the term-1 leader keeps shipping. The stream must be cut at exactly
+// the next frame — no term-1 write may land after the mark rises — and
+// once the leader itself is promoted to term 2 the follower must heal
+// and converge. Run for every bump point so every frame index in the
+// schedule is the fencing frame once.
+func TestChaosStaleLeaderFenced(t *testing.T) {
+	for bumpAfter := 1; bumpAfter <= 5; bumpAfter++ {
+		bumpAfter := bumpAfter
+		t.Run(fmt.Sprintf("bumpAfter%d", bumpAfter), func(t *testing.T) {
+			ld := newChaosLeader(t)
+			local := &termMark{}
+			local.observe(1)
+			m := &prefixModel{t: t}
+			applies := 0
+			f := &Follower{
+				Dial:    ld.dial,
+				Applied: m.Applied,
+				Apply: func(b wal.Batch) error {
+					if b.Epoch > m.Applied() {
+						if b.Term < local.load() {
+							t.Errorf("stale-term write applied: batch term %d, local %d (epoch %d)", b.Term, local.load(), b.Epoch)
+						}
+						applies++
+						if applies == bumpAfter {
+							defer local.observe(2) // promotion lands right after this apply
+						}
+					}
+					return m.Apply(b)
+				},
+				Term:             local.load,
+				ObserveTerm:      local.observe,
+				HeartbeatTimeout: 60 * time.Millisecond,
+				BackoffBase:      time.Millisecond,
+				BackoffMax:       4 * time.Millisecond,
+			}
+			ctx, cancel := newTestContext(t)
+			var done sync.WaitGroup
+			done.Add(1)
+			go func() { defer done.Done(); f.Run(ctx) }()
+
+			for e := uint64(2); e <= 7; e++ {
+				ld.appendT(e)
+				time.Sleep(2 * time.Millisecond)
+			}
+			frozen := uint64(bumpAfter) + 1 // epochs start at 2
+			deadline := time.Now().Add(5 * time.Second)
+			for f.Stats().Fenced == 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			if st := f.Stats(); st.Fenced == 0 {
+				t.Fatalf("stale leader never fenced (stats=%+v)", st)
+			}
+			time.Sleep(20 * time.Millisecond) // give a stale write a chance to leak
+			if got := m.Applied(); got != frozen {
+				t.Fatalf("applied %d after fencing, want frozen at %d", got, frozen)
+			}
+
+			// Heal: the leader itself is promoted to term 2 and ships on.
+			ld.term.Store(2)
+			for m.Applied() != 7 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			if got := m.Applied(); got != 7 {
+				t.Fatalf("follower stuck at %d after heal (stats=%+v)", got, f.Stats())
+			}
+			cancel()
+			ld.closeAll()
+			done.Wait()
+		})
+	}
+}
+
+// TestChaosPromotionMidSeed lands the promotion between the welcome and
+// the checkpoint seed: the seed was cut by the term-1 leader, the
+// follower hears of term 2 while the seed is in flight, and the seed
+// must be fenced — a checkpoint is just a big batch of the old term's
+// writes. A fresh term-2 checkpoint then heals it.
+func TestChaosPromotionMidSeed(t *testing.T) {
+	ld := newChaosLeader(t)
+	ld.log.SetTerm(1) // stamp checkpoints with the leader term
+	for e := uint64(2); e <= 5; e++ {
+		ld.appendT(e)
+	}
+	ld.checkpoint(5)
+
+	local := &termMark{}
+	local.observe(1)
+	m := &prefixModel{t: t}
+	var first atomic.Bool
+	first.Store(true)
+	f := &Follower{
+		Dial: func(addr string) (net.Conn, error) {
+			c, err := ld.dial(addr)
+			if err != nil || !first.CompareAndSwap(true, false) {
+				return c, err
+			}
+			// Read 1 is the welcome line, read 2 the seed frame: the
+			// promotion lands after the welcome passed but before the
+			// seed is checked.
+			return &bumpConn{Conn: c, after: 2, bump: func() { local.observe(2) }}, nil
+		},
+		Applied:          m.Applied,
+		Apply:            m.Apply,
+		Term:             local.load,
+		ObserveTerm:      local.observe,
+		HeartbeatTimeout: 60 * time.Millisecond,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       4 * time.Millisecond,
+	}
+	ctx, cancel := newTestContext(t)
+	var done sync.WaitGroup
+	done.Add(1)
+	go func() { defer done.Done(); f.Run(ctx) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Stats().Fenced == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st := f.Stats(); st.Fenced == 0 {
+		t.Fatalf("mid-seed promotion never fenced the seed (stats=%+v)", st)
+	}
+	if got := m.Applied(); got != 0 {
+		t.Fatalf("stale seed applied through epoch %d, want none", got)
+	}
+
+	// Heal: the leader is promoted and cuts a term-2 checkpoint.
+	ld.term.Store(2)
+	ld.log.SetTerm(2)
+	ld.appendT(6)
+	ld.checkpoint(6)
+	for m.Applied() != 6 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.Applied(); got != 6 {
+		t.Fatalf("follower stuck at %d after term-2 checkpoint (stats=%+v)", got, f.Stats())
+	}
+	if st := f.Stats(); st.Seeds < 1 {
+		t.Errorf("expected a seed apply, stats=%+v", st)
+	}
+	cancel()
+	ld.closeAll()
+	done.Wait()
+}
+
+// TestChaosSplitTerm is the racing-promotion schedule: two leaders both
+// reach term 2 (a double auto-promote), the follower applies from A,
+// loses it, re-targets to B — and must refuse B's term-2 writes, since
+// one term admits one leader per follower. Only when B is promoted to
+// term 3 (a real succession) may its writes land.
+func TestChaosSplitTerm(t *testing.T) {
+	a := newChaosLeader(t)
+	a.term.Store(2)
+	a.ship.Advertise = "a:1"
+	b := newChaosLeader(t)
+	b.term.Store(2)
+	b.ship.Advertise = "b:1"
+	// Identical shared history up to epoch 4 on both leaders.
+	for e := uint64(2); e <= 4; e++ {
+		a.appendT(e)
+		b.appendT(e)
+	}
+
+	var aDown atomic.Bool
+	local := &termMark{}
+	local.observe(1)
+	m := &prefixModel{t: t}
+	var fromB atomic.Int64
+	f := &Follower{
+		Target: "a:1",
+		Peers:  []string{"b:1"},
+		Dial: func(addr string) (net.Conn, error) {
+			if addr == "a:1" {
+				if aDown.Load() {
+					return nil, fmt.Errorf("connection refused")
+				}
+				return a.dial(addr)
+			}
+			return b.dial(addr)
+		},
+		Applied: m.Applied,
+		Apply: func(bt wal.Batch) error {
+			if bt.Epoch > m.Applied() && bt.Epoch >= 5 {
+				fromB.Add(1) // only B ever ships past epoch 4
+			}
+			return m.Apply(bt)
+		},
+		Term:             local.load,
+		ObserveTerm:      local.observe,
+		HeartbeatTimeout: 60 * time.Millisecond,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       4 * time.Millisecond,
+	}
+	ctx, cancel := newTestContext(t)
+	var done sync.WaitGroup
+	done.Add(1)
+	go func() { defer done.Done(); f.Run(ctx) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Applied() != 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.Applied(); got != 4 {
+		t.Fatalf("never synced from A: applied=%d (stats=%+v)", got, f.Stats())
+	}
+
+	// A dies; B (same term, different identity) ships a new write.
+	aDown.Store(true)
+	a.closeAll()
+	b.appendT(5)
+	for f.Stats().Fenced == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st := f.Stats(); st.Fenced == 0 {
+		t.Fatalf("split-term write from B never fenced (stats=%+v)", st)
+	}
+	if n := fromB.Load(); n != 0 {
+		t.Fatalf("follower holds %d writes from a second term-2 leader", n)
+	}
+	if got := m.Applied(); got != 4 {
+		t.Fatalf("applied=%d after split fence, want 4", got)
+	}
+
+	// B wins a real succession (term 3): now its chain is legitimate.
+	b.term.Store(3)
+	b.appendT(6)
+	for m.Applied() != 6 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.Applied(); got != 6 {
+		t.Fatalf("follower stuck at %d after B's term-3 promotion (stats=%+v)", got, f.Stats())
+	}
+	if st := f.Stats(); st.Retargets == 0 || st.Target != "b:1" {
+		t.Errorf("expected a re-target to b:1, stats=%+v", st)
+	}
+	cancel()
+	b.closeAll()
 	done.Wait()
 }

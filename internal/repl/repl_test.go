@@ -70,23 +70,84 @@ func TestFrameCorruptionDetected(t *testing.T) {
 }
 
 func TestHandshakeRoundTrip(t *testing.T) {
-	applied, err := ParseHello(HelloLine(42))
-	if err != nil || applied != 42 {
-		t.Fatalf("hello round trip: %d, %v", applied, err)
+	applied, hterm, err := ParseHello(HelloLine(42, 7))
+	if err != nil || applied != 42 || hterm != 7 {
+		t.Fatalf("hello round trip: %d, %d, %v", applied, hterm, err)
 	}
-	head, leader, err := ParseWelcome(WelcomeLine(17, "host:1234"))
-	if err != nil || head != 17 || leader != "host:1234" {
-		t.Fatalf("welcome round trip: %d, %q, %v", head, leader, err)
+	// Pre-term peers omit the term field; it parses as 0.
+	if applied, hterm, err = ParseHello("REPL 5"); err != nil || applied != 5 || hterm != 0 {
+		t.Fatalf("pre-term hello: %d, %d, %v", applied, hterm, err)
 	}
-	for _, bad := range []string{"", "REPL", "REPL x", "LOAD 3", "REPL 1 2"} {
-		if _, err := ParseHello(bad); err == nil {
+	head, leader, wterm, err := ParseWelcome(WelcomeLine(17, "host:1234", 3))
+	if err != nil || head != 17 || leader != "host:1234" || wterm != 3 {
+		t.Fatalf("welcome round trip: %d, %q, %d, %v", head, leader, wterm, err)
+	}
+	if _, _, wterm, err = ParseWelcome("OK repl epoch=9 leader=x:1"); err != nil || wterm != 0 {
+		t.Fatalf("pre-term welcome: term=%d, %v", wterm, err)
+	}
+	for _, bad := range []string{"", "REPL", "REPL x", "LOAD 3", "REPL 1 2", "REPL 1 term=x", "REPL 1 term=", "REPL 1 term=2 3"} {
+		if _, _, err := ParseHello(bad); err == nil {
 			t.Errorf("ParseHello(%q) accepted", bad)
 		}
 	}
-	for _, bad := range []string{"", "OK", "ERR no", "OK repl epoch=x"} {
-		if _, _, err := ParseWelcome(bad); err == nil {
+	for _, bad := range []string{"", "OK", "ERR no", "OK repl epoch=x", "OK repl term=abc", "OK repl epoch=1 term=99999999999999999999999999"} {
+		if _, _, _, err := ParseWelcome(bad); err == nil {
 			t.Errorf("ParseWelcome(%q) accepted", bad)
 		}
+	}
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	term, err := ParseProbe(ProbeLine(9))
+	if err != nil || term != 9 {
+		t.Fatalf("probe round trip: %d, %v", term, err)
+	}
+	if term, err = ParseProbe("HELLO"); err != nil || term != 0 {
+		t.Fatalf("bare probe: %d, %v", term, err)
+	}
+	p := Probe{Role: RoleLeader, Term: 4, Epoch: 17, Leader: "a:1"}
+	got, err := ParseProbeReply(ProbeReplyLine(p))
+	if err != nil || got != p {
+		t.Fatalf("probe reply round trip: %+v, %v", got, err)
+	}
+	for _, bad := range []string{"", "HELLO 2", "HELLO term=x", "HELLO term=1 2"} {
+		if _, err := ParseProbe(bad); err == nil {
+			t.Errorf("ParseProbe(%q) accepted", bad)
+		}
+	}
+	for _, bad := range []string{"", "OK", "OK hello", "OK hello role=boss term=1", "OK hello role=leader term=x"} {
+		if _, err := ParseProbeReply(bad); err == nil {
+			t.Errorf("ParseProbeReply(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseRedirect(t *testing.T) {
+	if leader, ok := ParseRedirect("ERR read-only (replica) leader=h:42"); !ok || leader != "h:42" {
+		t.Fatalf("redirect parse: %q, %v", leader, ok)
+	}
+	for _, line := range []string{"OK 1 leader=h:42", "ERR read-only", "ERR leader="} {
+		if _, ok := ParseRedirect(line); ok {
+			t.Errorf("ParseRedirect(%q) accepted", line)
+		}
+	}
+}
+
+func TestHeartbeatPayloadRoundTrip(t *testing.T) {
+	head, term, err := parseHeartbeat(heartbeatPayload(nil, 31, 6))
+	if err != nil || head != 31 || term != 6 {
+		t.Fatalf("heartbeat round trip: %d, %d, %v", head, term, err)
+	}
+	// A pre-term heartbeat carries only the head epoch.
+	legacy := heartbeatPayload(nil, 8, 0)[:1]
+	if head, term, err = parseHeartbeat(legacy); err != nil || head != 8 || term != 0 {
+		t.Fatalf("legacy heartbeat: %d, %d, %v", head, term, err)
+	}
+	if _, _, err = parseHeartbeat(nil); err == nil {
+		t.Error("empty heartbeat accepted")
+	}
+	if _, _, err = parseHeartbeat(append(heartbeatPayload(nil, 1, 2), 0x00)); err == nil {
+		t.Error("heartbeat with trailing bytes accepted")
 	}
 }
 
@@ -99,11 +160,11 @@ func TestFollowerBackoffOnDialFailure(t *testing.T) {
 	var dials atomic.Int64
 	m := &prefixModel{t: t}
 	f := &Follower{
-		Dial: func() (net.Conn, error) {
+		Dial: func(addr string) (net.Conn, error) {
 			if dials.Add(1) <= 3 {
 				return nil, errors.New("connection refused")
 			}
-			return ld.dial()
+			return ld.dial(addr)
 		},
 		Applied:          m.Applied,
 		Apply:            m.Apply,

@@ -1,0 +1,229 @@
+package repl
+
+// Unit tests for the re-target state machine: the probe walk over the
+// candidate set, forwarding hints, redirect-based re-targeting with no
+// configured peers, and the auto-promote deadman.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ldl/internal/wal"
+)
+
+// fakePeer answers one line per connection: a HELLO with its canned
+// probe reply, a REPL with its canned refusal (or nothing).
+type fakePeer struct {
+	probe      Probe
+	refuseRepl string // ERR line sent in answer to a REPL hello
+}
+
+func (p *fakePeer) dial() (net.Conn, error) {
+	cli, srv := net.Pipe()
+	go func() {
+		defer srv.Close()
+		r := bufio.NewReader(srv)
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "HELLO") {
+			fmt.Fprintf(srv, "%s\n", ProbeReplyLine(p.probe))
+			return
+		}
+		if p.refuseRepl != "" {
+			fmt.Fprintf(srv, "%s\n", p.refuseRepl)
+		}
+	}()
+	return cli, nil
+}
+
+// router dispatches dials by address; unknown addresses are refused.
+func router(peers map[string]func() (net.Conn, error)) func(string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) {
+		if d, ok := peers[addr]; ok {
+			return d()
+		}
+		return nil, fmt.Errorf("connection refused: %s", addr)
+	}
+}
+
+func TestRetargetPicksHighestTermLeader(t *testing.T) {
+	r1 := &fakePeer{probe: Probe{Role: RoleReplica, Term: 2, Leader: "l3"}}
+	l2 := &fakePeer{probe: Probe{Role: RoleLeader, Term: 2, Leader: "l2"}}
+	l3 := &fakePeer{probe: Probe{Role: RoleLeader, Term: 3, Leader: "l3"}}
+	f := &Follower{
+		Target: "dead",
+		Peers:  []string{"r1", "l2", "l3"},
+		Dial: router(map[string]func() (net.Conn, error){
+			"r1": r1.dial, "l2": l2.dial, "l3": l3.dial,
+		}),
+	}
+	best, found := f.retarget(context.Background())
+	if !found || best != "l3" {
+		t.Fatalf("retarget picked %q (found=%v), want l3", best, found)
+	}
+	f.mu.Lock()
+	probes := f.st.Probes
+	f.mu.Unlock()
+	if probes < 3 {
+		t.Errorf("probes = %d, want all candidates probed", probes)
+	}
+}
+
+func TestRetargetFollowsForwardingHint(t *testing.T) {
+	// The only configured peer is a replica; it forwards to a leader the
+	// follower has never heard of.
+	r1 := &fakePeer{probe: Probe{Role: RoleReplica, Term: 5, Leader: "l9"}}
+	l9 := &fakePeer{probe: Probe{Role: RoleLeader, Term: 5, Leader: "l9"}}
+	f := &Follower{
+		Target: "dead",
+		Peers:  []string{"r1"},
+		Dial: router(map[string]func() (net.Conn, error){
+			"r1": r1.dial, "l9": l9.dial,
+		}),
+	}
+	best, found := f.retarget(context.Background())
+	if !found || best != "l9" {
+		t.Fatalf("retarget picked %q (found=%v), want the forwarded leader l9", best, found)
+	}
+}
+
+func TestRetargetRefusesStaleLeaders(t *testing.T) {
+	// Every reachable leader is below the local term mark: nothing to
+	// attach to (this is the state the auto-promote deadman counts).
+	old := &fakePeer{probe: Probe{Role: RoleLeader, Term: 1, Leader: "old"}}
+	local := &termMark{}
+	local.observe(3)
+	f := &Follower{
+		Target: "dead",
+		Peers:  []string{"old"},
+		Dial:   router(map[string]func() (net.Conn, error){"old": old.dial}),
+		Term:   local.load,
+	}
+	if best, found := f.retarget(context.Background()); found {
+		t.Fatalf("retarget attached to stale leader %q", best)
+	}
+}
+
+func TestRetargetRedirectHintWithoutPeers(t *testing.T) {
+	// No -peers at all: the follower streams from a replica, gets the
+	// "ERR read-only leader=" refusal, and must re-target to the
+	// advertised leader from that hint alone.
+	ld := newChaosLeader(t)
+	ld.ship.Advertise = "l2"
+	ld.append(2)
+	ld.append(3)
+	r1 := &fakePeer{refuseRepl: "ERR read-only (replica) leader=l2", probe: Probe{Role: RoleReplica, Term: 1, Leader: "l2"}}
+	m := &prefixModel{t: t}
+	f := &Follower{
+		Target: "r1",
+		Dial: router(map[string]func() (net.Conn, error){
+			"r1": r1.dial,
+			"l2": func() (net.Conn, error) { return ld.dial("l2") },
+		}),
+		Applied:          m.Applied,
+		Apply:            m.Apply,
+		HeartbeatTimeout: 60 * time.Millisecond,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       4 * time.Millisecond,
+	}
+	ctx, cancel := newTestContext(t)
+	var done sync.WaitGroup
+	done.Add(1)
+	go func() { defer done.Done(); f.Run(ctx) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Applied() != 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := m.Applied(); got != 3 {
+		t.Fatalf("follower at epoch %d, want 3 (stats=%+v)", got, f.Stats())
+	}
+	if st := f.Stats(); st.Retargets == 0 || st.Target != "l2" {
+		t.Errorf("expected a redirect-driven re-target to l2, stats=%+v", st)
+	}
+	cancel()
+	ld.closeAll()
+	done.Wait()
+}
+
+func TestAutoPromoteDeadman(t *testing.T) {
+	// Every candidate is dead: after the grace period the designated
+	// successor must promote itself and stop following.
+	var promoted atomic.Bool
+	f := &Follower{
+		Target:           "dead1",
+		Peers:            []string{"dead2"},
+		Dial:             router(nil),
+		Applied:          func() uint64 { return 1 },
+		Apply:            func(wal.Batch) error { return nil },
+		AutoPromoteAfter: 20 * time.Millisecond,
+		Promote:          func() { promoted.Store(true) },
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       2 * time.Millisecond,
+	}
+	ctx, cancel := newTestContext(t)
+	defer cancel()
+	doneCh := make(chan struct{})
+	go func() { f.Run(ctx); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after auto-promote")
+	}
+	if !promoted.Load() {
+		t.Fatal("Promote never called")
+	}
+	if st := f.Stats(); st.AutoPromotions != 1 {
+		t.Errorf("AutoPromotions = %d, want 1 (stats=%+v)", st.AutoPromotions, st)
+	}
+}
+
+func TestAutoPromoteHeldOffByLiveLeader(t *testing.T) {
+	// A reachable leader (even one whose stream keeps dying) must keep
+	// resetting the deadman: no auto-promotion while probes find it.
+	ld := newChaosLeader(t)
+	ld.append(2)
+	var promoted atomic.Bool
+	m := &prefixModel{t: t}
+	f := &Follower{
+		Target: "lead",
+		Peers:  []string{"lead2"}, // >1 candidate, so probe rounds run
+		Dial: router(map[string]func() (net.Conn, error){
+			"lead":  func() (net.Conn, error) { return ld.dial("lead") },
+			"lead2": func() (net.Conn, error) { return ld.dial("lead2") },
+		}),
+		Applied:          m.Applied,
+		Apply:            m.Apply,
+		AutoPromoteAfter: 10 * time.Millisecond,
+		Promote:          func() { promoted.Store(true) },
+		HeartbeatTimeout: 30 * time.Millisecond,
+		BackoffBase:      time.Millisecond,
+		BackoffMax:       2 * time.Millisecond,
+	}
+	ctx, cancel := newTestContext(t)
+	var done sync.WaitGroup
+	done.Add(1)
+	go func() { defer done.Done(); f.Run(ctx) }()
+	// Keep killing the stream so the follower cycles through probe
+	// rounds; each round finds the live leader and resets the deadman.
+	for i := 0; i < 5; i++ {
+		time.Sleep(30 * time.Millisecond)
+		ld.closeAll()
+	}
+	if promoted.Load() {
+		t.Fatal("auto-promoted with a live, probeable leader")
+	}
+	cancel()
+	ld.closeAll()
+	done.Wait()
+}

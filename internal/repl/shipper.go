@@ -26,6 +26,9 @@ type Shipper struct {
 	// never shipped, so a follower can never be ahead of what the leader
 	// has promised.
 	Head func() uint64
+	// Term reports the leader-term high-water mark stamped on every
+	// heartbeat (nil = 0, a pre-term stream followers accept blindly).
+	Term func() uint64
 	// Advertise is the address sent in the welcome line — where the
 	// follower's clients should send writes.
 	Advertise string
@@ -96,9 +99,8 @@ func (s *Shipper) Serve(conn io.Writer, from uint64) error {
 		if next.Epoch > cur.Epoch {
 			lastBeat = time.Now() // shipped data doubles as a heartbeat
 		} else if time.Since(lastBeat) >= hb {
-			var hbuf [binary.MaxVarintLen64]byte
-			n := binary.PutUvarint(hbuf[:], s.Head())
-			if err := writeFrame(conn, kindHeartbeat, hbuf[:n]); err != nil {
+			var hbuf [2 * binary.MaxVarintLen64]byte
+			if err := writeFrame(conn, kindHeartbeat, heartbeatPayload(hbuf[:0], s.Head(), s.term())); err != nil {
 				return err
 			}
 			lastBeat = time.Now()
@@ -106,6 +108,13 @@ func (s *Shipper) Serve(conn io.Writer, from uint64) error {
 		cur = next
 		time.Sleep(poll)
 	}
+}
+
+func (s *Shipper) term() uint64 {
+	if s.Term == nil {
+		return 0
+	}
+	return s.Term()
 }
 
 func (s *Shipper) sendSeed(conn io.Writer, plan wal.ShipPlan) error {

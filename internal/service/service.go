@@ -27,6 +27,7 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -318,6 +319,67 @@ func (s *Service) Load(ctx context.Context, facts string) (added int, epoch uint
 		s.errs.Add(1)
 	}
 	return added, epoch, err
+}
+
+// ErrLagging reports a read-your-writes wait that timed out: the
+// replica had not applied the requested epoch within the bound. Match
+// with errors.Is; the concrete *LaggingError carries how far behind
+// the replica still was.
+var ErrLagging = errors.New("service: lagging behind requested epoch")
+
+// LaggingError is the typed ErrLagging: the epoch the client asked to
+// observe and the epoch the replica had reached when the wait gave up.
+type LaggingError struct {
+	Want uint64
+	At   uint64
+}
+
+func (e *LaggingError) Error() string {
+	return fmt.Sprintf("service: lagging: want epoch %d, at %d (behind %d)", e.Want, e.At, e.Behind())
+}
+
+// Behind is how many epochs short of the request the replica was.
+func (e *LaggingError) Behind() uint64 {
+	if e.Want <= e.At {
+		return 0
+	}
+	return e.Want - e.At
+}
+
+// Is makes errors.Is(err, ErrLagging) match.
+func (e *LaggingError) Is(target error) bool { return target == ErrLagging }
+
+// WaitEpoch blocks until the served System has published epoch >= want,
+// the context is done, or timeout elapses (0 = don't wait at all beyond
+// one check). It is the read-your-writes primitive: a client that wrote
+// through the leader and saw "epoch=E" acknowledged passes wait=E to a
+// replica read, and the read either observes the write or fails with a
+// *LaggingError saying how far behind the replica is. Epoch publication
+// has no notification hook, so the wait polls — starting fine-grained
+// and backing off, bounded by the deadline.
+func (s *Service) WaitEpoch(ctx context.Context, want uint64, timeout time.Duration) error {
+	at := s.sys.Load().Epoch()
+	if at >= want {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	interval := 100 * time.Microsecond
+	for {
+		if timeout <= 0 || !time.Now().Before(deadline) {
+			return &LaggingError{Want: want, At: at}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(interval):
+		}
+		if interval *= 2; interval > 2*time.Millisecond {
+			interval = 2 * time.Millisecond
+		}
+		if at = s.sys.Load().Epoch(); at >= want {
+			return nil
+		}
+	}
 }
 
 // Reload replaces the entire program (rules and facts) and purges the

@@ -557,3 +557,42 @@ func TestMaterializedServingPath(t *testing.T) {
 		t.Errorf("post-LOAD query: FromViews=%v rows=%v, want fresh facts visible from views", got.FromViews, got.Rows)
 	}
 }
+
+// TestWaitEpoch covers the read-your-writes primitive: an already-
+// published epoch returns immediately, a pending one is observed as
+// soon as a write publishes it, and a wait the replica cannot satisfy
+// fails with a typed LaggingError carrying the shortfall.
+func TestWaitEpoch(t *testing.T) {
+	s := New(mustLoad(t, sgSrc), Config{})
+	ctx := context.Background()
+
+	if err := s.WaitEpoch(ctx, s.System().Epoch(), 0); err != nil {
+		t.Fatalf("wait for published epoch: %v", err)
+	}
+
+	want := s.System().Epoch() + 1
+	done := make(chan error, 1)
+	go func() { done <- s.WaitEpoch(ctx, want, 5*time.Second) }()
+	time.Sleep(5 * time.Millisecond)
+	if _, _, err := s.Load(ctx, "par(zz1, zz2)."); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("wait across a publish: %v", err)
+	}
+
+	err := s.WaitEpoch(ctx, s.System().Epoch()+7, 10*time.Millisecond)
+	if !errors.Is(err, ErrLagging) {
+		t.Fatalf("unsatisfiable wait: %v, want ErrLagging", err)
+	}
+	var le *LaggingError
+	if !errors.As(err, &le) || le.Behind() != 7 {
+		t.Fatalf("lagging detail: %+v (behind=%d), want behind 7", le, le.Behind())
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := s.WaitEpoch(cctx, s.System().Epoch()+1, time.Second); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled wait: %v, want context.Canceled", err)
+	}
+}

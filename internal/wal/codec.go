@@ -12,15 +12,23 @@ package wal
 //	| len u32 | crc u32 | payload (len bytes)  |
 //	+---------+---------+----------------------+
 //
-// crc is the IEEE CRC-32 of the payload. The payload of a log record:
+// crc is the IEEE CRC-32 of the payload. The payload of a record:
 //
+//	byte kind ('B' batch, 'T' term bump)
+//	uvarint term (the leader term the record was written under)
 //	uvarint epoch
-//	uvarint #relations
-//	per relation:
-//	  uvarint len(tag), tag bytes
-//	  uvarint arity
-//	  uvarint #tuples
-//	  per tuple: arity terms
+//	kind 'B' only:
+//	  uvarint #relations
+//	  per relation:
+//	    uvarint len(tag), tag bytes
+//	    uvarint arity
+//	    uvarint #tuples
+//	    per tuple: arity terms
+//
+// A 'T' record carries no facts: it persists a leader-term bump
+// (PROMOTE, or a higher term observed on the wire) so recovery can
+// restore the term high-water mark and fence stale streams after a
+// restart. Its epoch is the head epoch at the time of the bump.
 //
 // Terms are a tagged prefix encoding of the ground-term algebra:
 //
@@ -50,11 +58,30 @@ type RelFacts struct {
 	Tuples [][]term.Term
 }
 
+// Record kinds. The zero Kind encodes as RecBatch so plain
+// Batch{Epoch, Rels} literals keep meaning "a fact batch".
+const (
+	RecBatch byte = 'B' // an InsertFacts batch (or checkpoint state)
+	RecTerm  byte = 'T' // a leader-term bump, no facts
+)
+
 // Batch is the unit of logging and replay: the fact batch that
-// published Epoch.
+// published Epoch, stamped with the leader term it was written under.
+// A Kind of RecTerm marks a term-bump record instead: Term is the new
+// high-water mark, Epoch the head at bump time, and Rels is empty.
 type Batch struct {
+	Kind  byte // RecBatch (also the zero value) or RecTerm
+	Term  uint64
 	Epoch uint64
 	Rels  []RelFacts
+}
+
+// kind normalizes the zero value to RecBatch.
+func (b Batch) kind() byte {
+	if b.Kind == 0 {
+		return RecBatch
+	}
+	return b.Kind
 }
 
 // Tuples sums the tuple count across relations.
@@ -220,7 +247,19 @@ func decodeTerm(b []byte, depth int) (term.Term, []byte, error) {
 
 // appendBatchPayload appends the (unframed) payload encoding of b.
 func appendBatchPayload(buf []byte, b Batch) ([]byte, error) {
+	kind := b.kind()
+	if kind != RecBatch && kind != RecTerm {
+		return nil, fmt.Errorf("wal: unknown record kind %q", kind)
+	}
+	buf = append(buf, kind)
+	buf = appendUvarint(buf, b.Term)
 	buf = appendUvarint(buf, b.Epoch)
+	if kind == RecTerm {
+		if len(b.Rels) != 0 {
+			return nil, fmt.Errorf("wal: term record cannot carry relations")
+		}
+		return buf, nil
+	}
 	buf = appendUvarint(buf, uint64(len(b.Rels)))
 	var err error
 	for _, r := range b.Rels {
@@ -247,8 +286,24 @@ func appendBatchPayload(buf []byte, b Batch) ([]byte, error) {
 func decodeBatchPayload(b []byte) (Batch, error) {
 	var out Batch
 	var err error
+	if len(b) == 0 {
+		return Batch{}, errDecode
+	}
+	out.Kind, b = b[0], b[1:]
+	if out.Kind != RecBatch && out.Kind != RecTerm {
+		return Batch{}, errDecode
+	}
+	if out.Term, b, err = decodeUvarint(b); err != nil {
+		return Batch{}, err
+	}
 	if out.Epoch, b, err = decodeUvarint(b); err != nil {
 		return Batch{}, err
+	}
+	if out.Kind == RecTerm {
+		if len(b) != 0 {
+			return Batch{}, errDecode
+		}
+		return out, nil
 	}
 	nrels, b, err := decodeUvarint(b)
 	if err != nil {
@@ -308,7 +363,7 @@ func decodeBatchPayload(b []byte) (Batch, error) {
 
 // batchEqual compares two batches structurally (term-for-term).
 func batchEqual(a, b Batch) bool {
-	if a.Epoch != b.Epoch || len(a.Rels) != len(b.Rels) {
+	if a.kind() != b.kind() || a.Term != b.Term || a.Epoch != b.Epoch || len(a.Rels) != len(b.Rels) {
 		return false
 	}
 	for i, ra := range a.Rels {

@@ -26,6 +26,9 @@ func FuzzReadRecord(f *testing.F) {
 			{Tag: "empty/1", Arity: 1},
 			{Tag: "p/1", Arity: 1, Tuples: [][]term.Term{{term.Atom("k")}}},
 		}},
+		{Epoch: 4, Term: 3, Rels: []RelFacts{{Tag: "p/1", Arity: 1, Tuples: [][]term.Term{{term.Atom("t")}}}}},
+		{Kind: RecTerm, Term: 7, Epoch: 12},
+		{Kind: RecTerm, Term: ^uint64(0), Epoch: 1},
 	}
 	for _, b := range seed {
 		enc, err := AppendRecord(nil, b)

@@ -48,6 +48,13 @@ type RecoveryReport struct {
 	// RecordsSkipped counts valid records not applied because the
 	// checkpoint already covered their epoch.
 	RecordsSkipped int
+	// Term is the leader-term high-water mark: the largest term stamped
+	// on any snapshot or record in the directory, including skipped
+	// ones (0 = the log predates terms / was never promoted).
+	Term uint64
+	// TermRecords counts RecTerm records seen (they restore Term but
+	// are never applied as facts).
+	TermRecords int
 	// BytesDropped is the size of the torn tail discarded from the last
 	// segment (0 = the log ended cleanly).
 	BytesDropped int64
@@ -114,6 +121,9 @@ func recoverDir(dir string, fs FS, baseEpoch uint64, apply func(Batch) error) (*
 			rep.SnapshotsSkipped = append(rep.SnapshotsSkipped, name)
 			continue
 		}
+		if b.Term > rep.Term {
+			rep.Term = b.Term
+		}
 		if err := apply(b); err != nil {
 			return nil, fmt.Errorf("wal: recover: applying checkpoint %s: %w", name, err)
 		}
@@ -153,6 +163,17 @@ func recoverDir(dir string, fs FS, baseEpoch uint64, apply func(Batch) error) (*
 					break
 				}
 				return nil, &CorruptError{Name: name, Offset: int64(off), Reason: derr.Error()}
+			}
+			// Terms are tracked across *every* valid record, skipped or
+			// not: a term bump shares the head epoch of the batch before
+			// it, so the epoch dedup below would otherwise lose it.
+			if b.Term > rep.Term {
+				rep.Term = b.Term
+			}
+			if b.kind() == RecTerm {
+				rep.TermRecords++
+				off += n
+				continue
 			}
 			if b.Epoch <= rep.Epoch {
 				rep.RecordsSkipped++

@@ -139,6 +139,11 @@ type Log struct {
 	// lastCkpt is the epoch of the newest successful checkpoint — the
 	// durability-health signal STATS exposes.
 	lastCkpt uint64
+
+	// term is the leader-term high-water mark: seeded from recovery,
+	// bumped by AppendTerm, stamped into every checkpoint snapshot so
+	// the mark survives log retirement.
+	term uint64
 }
 
 func segmentName(base uint64) string { return fmt.Sprintf("log-%016x", base) }
@@ -281,6 +286,39 @@ func (l *Log) maybeSync() error {
 	return nil
 }
 
+// Term reports the log's leader-term high-water mark: the largest term
+// recovered from the directory or appended through AppendTerm.
+func (l *Log) Term() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.term
+}
+
+// SetTerm raises the in-memory term mark without writing a record —
+// for appliers whose incoming batches already persist the term (a
+// follower's log), so checkpoints stamp the right mark.
+func (l *Log) SetTerm(t uint64) {
+	l.mu.Lock()
+	if t > l.term {
+		l.term = t
+	}
+	l.mu.Unlock()
+}
+
+// AppendTerm persists a leader-term bump: a RecTerm record stamped with
+// t at the given head epoch, synced per the fsync policy. The mark is
+// raised in memory even if the append fails (a wedged log still fences
+// correctly until restart); subsequent checkpoints stamp it into their
+// snapshot so it survives segment retirement.
+func (l *Log) AppendTerm(t, epoch uint64) error {
+	l.mu.Lock()
+	if t > l.term {
+		l.term = t
+	}
+	l.mu.Unlock()
+	return l.Append(Batch{Kind: RecTerm, Term: t, Epoch: epoch})
+}
+
 // SegmentSize reports the byte size of the active segment — the
 // "log bytes since the last checkpoint" signal the size-triggered
 // checkpointer watches.
@@ -349,7 +387,7 @@ func (l *Log) Checkpoint(epoch uint64, rels []RelFacts) error {
 	if err != nil {
 		return fmt.Errorf("wal: checkpoint: %w", err)
 	}
-	buf, err := AppendRecord(nil, Batch{Epoch: epoch, Rels: rels})
+	buf, err := AppendRecord(nil, Batch{Epoch: epoch, Term: l.Term(), Rels: rels})
 	if err != nil {
 		f.Close()
 		return fmt.Errorf("wal: checkpoint: %w", err)
@@ -523,5 +561,6 @@ func Open(dir string, opts Options, apply func(Batch) error) (*Log, *RecoveryRep
 	l := &Log{dir: dir, opts: opts, f: f, base: base, size: fsize, lastSync: opts.Now()}
 	l.syncCond = sync.NewCond(&l.mu)
 	l.lastCkpt = rep.CheckpointEpoch
+	l.term = rep.Term
 	return l, rep, nil
 }

@@ -145,6 +145,14 @@ type System struct {
 	readOnly   bool
 	leaderAddr string
 
+	// term is the leader-term high-water mark (guarded by writeMu):
+	// every logged batch is stamped with it, Promote bumps it, and
+	// ObserveTerm adopts higher terms seen on the wire — demoting a
+	// stale leader to read-only when one appears. fenced counts fencing
+	// events (stale streams refused, demotions latched) for STATS.
+	term   uint64
+	fenced atomic.Int64
+
 	// observed holds derived-extension statistics recorded after
 	// materializing executions (exact cardinality and live per-column
 	// distinct counts of fully computed derived predicates). When
@@ -276,6 +284,7 @@ func Load(src string, opts ...SystemOption) (_ *System, err error) {
 		return nil, err
 	}
 	s := &System{prog: prog, queries: queries, observed: map[string]stats.RelStats{}}
+	s.term = 1 // terms start at 1; durable boots raise it from recovery
 	s.matCfg = cfg.mat
 	if err := s.matSetup(); err != nil {
 		return nil, err

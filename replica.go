@@ -44,6 +44,24 @@ func (e *ReadOnlyError) Error() string {
 
 func (e *ReadOnlyError) Is(target error) bool { return target == ErrReadOnly }
 
+// ErrFenced is matched (errors.Is) by the error ApplyReplicated returns
+// for a stream from a deposed leader. The concrete type is *FencedError.
+var ErrFenced = errors.New("ldl: fenced (stale leader term)")
+
+// FencedError rejects a replicated batch whose leader term is below the
+// local high-water mark — the stream comes from a leader that has since
+// been superseded and must never be applied.
+type FencedError struct {
+	Local  uint64 // the high-water term this system has observed
+	Stream uint64 // the stale term the batch carried
+}
+
+func (e *FencedError) Error() string {
+	return fmt.Sprintf("ldl: fenced: stream term %d below local term %d", e.Stream, e.Local)
+}
+
+func (e *FencedError) Is(target error) bool { return target == ErrFenced }
+
 // SetReadOnly puts the System in replica mode: InsertFacts fails with a
 // *ReadOnlyError pointing at leader until Promote. ApplyReplicated and
 // reads are unaffected.
@@ -62,17 +80,70 @@ func (s *System) ReadOnly() (bool, string) {
 	return s.readOnly, s.leaderAddr
 }
 
-// Promote ends replica mode — manual failover. The System keeps every
-// epoch it has applied and starts accepting InsertFacts, numbering new
-// epochs after the returned one. The caller is responsible for making
-// sure the old leader is dead or demoted first; Promote itself is
-// local and instant.
-func (s *System) Promote() uint64 {
+// Term reports the leader-term high-water mark: the term this system
+// writes under when it leads, and the newest term it has observed (and
+// fences older streams against) when it follows.
+func (s *System) Term() uint64 {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
+	return s.term
+}
+
+// FencedEvents counts fencing events: stale-term batches refused by
+// ApplyReplicated and read-only demotions latched by ObserveTerm.
+func (s *System) FencedEvents() int64 { return s.fenced.Load() }
+
+// ObserveTerm adopts a leader term seen on the wire (a replication
+// welcome, a heartbeat, a peer's HELLO probe). Terms at or below the
+// high-water mark change nothing. A higher term raises the mark — and
+// if this system currently leads, latches it read-only: a higher term
+// means it was deposed, and accepting further writes would split the
+// brain. demoted reports that latch. On a durable system the bump is
+// persisted as a term record so the fence survives a restart.
+func (s *System) ObserveTerm(t uint64) (demoted bool) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if t <= s.term {
+		return false
+	}
+	s.term = t
+	if !s.readOnly {
+		s.readOnly = true
+		s.leaderAddr = ""
+		s.fenced.Add(1)
+		demoted = true
+	}
+	if s.wal != nil {
+		// Best effort: a failed append wedges the log, which already
+		// refuses writes — the in-memory mark keeps fencing regardless.
+		s.wal.AppendTerm(t, s.headState().id)
+	}
+	return demoted
+}
+
+// Promote ends replica mode — failover. The System keeps every epoch it
+// has applied, bumps the leader term past every term it has observed,
+// persists the bump (durable systems refuse to promote if the term
+// record cannot be written — an unpersisted bump could un-fence a stale
+// stream after a restart), and starts accepting InsertFacts, numbering
+// new epochs after the returned one. The term bump is what makes
+// concurrent failover safe: followers fence every stream below their
+// high-water mark, so once any write of the new term is applied, the
+// old leader's stream is dead on arrival.
+func (s *System) Promote() (epoch, term uint64, err error) {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	head := s.headState().id
+	next := s.term + 1
+	if s.wal != nil {
+		if err := s.wal.AppendTerm(next, head); err != nil {
+			return head, s.term, fmt.Errorf("ldl: promote: persisting term %d: %w", next, err)
+		}
+	}
+	s.term = next
 	s.readOnly = false
 	s.leaderAddr = ""
-	return s.headState().id
+	return head, next, nil
 }
 
 // ApplyReplicated applies one shipped batch — an incremental InsertFacts
@@ -88,6 +159,25 @@ func (s *System) ApplyReplicated(b wal.Batch) (err error) {
 	defer guard(&err)
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
+	// Fencing: a batch from a term below the high-water mark comes from
+	// a deposed leader and is refused — before the epoch dedup, so even
+	// a "duplicate" from a stale stream surfaces the fence. Term 0 marks
+	// a pre-term stream and bypasses the check.
+	if b.Term > 0 && b.Term < s.term {
+		s.fenced.Add(1)
+		return &FencedError{Local: s.term, Stream: b.Term}
+	}
+	if b.Term > s.term {
+		s.term = b.Term
+		if s.wal != nil {
+			// Raise the log's mark so a later checkpoint stamps it; the
+			// batch append below persists the term itself.
+			s.wal.SetTerm(b.Term)
+		}
+	}
+	if b.Kind == wal.RecTerm {
+		return nil // a shipped term bump carries no facts
+	}
 	ep := s.headState()
 	if b.Epoch <= ep.id {
 		return nil // duplicate delivery

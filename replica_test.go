@@ -98,13 +98,17 @@ func TestReadOnlyRefusalAndPromote(t *testing.T) {
 	if err := follower.ApplyReplicated(shipBatch(5, 0)); err != nil {
 		t.Fatal(err)
 	}
-	if got := follower.Promote(); got != 5 {
-		t.Fatalf("Promote() = %d, want 5", got)
+	epoch, pterm, err := follower.Promote()
+	if err != nil || epoch != 5 {
+		t.Fatalf("Promote() = %d, %d, %v, want epoch 5", epoch, pterm, err)
+	}
+	if pterm != 2 {
+		t.Fatalf("Promote() term = %d, want 2 (terms start at 1)", pterm)
 	}
 	if ro, _ := follower.ReadOnly(); ro {
 		t.Fatal("still read-only after Promote")
 	}
-	_, epoch, err := follower.InsertFacts(durBatch(1))
+	_, epoch, err = follower.InsertFacts(durBatch(1))
 	if err != nil || epoch != 6 {
 		t.Fatalf("first write after promote: epoch=%d err=%v, want 6", epoch, err)
 	}
@@ -259,5 +263,125 @@ func TestDurabilityStats(t *testing.T) {
 	}
 	if _, err := sys.Query("anc(seed_a, Y)"); err != nil {
 		t.Fatalf("read on wedged system: %v", err)
+	}
+}
+
+// TestTermFencing pins the System-level fencing invariant: once a term
+// is observed, ApplyReplicated refuses any batch whose (authority) term
+// is below it, counts the event, and leaves the epoch untouched.
+func TestTermFencing(t *testing.T) {
+	follower, err := Load(durSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower.SetReadOnly("leader:1234")
+
+	// A term-2 batch adopts the term on the way in.
+	b := shipBatch(2, 0)
+	b.Term = 2
+	if err := follower.ApplyReplicated(b); err != nil {
+		t.Fatal(err)
+	}
+	if follower.Term() != 2 {
+		t.Fatalf("Term() = %d after term-2 batch, want 2", follower.Term())
+	}
+
+	// A batch from the deposed term-1 leader is fenced with the typed
+	// error, and nothing about the system moves.
+	stale := shipBatch(3, 1)
+	stale.Term = 1
+	err = follower.ApplyReplicated(stale)
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale-term apply = %v, want ErrFenced", err)
+	}
+	var fe *FencedError
+	if !errors.As(err, &fe) || fe.Local != 2 || fe.Stream != 1 {
+		t.Fatalf("FencedError = %+v, want Local=2 Stream=1", fe)
+	}
+	if follower.Epoch() != 2 || follower.FencedEvents() != 1 {
+		t.Fatalf("after fence: epoch=%d fenced=%d, want 2 and 1", follower.Epoch(), follower.FencedEvents())
+	}
+
+	// Term 0 means a pre-term stream: never fenced (upgrades keep working).
+	legacy := shipBatch(3, 1)
+	if err := follower.ApplyReplicated(legacy); err != nil {
+		t.Fatalf("term-0 apply: %v", err)
+	}
+	if follower.Epoch() != 3 {
+		t.Fatalf("epoch = %d after legacy batch, want 3", follower.Epoch())
+	}
+}
+
+// TestObserveTermDeposesLeader: a writable leader shown a higher term
+// latches read-only — it has provably been superseded — and counts the
+// fencing event. Observing a lower or equal term changes nothing.
+func TestObserveTermDeposesLeader(t *testing.T) {
+	sys, err := Load(durSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.ObserveTerm(1) { // own term is already 1
+		t.Fatal("ObserveTerm(1) deposed a term-1 leader")
+	}
+	if !sys.ObserveTerm(3) {
+		t.Fatal("ObserveTerm(3) did not report deposition")
+	}
+	if ro, _ := sys.ReadOnly(); !ro {
+		t.Fatal("leader still writable after observing a higher term")
+	}
+	if sys.Term() != 3 || sys.FencedEvents() != 1 {
+		t.Fatalf("after deposition: term=%d fenced=%d, want 3 and 1", sys.Term(), sys.FencedEvents())
+	}
+	if _, _, err := sys.InsertFacts(durBatch(0)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("write on deposed leader = %v, want ErrReadOnly", err)
+	}
+	// A replica observing higher terms stays a replica; no double count.
+	if sys.ObserveTerm(4) {
+		t.Fatal("ObserveTerm on a replica reported deposition")
+	}
+	if sys.Term() != 4 || sys.FencedEvents() != 1 {
+		t.Fatalf("replica observation: term=%d fenced=%d, want 4 and 1", sys.Term(), sys.FencedEvents())
+	}
+}
+
+// TestPromotePersistsTermAcrossCrash: Promote writes the term record
+// ahead of accepting writes, so a crash-restart of the promoted node
+// comes back in the new term (and stays fenced against the old leader).
+func TestPromotePersistsTermAcrossCrash(t *testing.T) {
+	fs := wal.NewMemFS()
+	follower, err := Load(durSrc, WithDurability("data"), withWALFS(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	follower.SetReadOnly("leader:1234")
+	b := shipBatch(2, 0)
+	b.Term = 1
+	if err := follower.ApplyReplicated(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, pterm, err := follower.Promote(); err != nil || pterm != 2 {
+		t.Fatalf("Promote() term = %d, %v, want 2", pterm, err)
+	}
+	if _, _, err := follower.InsertFacts(durBatch(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash without Close: recovery must land in term 2.
+	reborn, err := Load(durSrc, WithDurability("data"), withWALFS(fs.Crash(true)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reborn.Term() != 2 {
+		t.Fatalf("recovered term = %d, want 2", reborn.Term())
+	}
+	if reborn.Epoch() != 3 {
+		t.Fatalf("recovered epoch = %d, want 3", reborn.Epoch())
+	}
+	// The old term-1 leader reappearing is fenced by the reborn node.
+	ghost := shipBatch(4, 2)
+	ghost.Term = 1
+	reborn.SetReadOnly("")
+	if err := reborn.ApplyReplicated(ghost); !errors.Is(err, ErrFenced) {
+		t.Fatalf("ghost leader apply = %v, want ErrFenced", err)
 	}
 }

@@ -142,6 +142,9 @@ func (s *System) attachStorage(cfg sysConfig) error {
 		return err
 	}
 	s.wal, s.recovery = log, rep
+	if rep.Term > s.term {
+		s.term = rep.Term // restore the fencing high-water mark
+	}
 	s.walDir, s.walFS = dir, fs
 	s.ckptBytes = cfg.ckptBytes
 	if s.ckptBytes == 0 {
@@ -224,6 +227,15 @@ func (s *System) segCheckpoint() error {
 	if err := s.wal.Rotate(ep.id); err != nil {
 		s.writeMu.Unlock()
 		return err
+	}
+	// The manifest has no term field, so the term must survive in the
+	// log itself: re-anchor the mark in the fresh active segment before
+	// Retire deletes the segments that held the old term records.
+	if s.term > 1 {
+		if err := s.wal.AppendTerm(s.term, ep.id); err != nil {
+			s.writeMu.Unlock()
+			return err
+		}
 	}
 	frozen := &epochState{id: ep.id, db: ep.db.FrozenFork(), cat: ep.cat, hints: ep.hints, mat: ep.mat}
 	s.head = frozen
